@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and emits the
+rows/series it produced to ``benchmarks/results/<name>.txt`` (and stdout),
+so the reproduction can be compared against the paper side by side —
+EXPERIMENTS.md indexes these outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Write a named result artifact and echo it to stdout."""
+
+    def _emit(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n--- {name} ---")
+        print(text)
+        return path
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,48 @@
+"""Figure 1: warm-up transient of the modeled Cheetah 15K.3.
+
+From a 28 C cold start with SPM and VCM always on, the internal air rises
+to ~33 C within the first minute and settles at 45.22 C after about 48
+minutes.
+"""
+
+from conftest import run_once
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.drives import cheetah15k3
+from repro.reporting import ascii_plot, format_table
+
+
+def _run_transient():
+    model = cheetah15k3.thermal_model()
+    return model.transient(150 * 60, dt_s=0.5, record_every=120, from_ambient=True)
+
+
+def test_figure1(benchmark, emit):
+    result = run_once(benchmark, _run_transient)
+    minutes = [t / 60 for t in result.times_s]
+    air = result.series("air")
+
+    plot = ascii_plot(
+        [("air", minutes, air)],
+        width=66,
+        height=14,
+        title="Cheetah 15K.3 internal air temperature vs time (minutes)",
+    )
+    samples = [0, 1, 2, 5, 10, 20, 30, 48, 90, 150]
+    rows = []
+    for minute in samples:
+        index = min(range(len(minutes)), key=lambda i: abs(minutes[i] - minute))
+        rows.append([f"{minutes[index]:.0f}", f"{air[index]:.2f}"])
+    table = format_table(["minute", "air C"], rows)
+    emit("figure1_transient", plot + "\n\n" + table)
+
+    assert air[0] == AMBIENT_TEMPERATURE_C
+    at_1min = air[min(range(len(minutes)), key=lambda i: abs(minutes[i] - 1.0))]
+    assert 32.0 <= at_1min <= 36.0  # paper: ~33 C after the first minute
+    assert abs(air[-1] - THERMAL_ENVELOPE_C) < 0.05  # steady state 45.22 C
+    # Converged (within 0.05 C) between 30 and 70 minutes (paper: ~48).
+    final = air[-1]
+    converged_minute = next(
+        m for m, a in zip(minutes, air) if abs(a - final) < 0.05
+    )
+    assert 30 <= converged_minute <= 70

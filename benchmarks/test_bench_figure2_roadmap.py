@@ -1,0 +1,93 @@
+"""Figure 2: the thermally constrained IDR and capacity roadmaps for 1-,
+2- and 4-platter designs (six panels)."""
+
+import pytest
+from conftest import run_once
+
+from repro.reporting import ascii_plot, format_table
+from repro.scaling import (
+    PAPER_TRENDS,
+    capacity_series,
+    first_shortfall_year,
+    idr_series,
+    thermal_roadmap,
+)
+
+
+@pytest.mark.parametrize("platter_count", [1, 2, 4])
+def test_figure2(benchmark, emit, platter_count):
+    points = run_once(
+        benchmark, lambda: thermal_roadmap(platter_count=platter_count)
+    )
+    years = sorted({p.year for p in points})
+
+    idr_plot = ascii_plot(
+        [
+            (
+                f'{d}"',
+                [y for y, _ in idr_series(points, d)],
+                [v for _, v in idr_series(points, d)],
+            )
+            for d in (2.6, 2.1, 1.6)
+        ]
+        + [("40% CGR", years, [PAPER_TRENDS.target_idr_mb_s(y) for y in years])],
+        width=64,
+        height=14,
+        logy=True,
+        title=f"{platter_count}-platter IDR roadmap (MB/s, log)",
+    )
+
+    rows = []
+    for year in years:
+        row = [year]
+        for diameter in (2.6, 2.1, 1.6):
+            point = next(
+                p for p in points if p.year == year and p.diameter_in == diameter
+            )
+            row.append(f"{point.max_idr_mb_s:.0f}{'*' if point.meets_target else ' '}")
+            row.append(f"{point.capacity_gb:.1f}")
+        rows.append(row)
+    table = format_table(
+        ["year", "2.6 IDR", "2.6 cap", "2.1 IDR", "2.1 cap", "1.6 IDR", "1.6 cap"],
+        rows,
+    )
+    emit(
+        f"figure2_roadmap_{platter_count}platter",
+        idr_plot + "\n\n" + table + "\n(* = meets the 40% target)",
+    )
+
+    # Paper claims: the 40% CGR holds until ~2006 via the smallest media,
+    # then falls off; the terabit ECC jump dents 2010.
+    shortfall = first_shortfall_year(points)
+    assert shortfall is not None and 2006 <= shortfall <= 2008
+    for diameter in (2.6, 2.1, 1.6):
+        series = dict(idr_series(points, diameter))
+        assert series[2010] < series[2009]
+        assert series[2011] > series[2010]
+    # Capacity ordering: larger media holds more, every year.
+    for year in years:
+        caps = {
+            p.diameter_in: p.capacity_gb for p in points if p.year == year
+        }
+        assert caps[2.6] > caps[2.1] > caps[1.6]
+
+
+def test_figure2_shortfall_steeper_with_more_platters(benchmark, emit):
+    def gap_2012(platter_count):
+        points = thermal_roadmap(platter_count=platter_count, sizes=(1.6,))
+        final = points[-1]
+        return final.target_idr_mb_s - final.max_idr_mb_s
+
+    gaps = run_once(benchmark, lambda: {n: gap_2012(n) for n in (1, 2, 4)})
+    emit(
+        "figure2_shortfall",
+        format_table(
+            ["platters", "2012 IDR gap (MB/s)"],
+            [[n, f"{gap:.0f}"] for n, gap in gaps.items()],
+        ),
+    )
+    # Despite the extra cooling budget, more platters fall further behind
+    # (the paper: "the fall off ... is slightly steeper").
+    assert gaps[4] > gaps[1]
+    # The 1-platter gap is on the order of the paper's ~2,870 MB/s.
+    assert 2000 < gaps[1] < 3500

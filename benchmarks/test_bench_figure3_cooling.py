@@ -1,0 +1,49 @@
+"""Figure 3: roadmap sensitivity to the external cooling system (baseline,
+5 C cooler, 10 C cooler ambients)."""
+
+from conftest import run_once
+
+from repro.reporting import format_table
+from repro.scaling import cooling_study, roadmap_extension_years
+
+
+def test_figure3(benchmark, emit):
+    scenarios = run_once(benchmark, cooling_study)
+
+    rows = []
+    for delta, scenario in sorted(scenarios.items()):
+        row = [f"-{delta:.0f} C", f"{scenario.ambient_c:.1f}"]
+        for diameter in (2.6, 2.1, 1.6):
+            last = scenario.last_year_meeting_target(diameter)
+            row.append(str(last) if last else "never")
+        rows.append(row)
+    table = format_table(
+        ["cooling", "ambient C", '2.6" last', '2.1" last', '1.6" last'], rows
+    )
+
+    extension_rows = []
+    for diameter in (2.6, 2.1, 1.6):
+        extensions = roadmap_extension_years(scenarios, diameter)
+        extension_rows.append(
+            [f'{diameter}"', f"+{extensions[5.0]}", f"+{extensions[10.0]}"]
+        )
+    extension_table = format_table(
+        ["media", "5 C cooler", "10 C cooler"], extension_rows
+    )
+    emit(
+        "figure3_cooling",
+        table + "\n\nroadmap extension (years):\n" + extension_table,
+    )
+
+    # Paper: ~1 extra year for 5 C, ~2 for 10 C (1.6" media); the 2.6"
+    # size recovers some years with 5 C of cooling; no scenario survives
+    # the terabit transition.
+    extensions_16 = roadmap_extension_years(scenarios, 1.6)
+    assert 0 <= extensions_16[5.0] <= 2
+    assert 1 <= extensions_16[10.0] <= 3
+    base_26 = scenarios[0.0].last_year_meeting_target(2.6) or 2001
+    cooled_26 = scenarios[5.0].last_year_meeting_target(2.6) or 2001
+    assert cooled_26 >= base_26
+    for scenario in scenarios.values():
+        assert scenario.first_shortfall_year() is not None
+        assert scenario.first_shortfall_year() <= 2010

@@ -1,0 +1,86 @@
+"""Figure 4: response-time CDFs and means for the five server workloads as
+spindle speed rises in +5,000 RPM steps.
+
+The paper's absolute means (its traces are proprietary; ours are synthetic
+stand-ins): Openmail {54.54, 25.93, 18.61, 15.35}, OLTP {5.66, 4.48, 3.91,
+3.57}, Search-Engine {16.22, 10.72, 8.63, 7.55}, TPC-C {6.50, 3.23, 2.46,
+2.06}, TPC-H {4.91, 3.25, 2.64, 2.32} ms.  The reproduced *shape*: means
+fall monotonically with RPM, +5K buys ~20-50%, +10K lands in the paper's
+30-60% band, and the whole CDF shifts left.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.reporting import format_table
+from repro.simulation.statistics import PAPER_CDF_BINS_MS
+from repro.workloads import workload
+
+PAPER_MEANS = {
+    "openmail": (54.54, 25.93, 18.61, 15.35),
+    "oltp": (5.66, 4.48, 3.91, 3.57),
+    "search_engine": (16.22, 10.72, 8.63, 7.55),
+    "tpcc": (6.50, 3.23, 2.46, 2.06),
+    "tpch": (4.91, 3.25, 2.64, 2.32),
+}
+
+REQUESTS = 6000
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_MEANS))
+def test_figure4(benchmark, emit, name):
+    spec = workload(name)
+
+    def run():
+        trace = spec.generate(num_requests=REQUESTS, seed=1)
+        reports = []
+        for rpm in spec.rpm_sweep():
+            reports.append(spec.build_system(rpm).run_trace(trace))
+        return reports
+
+    reports = run_once(benchmark, run)
+    means = [r.mean_response_ms() for r in reports]
+    paper = PAPER_MEANS[name]
+
+    rows = []
+    for rpm, mean, paper_mean, report in zip(
+        spec.rpm_sweep(), means, paper, reports
+    ):
+        rows.append(
+            [
+                f"{rpm:.0f}",
+                f"{mean:.2f}",
+                f"{paper_mean:.2f}",
+                f"{(means[0] - mean) / means[0] * 100:.1f}%",
+                f"{(paper[0] - paper_mean) / paper[0] * 100:.1f}%",
+                f"{max(report.disk_utilizations):.2f}",
+            ]
+        )
+    table = format_table(
+        ["RPM", "mean ours", "mean paper", "gain ours", "gain paper", "util"],
+        rows,
+    )
+
+    cdf_rows = []
+    cdfs = [dict(r.stats.cdf()) for r in reports]
+    for edge in PAPER_CDF_BINS_MS:
+        cdf_rows.append(
+            [f"<= {edge:g}"] + [f"{cdf[edge]:.3f}" for cdf in cdfs]
+        )
+    cdf_table = format_table(
+        ["bin ms"] + [f"{rpm:.0f}" for rpm in spec.rpm_sweep()], cdf_rows
+    )
+    emit(f"figure4_{name}", f"{spec.display_name}\n{table}\n\nCDF:\n{cdf_table}")
+
+    # Shape assertions.
+    assert means[0] > means[1] > means[2] > means[3]
+    plus5_gain = (means[0] - means[1]) / means[0]
+    plus10_gain = (means[0] - means[2]) / means[0]
+    assert 0.15 <= plus5_gain <= 0.60
+    assert 0.25 <= plus10_gain <= 0.70  # paper headline: 30-60% for +10K
+    # Baseline mean within ~2x of the paper (synthetic traces).
+    assert 0.4 <= means[0] / paper[0] <= 2.2
+    # CDFs shift left monotonically.
+    for earlier, later in zip(cdfs, cdfs[1:]):
+        for edge in PAPER_CDF_BINS_MS:
+            assert later[edge] >= earlier[edge] - 0.02

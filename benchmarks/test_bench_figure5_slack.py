@@ -1,0 +1,85 @@
+"""Figure 5: exploiting the thermal slack between the VCM-on envelope
+design and VCM-off operation.
+
+(a) the maximum achievable RPM per platter size with and without the VCM;
+(b) the revised IDR roadmap when the slack is exploited.
+"""
+
+from conftest import run_once
+
+from repro.dtm import slack_by_platter_size, slack_roadmap
+from repro.reporting import format_table
+from repro.scaling import PAPER_TRENDS
+
+
+def test_figure5a(benchmark, emit):
+    points = run_once(benchmark, slack_by_platter_size)
+    rows = [
+        [
+            f'{p.diameter_in}"',
+            f"{p.vcm_power_w:.2f}",
+            f"{p.envelope_rpm:.0f}",
+            f"{p.vcm_off_rpm:.0f}",
+            f"{p.rpm_gain:.0f}",
+            f"{p.rpm_gain_fraction * 100:.1f}%",
+        ]
+        for p in points
+    ]
+    emit(
+        "figure5a_slack_rpm",
+        format_table(
+            ["media", "VCM W", "envelope RPM", "VCM-off RPM", "gain RPM", "gain %"],
+            rows,
+        )
+        + "\n(paper: 2.6\" goes 15,020 -> 26,750 RPM)",
+    )
+
+    p26 = points[0]
+    assert abs(p26.envelope_rpm - 15020) / 15020 < 0.02
+    assert abs(p26.vcm_off_rpm - 26750) / 26750 < 0.08
+    gains = [p.rpm_gain_fraction for p in points]
+    assert gains == sorted(gains, reverse=True)  # slack shrinks with size
+
+
+def test_figure5b(benchmark, emit):
+    roadmap = run_once(benchmark, slack_roadmap)
+    rows = []
+    years = sorted({p.year for p in roadmap.envelope_design})
+    for year in years:
+        row = [year, f"{PAPER_TRENDS.target_idr_mb_s(year):.0f}"]
+        for diameter in (2.6, 2.1, 1.6):
+            base = next(
+                p
+                for p in roadmap.envelope_design
+                if p.year == year and p.diameter_in == diameter
+            )
+            slack = next(
+                p
+                for p in roadmap.vcm_off
+                if p.year == year and p.diameter_in == diameter
+            )
+            row.append(f"{base.max_idr_mb_s:.0f}/{slack.max_idr_mb_s:.0f}")
+        rows.append(row)
+    emit(
+        "figure5b_slack_roadmap",
+        format_table(
+            ["year", "target", '2.6" base/slack', '2.1" base/slack', '1.6" base/slack'],
+            rows,
+        ),
+    )
+
+    # Paper claims: the 2.6" slack design meets the target until 2005-06;
+    # slack exceeds the envelope design everywhere; the 2.6" slack design
+    # beats the plain 2.1"; the late 1.6" gain is only ~5-7%.
+    slack_26 = {
+        p.year: p for p in roadmap.vcm_off if p.diameter_in == 2.6
+    }
+    assert slack_26[2005].meets_target or slack_26[2004].meets_target
+    for base, slack in zip(roadmap.envelope_design, roadmap.vcm_off):
+        assert slack.max_idr_mb_s > base.max_idr_mb_s
+    plain_21 = {
+        p.year: p for p in roadmap.envelope_design if p.diameter_in == 2.1
+    }
+    assert slack_26[2004].max_idr_mb_s > plain_21[2004].max_idr_mb_s
+    late_gain = roadmap.idr_gain_fraction(2008, 1.6)
+    assert 0.02 < late_gain < 0.12

@@ -1,0 +1,65 @@
+"""Figure 6: the two dynamic-throttling scenarios as temperature traces.
+
+(a) a design whose VCM-off temperature is inside the envelope: throttling
+just gates requests; (b) a more aggressive design that must also drop to a
+lower RPM while cooling.  Both produce the saw-tooth around the envelope
+the paper sketches.
+"""
+
+from conftest import run_once
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.dtm import (
+    paper_scenario_vcm_and_rpm,
+    paper_scenario_vcm_only,
+    throttling_trace,
+)
+from repro.reporting import ascii_plot, format_table
+
+
+def test_figure6(benchmark, emit):
+    def run():
+        return {
+            "a_vcm_only": throttling_trace(
+                paper_scenario_vcm_only(), t_cool_s=2.0, cycles=4, dt_s=0.02
+            ),
+            "b_vcm_and_rpm": throttling_trace(
+                paper_scenario_vcm_and_rpm(), t_cool_s=2.0, cycles=4, dt_s=0.02
+            ),
+        }
+
+    traces = run_once(benchmark, run)
+
+    sections = []
+    for label, trace in traces.items():
+        plot = ascii_plot(
+            [("air", trace.times_s, trace.air_c)],
+            width=64,
+            height=10,
+            title=f"scenario {label}: air temperature (C) vs time (s), "
+            f"envelope {THERMAL_ENVELOPE_C}",
+        )
+        throttled_s = sum(
+            t1 - t0
+            for t0, t1, flag in zip(trace.times_s, trace.times_s[1:], trace.throttled[1:])
+            if flag
+        )
+        stats = format_table(
+            ["metric", "value"],
+            [
+                ["peak air C", f"{max(trace.air_c):.3f}"],
+                ["min air C", f"{min(trace.air_c):.3f}"],
+                ["throttled s", f"{throttled_s:.1f}"],
+                ["total s", f"{trace.times_s[-1]:.1f}"],
+            ],
+        )
+        sections.append(plot + "\n" + stats)
+    emit("figure6_scenarios", "\n\n".join(sections))
+
+    for label, trace in traces.items():
+        # Saw-tooth around the envelope: peaks at it, dips below it.
+        assert max(trace.air_c) <= THERMAL_ENVELOPE_C + 0.1
+        assert min(trace.air_c) < THERMAL_ENVELOPE_C - 0.01
+        assert any(trace.throttled) and not all(trace.throttled)
+    # Scenario (b) cools deeper (RPM drop removes windage too).
+    assert min(traces["b_vcm_and_rpm"].air_c) < min(traces["a_vcm_only"].air_c)

@@ -1,0 +1,74 @@
+"""Figure 7: throttling ratio (t_heat / t_cool) vs the cooling interval for
+the two throttling schemes.
+
+The paper's curves decrease from ~1.7 (a) / ~1.9 (b) at sub-second t_cool
+to ~0.5 at 8 s; ours decrease with the same shape from a higher level (our
+calibrated network has a smaller fast-mode heating headroom at the DTM
+engagement point — see EXPERIMENTS.md).  The paper's conclusion — fine
+throttling granularity is needed to keep utilization high, and the
+long-run utilization is bounded by energy balance — holds in both
+measurement modes.
+"""
+
+from conftest import run_once
+
+from repro.dtm import (
+    paper_scenario_vcm_and_rpm,
+    paper_scenario_vcm_only,
+    throttle_cycle,
+    throttling_ratio_curve,
+)
+from repro.reporting import format_table
+
+T_COOLS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _table(cycles):
+    return format_table(
+        ["t_cool s", "t_heat s", "ratio", "utilization"],
+        [
+            [f"{c.t_cool_s:.2f}", f"{c.t_heat_s:.2f}", f"{c.ratio:.2f}", f"{c.utilization:.2f}"]
+            for c in cycles
+        ],
+    )
+
+
+def test_figure7a(benchmark, emit):
+    scenario = paper_scenario_vcm_only()
+    cycles = run_once(
+        benchmark, lambda: throttling_ratio_curve(scenario, T_COOLS, dt_s=0.02)
+    )
+    sustained = throttle_cycle(scenario, 1.0, dt_s=0.02, mode="sustained")
+    emit(
+        "figure7a_throttling_vcm_only",
+        "VCM-only throttling, 2.6\" at 24,534 RPM\n"
+        + _table(cycles)
+        + f"\n\nsustained-mode (cyclic steady state) utilization at 1 s: "
+        f"{sustained.utilization:.2f}",
+    )
+
+    ratios = [c.ratio for c in cycles]
+    assert ratios == sorted(ratios, reverse=True)  # decreasing in t_cool
+    assert ratios[0] / ratios[-1] > 3.0  # strong decay, as in the paper
+    # The long-run (energy-balance) utilization is bounded well below 1.
+    assert sustained.utilization < 0.5
+
+
+def test_figure7b(benchmark, emit):
+    scenario = paper_scenario_vcm_and_rpm()
+    cycles = run_once(
+        benchmark, lambda: throttling_ratio_curve(scenario, T_COOLS, dt_s=0.02)
+    )
+    emit(
+        "figure7b_throttling_vcm_rpm",
+        "VCM + RPM-drop throttling, 2.6\" at 37,001 -> 22,001 RPM\n" + _table(cycles),
+    )
+
+    ratios = [c.ratio for c in cycles]
+    assert ratios == sorted(ratios, reverse=True)
+    # Scenario (b) cools much deeper per cycle than (a).
+    cycles_a = throttling_ratio_curve(
+        paper_scenario_vcm_only(), (2.0,), dt_s=0.02
+    )
+    cycle_b = next(c for c in cycles if c.t_cool_s == 2.0)
+    assert cycle_b.min_air_c < cycles_a[0].min_air_c

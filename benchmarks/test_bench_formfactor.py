@@ -1,0 +1,49 @@
+"""Section 4.2.2: the 2.5-inch form-factor enclosure study.
+
+Housing the 2.6-inch media in the smaller enclosure halves the surface
+available to shed heat: the design falls off the roadmap already in 2002
+and needs roughly 15 C of extra cooling before it is comparable to the
+3.5-inch enclosure.
+"""
+
+from conftest import run_once
+
+from repro.reporting import format_table
+from repro.scaling import extra_cooling_needed_c, formfactor_study
+
+
+def test_formfactor(benchmark, emit):
+    def run():
+        comparison = formfactor_study(years=(2002, 2003, 2004))
+        delta = extra_cooling_needed_c()
+        return comparison, delta
+
+    comparison, delta = run_once(benchmark, run)
+
+    rows = []
+    for large, small in zip(comparison.large, comparison.small):
+        rows.append(
+            [
+                large.year,
+                f"{large.max_idr_mb_s:.0f}",
+                "yes" if large.meets_target else "no",
+                f"{small.max_idr_mb_s:.0f}",
+                "yes" if small.meets_target else "no",
+                f"{large.target_idr_mb_s:.0f}",
+            ]
+        )
+    table = format_table(
+        ["year", '3.5" IDR', "on target", '2.5" IDR', "on target", "target"],
+        rows,
+    )
+    emit(
+        "formfactor_study",
+        table
+        + f"\n\nextra cooling needed for the 2.5\" enclosure to match: "
+        f"{delta:.1f} C (paper: ~15 C)",
+    )
+
+    assert not comparison.small_meets_target_ever()
+    assert 8.0 <= delta <= 25.0
+    for large, small in zip(comparison.large, comparison.small):
+        assert small.max_idr_mb_s < large.max_idr_mb_s

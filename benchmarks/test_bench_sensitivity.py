@@ -1,0 +1,64 @@
+"""Robustness benchmark: do the paper's headline results survive
+perturbations of the calibrated constants and windage exponents?"""
+
+from conftest import run_once
+
+from repro.reporting import format_table
+from repro.thermal import (
+    calibration_sensitivity,
+    exponent_sensitivity,
+    headline_robust,
+)
+
+
+def test_calibration_sensitivity(benchmark, emit):
+    points = run_once(
+        benchmark, lambda: calibration_sensitivity(scales=(0.8, 0.9, 1.0, 1.1, 1.2))
+    )
+    rows = [
+        [
+            p.parameter,
+            f"{p.scale:.1f}",
+            f"{p.fitted_spm_w:.2f}",
+            f"{p.envelope_rpm_16:.0f}",
+            str(p.shortfall_year),
+        ]
+        for p in points
+    ]
+    from repro.thermal import fixed_loss_margin_w
+
+    margin = fixed_loss_margin_w()
+    emit(
+        "sensitivity_calibration",
+        format_table(
+            ["parameter", "scale", "refit SPM W", '1.6" envelope RPM', "shortfall year"],
+            rows,
+        )
+        + "\n(each perturbation is re-fit to the Cheetah anchor; the roadmap"
+        + "\nfalls off the 40% curve under every one of them)"
+        + f"\nfixed-loss margin at the envelope design: {margin:.2f} W",
+    )
+    assert headline_robust(points)
+    # The extrapolated 1.6" envelope RPM stays in a moderate band.
+    rpms = [p.envelope_rpm_16 for p in points]
+    assert max(rpms) / min(rpms) < 1.6
+    # Shortfall year moves by at most ~3 years.
+    years = [p.shortfall_year for p in points]
+    assert max(years) - min(years) <= 3
+
+
+def test_exponent_sensitivity(benchmark, emit):
+    results = run_once(benchmark, exponent_sensitivity)
+    rows = [
+        [r["rpm_exponent"], r["diameter_exponent"], f"{r['envelope_rpm_26']:.0f}"]
+        for r in results
+    ]
+    emit(
+        "sensitivity_exponents",
+        format_table(["RPM exp", "diameter exp", '2.6" envelope RPM'], rows)
+        + "\n(the anchor at 0.91 W / 15,098 RPM / 2.6\" pins the curve, so the"
+        "\nenvelope RPM for the 2.6\" design barely moves)",
+    )
+    rpms = [r["envelope_rpm_26"] for r in results]
+    # Anchor invariance: all within a few percent of each other.
+    assert max(rpms) / min(rpms) < 1.05

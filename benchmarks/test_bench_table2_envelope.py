@@ -1,0 +1,44 @@
+"""Table 2: rated maximum operating temperatures and the thermal envelope.
+
+The paper observes that rated limits are nearly invariant (50-55 C) across
+years and RPMs, and anchors its envelope at 45.22 C = modeled internal air
+of the dissected Cheetah 15K.3, which plus the ~10 C electronics adder
+recovers the drive's 55 C rating.
+"""
+
+from conftest import run_once
+
+from repro.constants import ELECTRONICS_DELTA_C, THERMAL_ENVELOPE_C
+from repro.drives import TABLE2_DRIVES, cheetah15k3
+from repro.reporting import format_table
+
+
+def _build():
+    rows = [
+        [d.model, d.year, f"{d.rpm:.0f}", f"{d.wet_bulb_temp_c:.1f}", f"{d.max_operating_temp_c:.0f}"]
+        for d in TABLE2_DRIVES
+    ]
+    modeled = cheetah15k3.thermal_model().steady_air_c()
+    return rows, modeled
+
+
+def test_table2(benchmark, emit):
+    rows, modeled = run_once(benchmark, _build)
+    table = format_table(
+        ["model", "year", "RPM", "wet-bulb C", "max oper C"], rows
+    )
+    summary = (
+        f"{table}\n\n"
+        f"modeled Cheetah 15K.3 internal air : {modeled:.2f} C\n"
+        f"+ electronics adder ({ELECTRONICS_DELTA_C:.0f} C)        : "
+        f"{modeled + ELECTRONICS_DELTA_C:.2f} C (rated max: 55 C)\n"
+        f"thermal envelope used everywhere   : {THERMAL_ENVELOPE_C} C"
+    )
+    emit("table2_envelope", summary)
+
+    assert modeled == round(THERMAL_ENVELOPE_C, 2) or abs(modeled - THERMAL_ENVELOPE_C) < 0.05
+    # Rated limits nearly invariant across the drives.
+    ratings = {d.max_operating_temp_c for d in TABLE2_DRIVES}
+    assert ratings <= {50.0, 55.0}
+    # Envelope + electronics recovers the 55 C class rating.
+    assert abs((modeled + ELECTRONICS_DELTA_C) - 55.0) < 0.5

@@ -1,0 +1,85 @@
+"""Table 3: the RPM needed to stay on the 40% IDR growth curve, and the
+steady temperature that RPM produces, for 2.6"/2.1"/1.6" single-platter
+designs from 2002 to 2012.
+"""
+
+from conftest import run_once
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.reporting import format_table
+from repro.scaling import required_rpm_table
+
+#: The paper's Table 3 (year, size) -> (IDR_density, RPM, temperature).
+PAPER_TABLE3 = {
+    (2002, 2.6): (128.14, 15098, 45.24),
+    (2003, 2.6): (166.53, 16263, 45.47),
+    (2004, 2.6): (189.85, 19972, 46.46),
+    (2005, 2.6): (216.37, 24534, 48.26),
+    (2006, 2.6): (246.66, 30130, 51.48),
+    (2007, 2.6): (281.19, 37001, 57.18),
+    (2008, 2.6): (320.47, 45452, 67.27),
+    (2009, 2.6): (365.34, 55819, 85.04),
+    (2010, 2.6): (300.23, 95094, 223.01),
+    (2011, 2.6): (342.13, 116826, 360.40),
+    (2012, 2.6): (390.03, 143470, 602.98),
+    (2002, 2.1): (103.50, 18692, 43.56),
+    (2005, 2.1): (174.81, 30367, 45.61),
+    (2012, 2.1): (315.02, 177629, 430.93),
+    (2002, 1.6): (78.86, 24533, 41.64),
+    (2005, 1.6): (133.19, 39857, 42.93),
+    (2012, 1.6): (240.11, 233050, 279.75),
+}
+
+
+def test_table3(benchmark, emit):
+    cells = run_once(benchmark, required_rpm_table)
+    rows = []
+    for cell in cells:
+        key = (cell.year, cell.diameter_in)
+        paper = PAPER_TABLE3.get(key)
+        rows.append(
+            [
+                cell.year,
+                f'{cell.diameter_in}"',
+                f"{cell.target_idr_mb_s:.0f}",
+                f"{cell.idr_density_mb_s:.1f}",
+                f"{cell.required_rpm:.0f}",
+                f"{cell.steady_temp_c:.2f}",
+                "in" if cell.within_envelope else "OUT",
+                f"{paper[1]:.0f}" if paper else "",
+                f"{paper[2]:.2f}" if paper else "",
+            ]
+        )
+    table = format_table(
+        [
+            "year",
+            "media",
+            "IDR req",
+            "IDR dens",
+            "RPM ours",
+            "T ours",
+            "envelope",
+            "RPM paper",
+            "T paper",
+        ],
+        rows,
+    )
+    emit("table3_required_rpm", table)
+
+    by_key = {(c.year, c.diameter_in): c for c in cells}
+    for key, (paper_idr_density, paper_rpm, paper_temp) in PAPER_TABLE3.items():
+        cell = by_key[key]
+        assert abs(cell.required_rpm - paper_rpm) / paper_rpm < 0.01
+        assert abs(cell.idr_density_mb_s - paper_idr_density) / paper_idr_density < 0.01
+        assert abs(cell.steady_temp_c - paper_temp) / paper_temp < 0.09
+
+    # Structural claims of the paper's discussion:
+    # ~7.7% RPM growth 2002->2003, ~23%/yr after the slowdown, ~70% at the
+    # terabit transition.
+    rpm = {y: by_key[(y, 2.6)].required_rpm for y in range(2002, 2013)}
+    assert abs(rpm[2003] / rpm[2002] - 1.077) < 0.01
+    assert abs(rpm[2006] / rpm[2005] - 1.23) < 0.02
+    assert abs(rpm[2010] / rpm[2009] - 1.70) < 0.05
+    # The envelope is violated everywhere for 2.6" from ~2004 on.
+    assert not by_key[(2006, 2.6)].within_envelope
+    assert by_key[(2005, 1.6)].within_envelope

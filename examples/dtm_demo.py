@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Dynamic Thermal Management demo (paper section 5).
+
+Three parts:
+
+1. Thermal slack (5.2): how much faster each platter size may spin when
+   the VCM is idle.
+2. Dynamic throttling (5.3): the cool/heat cycles of a drive built for
+   average-case temperatures, and the throttling ratio vs the cooling
+   granularity (Figure 7).
+3. A reactive DTM controller in the simulation loop: an average-case
+   26K RPM drive serving a search-engine workload, gated whenever the
+   modeled air temperature nears the envelope.
+
+Run:  python examples/dtm_demo.py
+"""
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.dtm import (
+    DTMPolicy,
+    ThermallyManagedSystem,
+    paper_scenario_vcm_and_rpm,
+    paper_scenario_vcm_only,
+    slack_by_platter_size,
+    throttling_ratio_curve,
+)
+from repro.reporting import format_table
+from repro.thermal import DriveThermalModel
+from repro.workloads import workload
+
+
+def show_slack() -> None:
+    print("=== Thermal slack by platter size (Figure 5a) ===\n")
+    rows = []
+    for point in slack_by_platter_size():
+        rows.append(
+            [
+                f'{point.diameter_in}"',
+                f"{point.vcm_power_w:.2f}",
+                f"{point.envelope_rpm:.0f}",
+                f"{point.vcm_off_rpm:.0f}",
+                f"{point.rpm_gain_fraction * 100:.1f}%",
+            ]
+        )
+    print(format_table(["media", "VCM W", "envelope RPM", "VCM-off RPM", "gain"], rows))
+    print("\nThe slack shrinks with the platter because VCM power falls"
+          " steeply with size.\n")
+
+
+def show_throttling() -> None:
+    print("=== Dynamic throttling ratios (Figure 7) ===\n")
+    t_cools = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+    for label, scenario in (
+        ("(a) VCM-only throttling of a 24,534 RPM design", paper_scenario_vcm_only()),
+        (
+            "(b) VCM + drop to 22,001 RPM for a 37,001 RPM design",
+            paper_scenario_vcm_and_rpm(),
+        ),
+    ):
+        print(label)
+        print(
+            f"  steady air: {scenario.heating_steady_air_c():.2f} C serving, "
+            f"{scenario.cooling_steady_air_c():.2f} C throttled "
+            f"(envelope {THERMAL_ENVELOPE_C} C)"
+        )
+        rows = []
+        for cycle in throttling_ratio_curve(scenario, t_cools, dt_s=0.02):
+            rows.append(
+                [
+                    f"{cycle.t_cool_s:.2f}",
+                    f"{cycle.t_heat_s:.2f}",
+                    f"{cycle.ratio:.2f}",
+                    f"{cycle.utilization * 100:.0f}%",
+                ]
+            )
+        print(format_table(["t_cool s", "t_heat s", "ratio", "utilization"], rows, indent="  "))
+        print()
+    print("Finer-grained throttling sustains higher utilization — the"
+          " paper's case for sub-second DTM control.\n")
+
+
+def show_controller() -> None:
+    print("=== Reactive DTM controller in the simulation loop ===\n")
+    spec = workload("search_engine")
+    rpm = 24500.0
+    trace = spec.generate(num_requests=4000, seed=11)
+
+    unmanaged = spec.build_system(rpm=rpm).run_trace(trace)
+
+    system = spec.build_system(rpm=rpm)
+    thermal = DriveThermalModel(platter_diameter_in=2.6, rpm=rpm, vcm_active=False)
+    thermal.settle()
+    thermal.set_operating_state(vcm_active=True)
+    managed = ThermallyManagedSystem(
+        system,
+        thermal,
+        DTMPolicy(trigger_margin_c=0.05, resume_margin_c=0.2, check_interval_ms=50.0),
+    )
+    report = managed.run_trace(trace)
+
+    print(f"average-case design: 2.6\" media at {rpm:.0f} RPM "
+          f"(envelope design would cap at ~15,000 RPM; gating alone cannot "
+          f"manage beyond the ~25.3K VCM-off limit)")
+    print(f"unmanaged mean response : {unmanaged.mean_response_ms():.2f} ms")
+    print(f"managed mean response   : {report.stats.mean_ms():.2f} ms")
+    print(f"hottest modeled air     : {report.max_air_c:.2f} C "
+          f"(envelope {THERMAL_ENVELOPE_C} C)")
+    print(f"time throttled          : {report.throttled_fraction * 100:.1f}% "
+          f"({report.throttle_events} engagements)")
+    print("\nThe workload's real VCM duty cycle leaves enough slack that the"
+          "\naverage-case design runs far faster than the worst-case envelope"
+          "\ndesign would allow, with DTM as the safety net.")
+
+
+def main() -> None:
+    show_slack()
+    show_throttling()
+    show_controller()
+
+
+if __name__ == "__main__":
+    main()

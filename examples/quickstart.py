@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: model one disk drive end to end.
+
+Builds the integrated capacity / performance / thermal model for a
+2002-class server drive (2.6-inch media at 15K RPM, the Cheetah 15K.3
+class the paper dissected), then asks the roadmap's central question:
+how fast could this design spin while staying inside the 45.22 C
+thermal envelope?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.capacity import CapacityModel, RecordingTechnology
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.geometry import Platter
+from repro.performance import (
+    average_rotational_latency_ms,
+    seek_parameters_for_platter,
+    surface_idr_mb_per_s,
+)
+from repro.thermal import (
+    DriveThermalModel,
+    max_rpm_within_envelope,
+    viscous_power_w,
+)
+
+
+def main() -> None:
+    # --- describe the drive -------------------------------------------------
+    platter = Platter(diameter_in=2.6)
+    technology = RecordingTechnology.from_kilo_units(kbpi=533, ktpi=64)
+    rpm = 15000.0
+
+    capacity = CapacityModel(
+        platter=platter, technology=technology, platter_count=1, zone_count=30
+    )
+    surface = capacity.surface
+
+    print("=== Drive: 2.6-inch x1, 533 KBPI / 64 KTPI, 15,000 RPM ===\n")
+
+    # --- capacity (paper section 3.1) ----------------------------------------
+    breakdown = capacity.breakdown()
+    print(f"cylinders per surface : {surface.cylinders}")
+    print(f"zone-0 sectors/track  : {surface.sectors_per_track_zone0}")
+    print(f"raw media capacity    : {breakdown.raw_gb:8.2f} GB")
+    print(f"  lost to ZBR         : {breakdown.zbr_loss_gb:8.2f} GB")
+    print(f"  lost to servo+ECC   : {breakdown.overhead_loss_gb:8.2f} GB")
+    print(f"usable capacity       : {capacity.usable_capacity_gb():8.2f} GB\n")
+
+    # --- performance (section 3.2) --------------------------------------------
+    seek = seek_parameters_for_platter(platter.diameter_in)
+    print(f"max internal data rate: {surface_idr_mb_per_s(surface, rpm):8.2f} MB/s")
+    print(f"average seek          : {seek.average_ms:8.2f} ms")
+    print(f"rotational latency    : {average_rotational_latency_ms(rpm):8.2f} ms\n")
+
+    # --- thermal (section 3.3) --------------------------------------------------
+    model = DriveThermalModel(
+        platter_diameter_in=platter.diameter_in, platter_count=1, rpm=rpm
+    )
+    steady = model.steady_state()
+    print(f"windage power         : {viscous_power_w(rpm, platter.diameter_in):8.2f} W")
+    print(f"VCM power             : {model.vcm_power_w():8.2f} W")
+    print(f"steady internal air   : {steady['air']:8.2f} C "
+          f"(envelope {THERMAL_ENVELOPE_C} C, ambient {AMBIENT_TEMPERATURE_C} C)")
+    print(f"  stack / base / vcm  : {steady['stack']:.2f} / {steady['base']:.2f} / "
+          f"{steady['vcm']:.2f} C\n")
+
+    # --- how far can this design go? ---------------------------------------------
+    limit = max_rpm_within_envelope(platter.diameter_in)
+    slack_limit = max_rpm_within_envelope(platter.diameter_in, vcm_active=False)
+    print(f"max RPM inside envelope (VCM always on) : {limit:8.0f}")
+    print(f"max RPM exploiting idle slack (VCM off) : {slack_limit:8.0f}")
+    print(f"IDR at envelope limit                   : "
+          f"{surface_idr_mb_per_s(surface, limit):8.2f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

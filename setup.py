@@ -1,0 +1,6 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package
+(this environment is offline and has no bdist_wheel support)."""
+
+from setuptools import setup
+
+setup()

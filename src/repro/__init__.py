@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Disk Drive Roadmap from the Thermal
+Perspective: A Case for Dynamic Thermal Management" (Gurumurthi,
+Sivasubramaniam, Natarajan; ISCA 2005 / Penn State CSE-05-001).
+
+An integrated disk-drive modeling library:
+
+* :mod:`repro.capacity` — recording densities, zoned-bit recording, servo
+  and ECC overheads, derated capacity (paper §3.1).
+* :mod:`repro.performance` — seek curves and internal data rate (§3.2).
+* :mod:`repro.thermal` — the four-node lumped thermal model, calibrated
+  against the dissected Cheetah 15K.3 (§3.3).
+* :mod:`repro.scaling` — technology trends and the thermally constrained
+  roadmap, with cooling and form-factor sensitivity (§4).
+* :mod:`repro.simulation` — an event-driven disk/array simulator (the
+  DiskSim substitute) with ZBR layout, caches, schedulers and RAID-5.
+* :mod:`repro.workloads` — synthetic stand-ins for the five commercial
+  traces of the Figure 4 study.
+* :mod:`repro.dtm` — dynamic thermal management: slack exploitation,
+  dynamic throttling, multi-speed disks, and a reactive controller (§5).
+
+Quick start::
+
+    from repro import thermal, scaling
+
+    # How fast can a 2.6-inch single-platter drive spin inside the
+    # 45.22 C envelope?
+    rpm = thermal.max_rpm_within_envelope(2.6)
+
+    # The thermally constrained roadmap of Figure 2.
+    points = scaling.thermal_roadmap(platter_count=1)
+"""
+
+from repro import (
+    capacity,
+    constants,
+    drives,
+    dtm,
+    errors,
+    geometry,
+    materials,
+    performance,
+    reporting,
+    scaling,
+    simulation,
+    thermal,
+    units,
+    workloads,
+)
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "capacity",
+    "constants",
+    "drives",
+    "dtm",
+    "errors",
+    "geometry",
+    "materials",
+    "performance",
+    "reporting",
+    "scaling",
+    "simulation",
+    "thermal",
+    "units",
+    "workloads",
+    "AMBIENT_TEMPERATURE_C",
+    "THERMAL_ENVELOPE_C",
+    "__version__",
+]

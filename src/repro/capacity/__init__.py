@@ -1,0 +1,27 @@
+"""Capacity model: recording densities, ZBR zoning, servo and ECC overheads."""
+
+from repro.capacity.ecc import (
+    ecc_bits_for_technology,
+    ecc_bits_per_sector,
+    ecc_fraction,
+    smooth_ecc_bits_per_sector,
+)
+from repro.capacity.model import CapacityBreakdown, CapacityModel
+from repro.capacity.recording import RecordingTechnology
+from repro.capacity.servo import gray_code, gray_decode, servo_bits_per_sector
+from repro.capacity.zones import Zone, ZonedSurface
+
+__all__ = [
+    "CapacityBreakdown",
+    "CapacityModel",
+    "RecordingTechnology",
+    "Zone",
+    "ZonedSurface",
+    "ecc_bits_for_technology",
+    "ecc_bits_per_sector",
+    "ecc_fraction",
+    "smooth_ecc_bits_per_sector",
+    "gray_code",
+    "gray_decode",
+    "servo_bits_per_sector",
+]

@@ -1,0 +1,76 @@
+"""Error-correcting-code storage overhead.
+
+Shrinking bit cells hold fewer magnetic grains, lowering the signal-to-noise
+ratio, so drives spend more bits on Reed-Solomon ECC as areal density grows.
+Following Wood [49] via the paper: about 10% of capacity (416 bits per
+512-byte sector) below 1 Tb/in^2, rising to 35% (1440 bits per sector) in the
+terabit regime.
+"""
+
+from __future__ import annotations
+
+from repro.capacity.recording import RecordingTechnology
+from repro.constants import (
+    ECC_BITS_SUBTERABIT,
+    ECC_BITS_TERABIT,
+    TERABIT_AREAL_DENSITY,
+)
+from repro.errors import RecordingError
+
+
+def ecc_bits_per_sector(areal_density: float) -> int:
+    """ECC bits charged per 512-byte sector at a given areal density.
+
+    Args:
+        areal_density: bits per square inch.
+
+    Returns:
+        416 below the terabit threshold, 1440 at or above it (the paper's
+        step model; it notes a real transition would be more gradual).
+    """
+    if areal_density <= 0:
+        raise RecordingError(f"areal density must be positive, got {areal_density}")
+    if areal_density >= TERABIT_AREAL_DENSITY:
+        return ECC_BITS_TERABIT
+    return ECC_BITS_SUBTERABIT
+
+
+def ecc_bits_for_technology(technology: RecordingTechnology) -> int:
+    """ECC bits per sector for a recording-technology point."""
+    return ecc_bits_per_sector(technology.areal_density)
+
+
+def ecc_fraction(areal_density: float) -> float:
+    """ECC overhead as a fraction of the 4096 data bits in a sector."""
+    return ecc_bits_per_sector(areal_density) / 4096.0
+
+
+def smooth_ecc_bits_per_sector(
+    areal_density: float,
+    transition_width_decades: float = 0.25,
+) -> float:
+    """A smoothed ECC model for the ablation study.
+
+    The paper notes the instantaneous 10% -> 35% ECC jump at 1 Tb/in^2 is an
+    artifact of the step model and that reality would be gradual.  This
+    variant ramps log-linearly across ``transition_width_decades`` decades of
+    areal density centered on the threshold.
+
+    Args:
+        areal_density: bits per square inch.
+        transition_width_decades: width of the ramp in log10 units.
+    """
+    if areal_density <= 0:
+        raise RecordingError(f"areal density must be positive, got {areal_density}")
+    if transition_width_decades <= 0:
+        return float(ecc_bits_per_sector(areal_density))
+    import math
+
+    position = math.log10(areal_density / TERABIT_AREAL_DENSITY)
+    half = transition_width_decades / 2.0
+    if position <= -half:
+        return float(ECC_BITS_SUBTERABIT)
+    if position >= half:
+        return float(ECC_BITS_TERABIT)
+    ramp = (position + half) / transition_width_decades
+    return ECC_BITS_SUBTERABIT + ramp * (ECC_BITS_TERABIT - ECC_BITS_SUBTERABIT)

@@ -1,0 +1,125 @@
+"""Derated drive capacity (paper §3.1).
+
+Combines the ZBR surface layout with the surface count to produce raw and
+usable capacities, mirroring the paper's C_max and C_actual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.capacity.recording import RecordingTechnology
+from repro.capacity.zones import ZonedSurface
+from repro.constants import STROKE_EFFICIENCY
+from repro.errors import RecordingError
+from repro.geometry.platter import Platter
+from repro.units import BYTES_PER_SECTOR, GB_MARKETING, sectors_to_gb
+
+
+@dataclass(frozen=True)
+class CapacityBreakdown:
+    """Where the raw bits went.
+
+    Attributes:
+        raw_gb: eta-derated raw media capacity (paper C_max), decimal GB.
+        after_zbr_gb: capacity after ZBR rounding, before per-sector
+            overheads, decimal GB.
+        usable_gb: final user capacity (paper C_actual), decimal GB.
+        zbr_loss_gb: capacity lost to per-zone sector-count rounding.
+        overhead_loss_gb: capacity spent on servo + ECC.
+    """
+
+    raw_gb: float
+    after_zbr_gb: float
+    usable_gb: float
+
+    @property
+    def zbr_loss_gb(self) -> float:
+        return self.raw_gb - self.after_zbr_gb
+
+    @property
+    def overhead_loss_gb(self) -> float:
+        return self.after_zbr_gb - self.usable_gb
+
+
+class CapacityModel:
+    """Capacity model of a drive: platters x surfaces x ZBR layout.
+
+    Args:
+        platter: platter geometry.
+        technology: recording technology.
+        platter_count: number of platters (two surfaces each).
+        zone_count: ZBR zones per surface.
+        stroke_efficiency: usable fraction of the radial band.
+    """
+
+    def __init__(
+        self,
+        platter: Platter,
+        technology: RecordingTechnology,
+        platter_count: int = 1,
+        zone_count: int = 30,
+        stroke_efficiency: float = STROKE_EFFICIENCY,
+    ) -> None:
+        if platter_count < 1:
+            raise RecordingError(f"platter count must be >= 1, got {platter_count}")
+        self.platter = platter
+        self.technology = technology
+        self.platter_count = platter_count
+        self.surface = ZonedSurface(
+            platter=platter,
+            technology=technology,
+            zone_count=zone_count,
+            stroke_efficiency=stroke_efficiency,
+        )
+
+    @property
+    def surfaces(self) -> int:
+        """Recording surfaces (paper n_surf = 2 x platters)."""
+        return 2 * self.platter_count
+
+    # -- capacities ---------------------------------------------------------------
+
+    def raw_capacity_bits(self) -> float:
+        """Paper C_max: raw recordable bits across all surfaces."""
+        return self.surfaces * self.surface.raw_bits_per_surface()
+
+    def raw_capacity_gb(self) -> float:
+        """Paper C_max in decimal gigabytes."""
+        return self.raw_capacity_bits() / 8.0 / GB_MARKETING
+
+    @cached_property
+    def usable_sectors(self) -> int:
+        """Total user-visible 512-byte sectors (paper C_actual)."""
+        return self.surfaces * self.surface.sectors_per_surface
+
+    def usable_capacity_gb(self) -> float:
+        """Paper C_actual in decimal gigabytes."""
+        return sectors_to_gb(self.usable_sectors)
+
+    def usable_capacity_gib(self) -> float:
+        """Paper C_actual in binary gigabytes (2**30 bytes).
+
+        The paper's "Model Cap." column in Table 1 is in binary units (its
+        values are a constant 0.9313 ratio below the decimal computation);
+        use this accessor when comparing against the paper's own numbers.
+        """
+        return self.usable_sectors * BYTES_PER_SECTOR / (1024**3)
+
+    def breakdown(self) -> CapacityBreakdown:
+        """Account for every raw bit: ZBR rounding vs servo/ECC overhead."""
+        raw_gb = self.raw_capacity_gb()
+        zbr_raw_bits = self.surfaces * sum(
+            zone.track_count * zone.raw_bits_per_track for zone in self.surface.zones
+        )
+        after_zbr_gb = zbr_raw_bits / 8.0 / GB_MARKETING
+        return CapacityBreakdown(
+            raw_gb=raw_gb,
+            after_zbr_gb=after_zbr_gb,
+            usable_gb=self.usable_capacity_gb(),
+        )
+
+    def usable_capacity_bytes(self) -> int:
+        """User capacity in bytes."""
+        return self.usable_sectors * BYTES_PER_SECTOR

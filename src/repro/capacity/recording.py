@@ -1,0 +1,61 @@
+"""Recording technology abstraction: linear and track densities.
+
+The paper abstracts a recording-technology generation as two numbers: the
+linear bit density along a track (BPI, bits-per-inch) and the radial track
+density (TPI, tracks-per-inch).  Their product is the areal density, and
+their ratio the bit aspect-ratio (BAR), both of which the roadmap reasons
+about directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import TERABIT_AREAL_DENSITY
+from repro.errors import RecordingError
+
+
+@dataclass(frozen=True)
+class RecordingTechnology:
+    """A recording-technology operating point.
+
+    Attributes:
+        bpi: linear density in bits-per-inch.
+        tpi: track density in tracks-per-inch.
+    """
+
+    bpi: float
+    tpi: float
+
+    def __post_init__(self) -> None:
+        if self.bpi <= 0:
+            raise RecordingError(f"BPI must be positive, got {self.bpi}")
+        if self.tpi <= 0:
+            raise RecordingError(f"TPI must be positive, got {self.tpi}")
+
+    @property
+    def areal_density(self) -> float:
+        """Areal density in bits per square inch."""
+        return self.bpi * self.tpi
+
+    @property
+    def bit_aspect_ratio(self) -> float:
+        """Bit aspect-ratio BAR = BPI / TPI (around 6-7 circa 2002,
+        dropping toward ~3.4 at the terabit point)."""
+        return self.bpi / self.tpi
+
+    @property
+    def is_terabit(self) -> bool:
+        """Whether this point is in the terabit-per-square-inch ECC regime."""
+        return self.areal_density >= TERABIT_AREAL_DENSITY
+
+    @classmethod
+    def from_kilo_units(cls, kbpi: float, ktpi: float) -> "RecordingTechnology":
+        """Build from the KBPI/KTPI units used in datasheets and the paper."""
+        return cls(bpi=kbpi * 1000.0, tpi=ktpi * 1000.0)
+
+    def scaled(self, bpi_factor: float, tpi_factor: float) -> "RecordingTechnology":
+        """Return a new technology with densities multiplied by the factors."""
+        if bpi_factor <= 0 or tpi_factor <= 0:
+            raise RecordingError("scaling factors must be positive")
+        return RecordingTechnology(bpi=self.bpi * bpi_factor, tpi=self.tpi * tpi_factor)

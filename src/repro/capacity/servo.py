@@ -1,0 +1,54 @@
+"""Embedded-servo storage overhead.
+
+Modern drives embed servo information with each sector instead of dedicating
+a whole surface to it.  Following the paper (and the Ottesen & Smith patent
+[34] it cites), the modeled servo cost per sector is the Gray-coded track
+identifier: ceil(log2(number of cylinders)) bits.  Other servo fields
+(write-recovery, position-error-signal bursts) are not modeled, matching the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import RecordingError
+
+
+def servo_bits_per_sector(cylinders: int) -> int:
+    """Bits of embedded servo (Gray-coded track id) stored with each sector.
+
+    Args:
+        cylinders: number of tracks per surface; must be >= 1.
+
+    Returns:
+        ``ceil(log2(cylinders))``, minimum 1 bit.
+    """
+    if cylinders < 1:
+        raise RecordingError(f"cylinders must be >= 1, got {cylinders}")
+    if cylinders == 1:
+        return 1
+    return int(math.ceil(math.log2(cylinders)))
+
+
+def gray_code(track: int) -> int:
+    """Gray code of a track index (adjacent tracks differ in one bit).
+
+    Provided because the servo model is motivated by Gray-coded track ids;
+    used by tests to verify the single-bit-difference property that makes
+    fast seeks reliable.
+    """
+    if track < 0:
+        raise RecordingError(f"track index must be non-negative, got {track}")
+    return track ^ (track >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    if code < 0:
+        raise RecordingError(f"gray code must be non-negative, got {code}")
+    track = 0
+    while code:
+        track ^= code
+        code >>= 1
+    return track

@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Exposes the library's main queries without writing Python::
+
+    python -m repro validate                 # Table 1 model validation
+    python -m repro envelope -d 2.6 -p 1     # max in-envelope RPM
+    python -m repro transient -m 90          # Figure 1 warm-up curve
+    python -m repro roadmap -p 1 --cooling 5 # Figure 2/3 roadmap
+    python -m repro workload tpcc -n 4000    # Figure 4 RPM sweep
+    python -m repro throttle --rpm-high 24534 --t-cool 0.5,1,2,4
+    python -m repro slack                    # Figure 5a
+
+Every command prints an aligned plain-text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.errors import ReproError
+from repro.reporting import format_table
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.drives import PAPER_MODEL_PREDICTIONS, TABLE1_DRIVES
+
+    rows = []
+    for drive in TABLE1_DRIVES:
+        paper_cap, paper_idr = PAPER_MODEL_PREDICTIONS[drive.model]
+        rows.append(
+            [
+                drive.model,
+                f"{drive.datasheet_capacity_gb:.0f}",
+                f"{drive.modeled_capacity_paper_gb():.1f}",
+                f"{paper_cap:.1f}",
+                f"{drive.datasheet_idr_mb_per_s:.1f}",
+                f"{drive.modeled_idr_mb_per_s():.1f}",
+                f"{paper_idr:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["model", "cap ds", "cap ours", "cap paper", "IDR ds", "IDR ours", "IDR paper"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_envelope(args: argparse.Namespace) -> int:
+    from repro.thermal import max_rpm_within_envelope, steady_air_temperature_c
+
+    rpm = max_rpm_within_envelope(
+        args.diameter,
+        platter_count=args.platters,
+        envelope_c=args.envelope,
+        ambient_c=args.ambient,
+        vcm_active=not args.vcm_off,
+    )
+    temp = steady_air_temperature_c(
+        args.diameter,
+        rpm,
+        platter_count=args.platters,
+        ambient_c=args.ambient,
+        vcm_active=not args.vcm_off,
+    )
+    print(
+        format_table(
+            ["media", "platters", "VCM", "max RPM", "steady air C", "envelope C"],
+            [
+                [
+                    f'{args.diameter}"',
+                    args.platters,
+                    "off" if args.vcm_off else "on",
+                    f"{rpm:.0f}",
+                    f"{temp:.2f}",
+                    f"{args.envelope:.2f}",
+                ]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_transient(args: argparse.Namespace) -> int:
+    from repro.drives import cheetah15k3
+
+    model = cheetah15k3.thermal_model(ambient_c=args.ambient)
+    result = model.transient(
+        args.minutes * 60.0, dt_s=0.5, record_every=120, from_ambient=True
+    )
+    rows = []
+    for t, air in zip(result.times_s, result.series("air")):
+        minute = t / 60.0
+        if minute == int(minute) and int(minute) % max(args.minutes // 15, 1) == 0:
+            rows.append([f"{minute:.0f}", f"{air:.2f}"])
+    print(format_table(["minute", "air C"], rows))
+    print(f"steady state: {result.final('air'):.2f} C")
+    return 0
+
+
+def _cmd_roadmap(args: argparse.Namespace) -> int:
+    from repro.scaling import PAPER_TRENDS, cooling_budget_ambient_c, thermal_roadmap
+
+    ambient = (
+        cooling_budget_ambient_c(args.platters) - args.cooling
+        if args.cooling
+        else None
+    )
+    points = thermal_roadmap(platter_count=args.platters, ambient_c=ambient)
+    years = sorted({p.year for p in points})
+    rows = []
+    for year in years:
+        row: List = [year, f"{PAPER_TRENDS.target_idr_mb_s(year):.0f}"]
+        for diameter in (2.6, 2.1, 1.6):
+            point = next(
+                p for p in points if p.year == year and p.diameter_in == diameter
+            )
+            marker = "*" if point.meets_target else " "
+            row.append(f"{point.max_idr_mb_s:.0f}{marker}")
+            row.append(f"{point.capacity_gb:.1f}")
+        rows.append(row)
+    print(
+        format_table(
+            ["year", "target", '2.6"', "cap", '2.1"', "cap", '1.6"', "cap"], rows
+        )
+    )
+    print("(* = meets the 40% IDR growth target)")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import workload
+
+    spec = workload(args.name)
+    trace = spec.generate(num_requests=args.requests, seed=args.seed)
+    rows = []
+    for rpm in spec.rpm_sweep(args.steps):
+        report = spec.build_system(rpm).run_trace(trace)
+        rows.append(
+            [
+                f"{rpm:.0f}",
+                f"{report.stats.mean_ms():.2f}",
+                f"{report.stats.median_ms():.2f}",
+                f"{report.stats.percentile_ms(95):.2f}",
+                f"{max(report.disk_utilizations):.2f}",
+            ]
+        )
+    print(f"{spec.display_name}: {len(trace)} requests")
+    print(format_table(["RPM", "mean ms", "median ms", "p95 ms", "util"], rows))
+    return 0
+
+
+def _cmd_throttle(args: argparse.Namespace) -> int:
+    from repro.dtm import ThrottlingScenario, throttle_cycle
+
+    scenario = ThrottlingScenario(
+        diameter_in=args.diameter,
+        rpm_high=args.rpm_high,
+        rpm_low=args.rpm_low,
+    )
+    rows = []
+    for t_cool in args.t_cool:
+        cycle = throttle_cycle(scenario, t_cool, dt_s=0.02, mode=args.mode)
+        rows.append(
+            [
+                f"{cycle.t_cool_s:.2f}",
+                f"{cycle.t_heat_s:.2f}",
+                f"{cycle.ratio:.2f}",
+                f"{cycle.utilization:.2f}",
+            ]
+        )
+    print(
+        f"throttling {args.diameter}\" at {args.rpm_high:.0f} RPM"
+        + (f" (low level {args.rpm_low:.0f})" if args.rpm_low else "")
+    )
+    print(format_table(["t_cool s", "t_heat s", "ratio", "utilization"], rows))
+    return 0
+
+
+def _cmd_slack(args: argparse.Namespace) -> int:
+    from repro.dtm import slack_by_platter_size
+
+    rows = [
+        [
+            f'{p.diameter_in}"',
+            f"{p.vcm_power_w:.2f}",
+            f"{p.envelope_rpm:.0f}",
+            f"{p.vcm_off_rpm:.0f}",
+            f"{p.rpm_gain_fraction * 100:.1f}%",
+        ]
+        for p in slack_by_platter_size()
+    ]
+    print(format_table(["media", "VCM W", "envelope RPM", "VCM-off RPM", "gain"], rows))
+    return 0
+
+
+def _float_list(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Disk-drive thermal roadmap reproduction (ISCA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("validate", help="Table 1: model vs 13 real drives")
+
+    p = sub.add_parser("envelope", help="max RPM inside the thermal envelope")
+    p.add_argument("-d", "--diameter", type=float, default=2.6, help="platter inches")
+    p.add_argument("-p", "--platters", type=int, default=1)
+    p.add_argument("--envelope", type=float, default=THERMAL_ENVELOPE_C)
+    p.add_argument("--ambient", type=float, default=AMBIENT_TEMPERATURE_C)
+    p.add_argument("--vcm-off", action="store_true", help="exploit idle slack")
+
+    p = sub.add_parser("transient", help="Figure 1 warm-up transient")
+    p.add_argument("-m", "--minutes", type=int, default=90)
+    p.add_argument("--ambient", type=float, default=AMBIENT_TEMPERATURE_C)
+
+    p = sub.add_parser("roadmap", help="Figure 2 thermally-limited roadmap")
+    p.add_argument("-p", "--platters", type=int, default=1)
+    p.add_argument(
+        "--cooling", type=float, default=0.0, help="extra ambient cooling in C"
+    )
+
+    p = sub.add_parser("workload", help="Figure 4 RPM sweep for one workload")
+    p.add_argument(
+        "name",
+        choices=["openmail", "oltp", "search_engine", "tpcc", "tpch"],
+    )
+    p.add_argument("-n", "--requests", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--steps", type=int, default=4, help="RPM ladder length")
+
+    p = sub.add_parser("throttle", help="Figure 7 throttling ratios")
+    p.add_argument("-d", "--diameter", type=float, default=2.6)
+    p.add_argument("--rpm-high", type=float, required=True)
+    p.add_argument("--rpm-low", type=float, default=None)
+    p.add_argument(
+        "--t-cool", type=_float_list, default=[0.5, 1.0, 2.0, 4.0, 8.0],
+        help="comma-separated cooling intervals in seconds",
+    )
+    p.add_argument("--mode", choices=["paper", "sustained"], default="paper")
+
+    sub.add_parser("slack", help="Figure 5a thermal slack by platter size")
+    return parser
+
+
+_HANDLERS = {
+    "validate": _cmd_validate,
+    "envelope": _cmd_envelope,
+    "transient": _cmd_transient,
+    "roadmap": _cmd_roadmap,
+    "workload": _cmd_workload,
+    "throttle": _cmd_throttle,
+    "slack": _cmd_slack,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

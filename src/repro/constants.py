@@ -1,0 +1,74 @@
+"""Paper-level constants.
+
+These are the handful of numbers the paper states directly and that every
+experiment shares: the thermal envelope, the validation ambient temperature,
+the recording-overhead constants, and the roadmap's target growth rates.
+Module-specific constants (material properties, trend tables) live next to
+the code that uses them.
+"""
+
+from __future__ import annotations
+
+# --- Thermal design (paper §3.3) -------------------------------------------
+
+#: Maximum internal drive-air temperature for reliable operation, in Celsius.
+#: Obtained by the paper from the Cheetah 15K.3 model with VCM and SPM always
+#: on (45.22 C), excluding on-board electronics (which add ~10 C toward the
+#: rated 55 C maximum operating temperature).
+THERMAL_ENVELOPE_C = 45.22
+
+#: External wet-bulb ambient temperature assumed for the envelope, Celsius.
+AMBIENT_TEMPERATURE_C = 28.0
+
+#: Temperature electronics add inside a real enclosure (Huang & Chung, [28]).
+ELECTRONICS_DELTA_C = 10.0
+
+#: Finite-difference resolution the paper found sufficient (600 steps/min).
+FD_STEPS_PER_MINUTE = 600
+FD_TIME_STEP_S = 60.0 / FD_STEPS_PER_MINUTE  # = 0.1 s
+
+# --- Recording model (paper §3.1) ------------------------------------------
+
+#: Stroke efficiency: fraction of the radial band usable for data tracks.
+STROKE_EFFICIENCY = 2.0 / 3.0
+
+#: Inner radius as a fraction of outer radius (rule of thumb, paper §3.1).
+INNER_RADIUS_RATIO = 0.5
+
+#: Zone counts used in the paper's two studies.
+VALIDATION_ZONES = 30  # Table 1 validation
+ROADMAP_ZONES = 50  # Table 3 / roadmap experiments
+
+#: ECC bits per 512-byte sector (Wood [49]): ~10% below 1 Tb/in^2, 35% above.
+ECC_BITS_SUBTERABIT = 416
+ECC_BITS_TERABIT = 1440
+
+#: Areal density (bits per square inch) where the terabit ECC regime begins.
+TERABIT_AREAL_DENSITY = 1.0e12
+
+# --- Roadmap targets (paper §4) ---------------------------------------------
+
+#: Industry IDR compound annual growth-rate target.
+IDR_TARGET_CGR = 0.40
+
+#: Viscous dissipation exponents (paper §3.3, citing [9, 41]).
+VISCOUS_RPM_EXPONENT = 2.8
+VISCOUS_DIAMETER_EXPONENT = 4.8
+
+#: Calibration anchor for viscous dissipation: the paper reports 0.91 W for
+#: the 2002 single-platter 2.6-inch configuration spinning at 15,098 RPM.
+VISCOUS_ANCHOR_WATTS = 0.91
+VISCOUS_ANCHOR_RPM = 15098.0
+VISCOUS_ANCHOR_DIAMETER_IN = 2.6
+VISCOUS_ANCHOR_PLATTERS = 1
+
+# --- Roadmap span ------------------------------------------------------------
+
+ROADMAP_FIRST_YEAR = 2002
+ROADMAP_LAST_YEAR = 2012
+
+#: Platter sizes (diameter, inches) explored by the roadmap.
+ROADMAP_PLATTER_SIZES_IN = (2.6, 2.1, 1.6)
+
+#: Platter counts representing low/medium/high capacity market segments.
+ROADMAP_PLATTER_COUNTS = (1, 2, 4)

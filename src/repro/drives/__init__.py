@@ -1,0 +1,22 @@
+"""Real-drive database: Table 1/2 validation drives and the dissected
+Cheetah 15K.3 reference."""
+
+from repro.drives import cheetah15k3
+from repro.drives.database import (
+    PAPER_MODEL_PREDICTIONS,
+    TABLE1_DRIVES,
+    TABLE2_DRIVES,
+    drive_by_model,
+    drives_for_year,
+)
+from repro.drives.spec import DriveSpec
+
+__all__ = [
+    "DriveSpec",
+    "TABLE1_DRIVES",
+    "TABLE2_DRIVES",
+    "PAPER_MODEL_PREDICTIONS",
+    "drive_by_model",
+    "drives_for_year",
+    "cheetah15k3",
+]

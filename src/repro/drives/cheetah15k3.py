@@ -1,0 +1,47 @@
+"""The dissected reference drive: Seagate Cheetah 15K.3 ST318453.
+
+The paper took this drive apart, measured its geometry with Vernier
+calipers, and used it to validate and calibrate the thermal model: a single
+2.6-inch platter inside a 3.5-inch form-factor enclosure, spinning at 15K
+RPM with a 3.9 W VCM.  With SPM and VCM always on and a 28 C ambient, the
+modeled internal air settles at 45.22 C (the thermal envelope) in about 48
+minutes — close to the drive's rated 55 C maximum once the ~10 C from
+on-board electronics is added back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constants import AMBIENT_TEMPERATURE_C
+from repro.thermal.model import DriveThermalModel, ThermalCalibration
+
+#: Published characteristics of the ST318453 validation unit.
+MODEL_NAME = "Seagate Cheetah 15K.3 ST318453"
+PLATTER_DIAMETER_IN = 2.6
+PLATTER_COUNT = 1
+RPM = 15000.0
+VCM_POWER_W = 3.9
+RATED_MAX_OPERATING_C = 55.0
+
+
+def thermal_model(
+    ambient_c: float = AMBIENT_TEMPERATURE_C,
+    vcm_active: bool = True,
+    calibration: Optional[ThermalCalibration] = None,
+) -> DriveThermalModel:
+    """Thermal model of the reference drive.
+
+    Args:
+        ambient_c: external cooled-air temperature (paper: 28 C wet-bulb).
+        vcm_active: whether the actuator is continuously seeking.
+        calibration: override the default fitted calibration.
+    """
+    return DriveThermalModel(
+        platter_diameter_in=PLATTER_DIAMETER_IN,
+        platter_count=PLATTER_COUNT,
+        rpm=RPM,
+        ambient_c=ambient_c,
+        vcm_active=vcm_active,
+        calibration=calibration,
+    )

@@ -1,0 +1,145 @@
+"""Drive specification records.
+
+A :class:`DriveSpec` captures what a datasheet says about a drive (the
+inputs and ground truth of the paper's Table 1), and knows how to build the
+library's capacity/performance models for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.capacity.model import CapacityModel
+from repro.capacity.recording import RecordingTechnology
+from repro.capacity.zones import ZonedSurface
+from repro.constants import VALIDATION_ZONES
+from repro.errors import ReproError
+from repro.geometry.platter import Platter
+from repro.performance.idr import surface_idr_mb_per_s
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """Datasheet description of a real drive.
+
+    Attributes:
+        model: marketing model name.
+        year: year of market introduction.
+        rpm: spindle speed.
+        kbpi: linear density in kilo-bits-per-inch.
+        ktpi: track density in kilo-tracks-per-inch.
+        diameter_in: platter (media) diameter in inches.
+        platters: platter count.
+        datasheet_capacity_gb: rated capacity, decimal GB.
+        datasheet_idr_mb_per_s: rated maximum internal data rate, MB/s.
+        max_operating_temp_c: rated maximum operating temperature, if known.
+        wet_bulb_temp_c: specified external wet-bulb temperature, if known.
+    """
+
+    model: str
+    year: int
+    rpm: float
+    kbpi: float
+    ktpi: float
+    diameter_in: float
+    platters: int
+    datasheet_capacity_gb: float
+    datasheet_idr_mb_per_s: float
+    max_operating_temp_c: Optional[float] = None
+    wet_bulb_temp_c: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.platters < 1:
+            raise ReproError(f"{self.model}: platter count must be >= 1")
+        if self.rpm <= 0:
+            raise ReproError(f"{self.model}: rpm must be positive")
+
+    # -- model construction --------------------------------------------------------
+
+    def technology(self) -> RecordingTechnology:
+        """Recording technology of this drive."""
+        return RecordingTechnology.from_kilo_units(self.kbpi, self.ktpi)
+
+    def platter(self) -> Platter:
+        """Platter geometry of this drive."""
+        return Platter(diameter_in=self.diameter_in)
+
+    def capacity_model(self, zone_count: int = VALIDATION_ZONES) -> CapacityModel:
+        """The library's capacity model configured for this drive."""
+        return CapacityModel(
+            platter=self.platter(),
+            technology=self.technology(),
+            platter_count=self.platters,
+            zone_count=zone_count,
+        )
+
+    def surface(self, zone_count: int = VALIDATION_ZONES) -> ZonedSurface:
+        """ZBR layout of one surface of this drive."""
+        return ZonedSurface(
+            platter=self.platter(),
+            technology=self.technology(),
+            zone_count=zone_count,
+        )
+
+    # -- model predictions -----------------------------------------------------------
+
+    def modeled_capacity_gb(self, zone_count: int = VALIDATION_ZONES) -> float:
+        """Capacity predicted by the library's model, decimal GB."""
+        return self.capacity_model(zone_count).usable_capacity_gb()
+
+    def modeled_capacity_paper_gb(self, zone_count: int = VALIDATION_ZONES) -> float:
+        """Capacity in the paper's (binary GiB) reporting convention.
+
+        Table 1's "Model Cap." column sits a constant 0.9313 factor below
+        the decimal-GB computation, i.e. the paper reports 2**30-byte units;
+        use this when regression-testing against the paper's own numbers.
+        """
+        return self.capacity_model(zone_count).usable_capacity_gib()
+
+    def modeled_idr_mb_per_s(self, zone_count: int = VALIDATION_ZONES) -> float:
+        """IDR predicted by the library's model, MB/s."""
+        return surface_idr_mb_per_s(self.surface(zone_count), self.rpm)
+
+    def simulated_disk(
+        self,
+        events,
+        name: Optional[str] = None,
+        zone_count: int = VALIDATION_ZONES,
+        cache_bytes: int = 4 * 1024 * 1024,
+    ):
+        """A :class:`repro.simulation.disk.SimulatedDisk` of this drive.
+
+        Bridges the drive database into the storage simulator: the ZBR
+        layout, seek curve (from the platter-size correlation) and spindle
+        speed all come from this spec.
+
+        Args:
+            events: the simulation's event queue.
+            name: disk label (defaults to the model name).
+            zone_count: ZBR zones.
+            cache_bytes: on-drive buffer cache size.
+        """
+        from repro.simulation.disk import standard_disk
+
+        return standard_disk(
+            name=name or self.model,
+            events=events,
+            diameter_in=self.diameter_in,
+            platters=self.platters,
+            kbpi=self.kbpi,
+            ktpi=self.ktpi,
+            rpm=self.rpm,
+            zone_count=zone_count,
+            cache_bytes=cache_bytes,
+        )
+
+    def capacity_error(self, zone_count: int = VALIDATION_ZONES) -> float:
+        """Relative capacity error vs the datasheet (signed fraction)."""
+        modeled = self.modeled_capacity_gb(zone_count)
+        return (modeled - self.datasheet_capacity_gb) / self.datasheet_capacity_gb
+
+    def idr_error(self, zone_count: int = VALIDATION_ZONES) -> float:
+        """Relative IDR error vs the datasheet (signed fraction)."""
+        modeled = self.modeled_idr_mb_per_s(zone_count)
+        return (modeled - self.datasheet_idr_mb_per_s) / self.datasheet_idr_mb_per_s

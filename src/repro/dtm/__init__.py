@@ -1,0 +1,82 @@
+"""Dynamic Thermal Management: slack exploitation, throttling, control."""
+
+from repro.dtm.cache_disk import CacheDiskPair, CacheDiskReport
+from repro.dtm.controller import (
+    DTMPolicy,
+    DTMReport,
+    PolicyManagedSystem,
+    ThermallyManagedSystem,
+)
+from repro.dtm.mirroring import AlternatingMirror, MirrorReport, mirror_headroom_rpm
+from repro.dtm.policies import (
+    ControlAction,
+    LadderPolicy,
+    ReactiveGatePolicy,
+    SpacingPolicy,
+    ThermalPolicy,
+)
+from repro.dtm.multispeed import (
+    MultiSpeedProfile,
+    drpm_profile,
+    two_level_profile,
+)
+from repro.dtm.spindown import (
+    PowerState,
+    SpinManagedDisk,
+    SpinPolicy,
+    SpinReport,
+)
+from repro.dtm.slack import (
+    SlackPoint,
+    SlackRoadmap,
+    slack_by_platter_size,
+    slack_roadmap,
+)
+from repro.dtm.throttling import (
+    ThrottleCycle,
+    ThrottlingScenario,
+    ThrottlingTrace,
+    paper_scenario_vcm_and_rpm,
+    paper_scenario_vcm_only,
+    required_ratio_for_utilization,
+    throttle_cycle,
+    throttling_ratio_curve,
+    throttling_trace,
+)
+
+__all__ = [
+    "CacheDiskPair",
+    "CacheDiskReport",
+    "PolicyManagedSystem",
+    "AlternatingMirror",
+    "MirrorReport",
+    "mirror_headroom_rpm",
+    "ControlAction",
+    "ThermalPolicy",
+    "ReactiveGatePolicy",
+    "SpacingPolicy",
+    "LadderPolicy",
+    "PowerState",
+    "SpinManagedDisk",
+    "SpinPolicy",
+    "SpinReport",
+    "SlackPoint",
+    "SlackRoadmap",
+    "slack_by_platter_size",
+    "slack_roadmap",
+    "ThrottlingScenario",
+    "ThrottleCycle",
+    "ThrottlingTrace",
+    "throttle_cycle",
+    "throttling_ratio_curve",
+    "throttling_trace",
+    "paper_scenario_vcm_only",
+    "paper_scenario_vcm_and_rpm",
+    "required_ratio_for_utilization",
+    "MultiSpeedProfile",
+    "two_level_profile",
+    "drpm_profile",
+    "DTMPolicy",
+    "DTMReport",
+    "ThermallyManagedSystem",
+]

@@ -1,0 +1,266 @@
+"""The cache-disk configuration (paper §5.4).
+
+"We could use two disks, each with a different platter size.  The larger
+disk, due to its thermal limitations, would have a lower IDR than the
+smaller one ... [which] could serve as a cache for the larger one" — in
+the spirit of Hu & Yang's DCD cache-disks [27].
+
+The small-platter disk can legally spin much faster inside the same
+thermal envelope, so read hits on it are served with lower rotational
+latency; misses go to the big disk and are promoted asynchronously.
+Writes go to the big disk (write-through) and invalidate stale cache
+regions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.errors import DTMError
+from repro.simulation.disk import SimulatedDisk, standard_disk
+from repro.simulation.events import EventQueue
+from repro.simulation.request import Request
+from repro.simulation.statistics import ResponseTimeStats
+from repro.thermal.envelope import max_rpm_within_envelope
+from repro.thermal.model import ThermalCalibration
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class CacheDiskReport:
+    """Outcome of a cache-disk run.
+
+    Attributes:
+        stats: logical response-time statistics.
+        hits: reads served by the small fast disk.
+        misses: reads served by the big disk.
+        writes: writes (always to the big disk).
+        fast_rpm / slow_rpm: the two spindle speeds used.
+        simulated_ms: simulated duration.
+    """
+
+    stats: ResponseTimeStats
+    hits: int
+    misses: int
+    writes: int
+    fast_rpm: float
+    slow_rpm: float
+    simulated_ms: float
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _RegionMap:
+    """LRU map of cached LBA regions (fixed-granularity extents)."""
+
+    def __init__(self, capacity_sectors: int, region_sectors: int) -> None:
+        if region_sectors <= 0 or capacity_sectors < region_sectors:
+            raise DTMError("cache must hold at least one region")
+        self.region_sectors = region_sectors
+        self.max_regions = capacity_sectors // region_sectors
+        self._regions: "OrderedDict[int, None]" = OrderedDict()
+
+    def _span(self, lba: int, sectors: int) -> range:
+        first = lba // self.region_sectors
+        last = (lba + sectors - 1) // self.region_sectors
+        return range(first, last + 1)
+
+    def contains(self, lba: int, sectors: int) -> bool:
+        regions = list(self._span(lba, sectors))
+        if all(r in self._regions for r in regions):
+            for r in regions:
+                self._regions.move_to_end(r)
+            return True
+        return False
+
+    def insert(self, lba: int, sectors: int) -> None:
+        if self.max_regions == 0:
+            return  # caching disabled
+        for r in self._span(lba, sectors):
+            if r in self._regions:
+                self._regions.move_to_end(r)
+            else:
+                while len(self._regions) >= self.max_regions:
+                    self._regions.popitem(last=False)
+                self._regions[r] = None
+
+    def invalidate(self, lba: int, sectors: int) -> None:
+        for r in self._span(lba, sectors):
+            self._regions.pop(r, None)
+
+
+class CacheDiskPair:
+    """A small fast disk caching a large slow disk inside one envelope.
+
+    Both spindle speeds default to each platter size's maximum inside the
+    thermal envelope — the configuration the paper proposes.
+
+    Args:
+        big_diameter_in / small_diameter_in: the two platter sizes.
+        big_platters: platters in the backing disk.
+        envelope_c / ambient_c: thermal constraints for the default RPMs.
+        fast_rpm / slow_rpm: explicit speed overrides.
+        region_sectors: promotion granularity.
+        calibration: thermal calibration for the RPM search.
+    """
+
+    def __init__(
+        self,
+        big_diameter_in: float = 2.6,
+        small_diameter_in: float = 1.6,
+        big_platters: int = 2,
+        kbpi: float = 570.0,
+        ktpi: float = 64.0,
+        envelope_c: float = THERMAL_ENVELOPE_C,
+        ambient_c: float = AMBIENT_TEMPERATURE_C,
+        fast_rpm: Optional[float] = None,
+        slow_rpm: Optional[float] = None,
+        region_sectors: int = 256,
+        calibration: Optional[ThermalCalibration] = None,
+    ) -> None:
+        if small_diameter_in >= big_diameter_in:
+            raise DTMError("the cache disk must be the smaller-platter one")
+        self.slow_rpm = slow_rpm or max_rpm_within_envelope(
+            big_diameter_in,
+            platter_count=big_platters,
+            envelope_c=envelope_c,
+            ambient_c=ambient_c,
+            calibration=calibration,
+        )
+        self.fast_rpm = fast_rpm or max_rpm_within_envelope(
+            small_diameter_in,
+            platter_count=1,
+            envelope_c=envelope_c,
+            ambient_c=ambient_c,
+            calibration=calibration,
+        )
+        self.events = EventQueue()
+        self.big: SimulatedDisk = standard_disk(
+            name="big",
+            events=self.events,
+            diameter_in=big_diameter_in,
+            platters=big_platters,
+            kbpi=kbpi,
+            ktpi=ktpi,
+            rpm=self.slow_rpm,
+        )
+        self.small: SimulatedDisk = standard_disk(
+            name="small",
+            events=self.events,
+            diameter_in=small_diameter_in,
+            platters=1,
+            kbpi=kbpi,
+            ktpi=ktpi,
+            rpm=self.fast_rpm,
+        )
+        self.map = _RegionMap(self.small.total_sectors, region_sectors)
+        self.stats = ResponseTimeStats()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._callbacks: dict = {}
+        self.big.on_complete = self._dispatch
+        self.small.on_complete = self._dispatch
+
+    def _dispatch(self, request: Request, now: float) -> None:
+        callback = self._callbacks.pop(request.request_id, None)
+        if callback is not None:
+            callback(request, now)
+
+    @property
+    def logical_sectors(self) -> int:
+        """Logical space = the backing disk."""
+        return self.big.total_sectors
+
+    def _cache_lba(self, lba: int, sectors: int) -> int:
+        """Backing LBA -> cache-disk LBA (direct wrap mapping, clamped so
+        the access fits on the smaller disk)."""
+        return lba % max(self.small.total_sectors - sectors, 1)
+
+    # -- request handling ----------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Route one logical request."""
+        if request.end_lba > self.logical_sectors:
+            raise DTMError("request exceeds the backing disk")
+        done = lambda r, t: self._logical_done(request, t)  # noqa: E731
+        if request.is_write:
+            self.writes += 1
+            self.map.invalidate(request.lba, request.sectors)
+            child = Request(
+                arrival_ms=request.arrival_ms,
+                lba=request.lba,
+                sectors=request.sectors,
+                is_write=True,
+                parent=request,
+            )
+            self._submit_to(self.big, child, done)
+            return
+        if self.map.contains(request.lba, request.sectors):
+            self.hits += 1
+            child = Request(
+                arrival_ms=request.arrival_ms,
+                lba=self._cache_lba(request.lba, request.sectors),
+                sectors=request.sectors,
+                parent=request,
+            )
+            self._submit_to(self.small, child, done)
+            return
+        self.misses += 1
+        child = Request(
+            arrival_ms=request.arrival_ms,
+            lba=request.lba,
+            sectors=request.sectors,
+            parent=request,
+        )
+
+        def miss_done(r: Request, t: float) -> None:
+            self._logical_done(request, t)
+            # Asynchronous promotion: stage the region onto the fast disk.
+            self.map.insert(request.lba, request.sectors)
+            promote = Request(
+                arrival_ms=t,
+                lba=self._cache_lba(request.lba, request.sectors),
+                sectors=request.sectors,
+                is_write=True,
+            )
+            self._submit_to(self.small, promote, lambda *_: None)
+
+        self._submit_to(self.big, child, miss_done)
+
+    def _submit_to(self, disk: SimulatedDisk, request: Request, callback) -> None:
+        self._callbacks[request.request_id] = callback
+        disk.submit(request)
+
+    def _logical_done(self, request: Request, now: float) -> None:
+        request.completion_ms = now
+        self.stats.add(request.response_time_ms)
+
+    # -- replay ----------------------------------------------------------------------
+
+    def run_trace(self, trace: Trace) -> CacheDiskReport:
+        """Replay a trace through the pair."""
+        for record in trace:
+            request = Request(
+                arrival_ms=record.time_ms,
+                lba=record.lba,
+                sectors=record.sectors,
+                is_write=record.is_write,
+            )
+            self.events.schedule(record.time_ms, lambda t, r=request: self.submit(r))
+        self.events.run()
+        return CacheDiskReport(
+            stats=self.stats,
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            fast_rpm=self.fast_rpm,
+            slow_rpm=self.slow_rpm,
+            simulated_ms=self.events.now_ms,
+        )

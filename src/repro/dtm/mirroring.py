@@ -1,0 +1,196 @@
+"""Mirrored-disk DTM (paper §5.4).
+
+"It is also possible to use mirrored disks (i.e. writes propagate to both)
+while reads are directed to one for a while, and then sent to another
+during the cool down period."  This module implements that mechanism: a
+RAID-1 pair where a DTM policy alternates the read target on a fixed
+period, halving each member's seek duty and letting the idle mirror cool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.errors import DTMError
+from repro.simulation.disk import SimulatedDisk, standard_disk
+from repro.simulation.events import EventQueue
+from repro.simulation.raid import Raid1Geometry
+from repro.simulation.request import Request
+from repro.simulation.statistics import ResponseTimeStats
+from repro.simulation.system import StorageSystem
+from repro.thermal.model import DriveThermalModel, ThermalCalibration
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class MirrorReport:
+    """Outcome of an alternating-mirror run.
+
+    Attributes:
+        stats: logical response-time statistics.
+        max_air_c: hottest modeled air temperature across both mirrors.
+        switches: number of read-target alternations performed.
+        per_disk_seek_duty: seek duty of each mirror over the run.
+        simulated_ms: simulated duration.
+    """
+
+    stats: ResponseTimeStats
+    max_air_c: float
+    switches: int
+    per_disk_seek_duty: List[float]
+    simulated_ms: float
+
+
+class AlternatingMirror:
+    """A mirrored pair whose read target alternates for thermal relief.
+
+    Args:
+        rpm: spindle speed of both mirrors (may exceed the envelope-design
+            speed — that is the point).
+        diameter_in: platter size.
+        platters: platters per mirror.
+        switch_period_ms: how often reads move to the other mirror.
+        ambient_c: external ambient for the thermal models.
+        calibration: thermal calibration.
+    """
+
+    def __init__(
+        self,
+        rpm: float,
+        diameter_in: float = 2.6,
+        platters: int = 1,
+        switch_period_ms: float = 2000.0,
+        kbpi: float = 570.0,
+        ktpi: float = 64.0,
+        ambient_c: float = AMBIENT_TEMPERATURE_C,
+        calibration: Optional[ThermalCalibration] = None,
+    ) -> None:
+        if switch_period_ms <= 0:
+            raise DTMError("switch period must be positive")
+        self.events = EventQueue()
+        self.switch_period_ms = switch_period_ms
+        self.disks: List[SimulatedDisk] = [
+            standard_disk(
+                name=f"mirror{i}",
+                events=self.events,
+                diameter_in=diameter_in,
+                platters=platters,
+                kbpi=kbpi,
+                ktpi=ktpi,
+                rpm=rpm,
+            )
+            for i in range(2)
+        ]
+        self.geometry = Raid1Geometry(disk_sectors=self.disks[0].total_sectors)
+        self.system = StorageSystem(self.disks, self.geometry, self.events)
+        self.thermal: List[DriveThermalModel] = []
+        for _ in range(2):
+            model = DriveThermalModel(
+                platter_diameter_in=diameter_in,
+                platter_count=platters,
+                rpm=rpm,
+                ambient_c=ambient_c,
+                vcm_active=False,
+                calibration=calibration,
+            )
+            model.settle()
+            self.thermal.append(model)
+        self.switches = 0
+        self._busy_snapshots = [0.0, 0.0]
+        self._last_update_ms = 0.0
+
+    # -- replay -----------------------------------------------------------------
+
+    def run_trace(self, trace: Trace, thermal_interval_ms: float = 50.0) -> MirrorReport:
+        """Replay a trace with periodic alternation and thermal tracking."""
+        if thermal_interval_ms <= 0:
+            raise DTMError("thermal interval must be positive")
+        events = self.events
+        for record in trace:
+            request = Request(
+                arrival_ms=record.time_ms,
+                lba=record.lba,
+                sectors=record.sectors,
+                is_write=record.is_write,
+            )
+            events.schedule(
+                record.time_ms, lambda t, r=request: self.system.array.submit(r)
+            )
+        max_air = max(model.air_c() for model in self.thermal)
+
+        def switch(now: float) -> None:
+            self.geometry.set_read_target(1 - self.geometry.read_target)
+            self.switches += 1
+            if len(events) > 1 or self.system.array.in_flight() > 0:
+                events.schedule_after(self.switch_period_ms, switch)
+
+        def thermal_tick(now: float) -> None:
+            nonlocal max_air
+            interval = now - self._last_update_ms
+            self._last_update_ms = now
+            for index, (disk, model) in enumerate(zip(self.disks, self.thermal)):
+                busy = disk.stats.busy_ms
+                delta = busy - self._busy_snapshots[index]
+                self._busy_snapshots[index] = busy
+                duty = min(delta / interval, 1.0) if interval > 0 else 0.0
+                model.set_vcm_duty(duty)
+                model.network.step(interval / 1000.0)
+                max_air = max(max_air, model.air_c())
+            if len(events) > 1 or self.system.array.in_flight() > 0:
+                events.schedule_after(thermal_interval_ms, thermal_tick)
+
+        events.schedule_after(self.switch_period_ms, switch)
+        events.schedule_after(thermal_interval_ms, thermal_tick)
+        events.run()
+
+        elapsed = events.now_ms
+        duties = [
+            min(d.stats.seek_ms / elapsed, 1.0) if elapsed > 0 else 0.0
+            for d in self.disks
+        ]
+        return MirrorReport(
+            stats=self.system.stats,
+            max_air_c=max_air,
+            switches=self.switches,
+            per_disk_seek_duty=duties,
+            simulated_ms=elapsed,
+        )
+
+
+def mirror_headroom_rpm(
+    diameter_in: float = 2.6,
+    platters: int = 1,
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    ambient_c: float = AMBIENT_TEMPERATURE_C,
+    calibration: Optional[ThermalCalibration] = None,
+) -> float:
+    """Max RPM of a mirror whose VCM duty is halved by alternation.
+
+    With reads alternating, each mirror seeks at most half the time; the
+    steady VCM heat halves, unlocking RPM between the envelope design
+    (duty 1.0) and the full slack design (duty 0.0).
+    """
+    def air_at(rpm: float) -> float:
+        model = DriveThermalModel(
+            platter_diameter_in=diameter_in,
+            platter_count=platters,
+            rpm=rpm,
+            ambient_c=ambient_c,
+            vcm_active=True,
+            calibration=calibration,
+        )
+        model.set_vcm_duty(0.5)
+        return model.steady_state()["air"]
+
+    low, high = 5000.0, 500000.0
+    if air_at(low) > envelope_c:
+        raise DTMError("design exceeds the envelope even at the bracket floor")
+    while high - low > 1.0:
+        mid = 0.5 * (low + high)
+        if air_at(mid) <= envelope_c:
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,100 @@
+"""Multi-speed disk support.
+
+Scenario (b) of §5.3 needs a disk with two RPM levels — like the Hitachi
+drive [24] the paper cites — and the slack-exploitation mechanism of §5.2
+benefits from full multi-speed (DRPM [18]) disks.  This module models the
+speed ladder and the transition costs; the thermal side of a speed change
+is handled by :class:`repro.thermal.model.DriveThermalModel`, and the
+performance side by :meth:`repro.simulation.disk.SimulatedDisk.set_rpm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import DTMError
+
+
+@dataclass(frozen=True)
+class MultiSpeedProfile:
+    """A disk's available spindle speeds and transition behaviour.
+
+    Attributes:
+        rpm_levels: allowed speeds, strictly increasing.
+        transition_s_per_krpm: seconds needed per 1000 RPM of change
+            (spin-up/-down is limited by spindle-motor torque).
+        min_dwell_s: minimum time to stay at a level before switching
+            again (guards against thrashing the spindle motor).
+        serves_at_lower_levels: whether requests can be serviced while at
+            a lower level (full DRPM) or only at the top level (the
+            2-level throttling disk of §5.3, which always serves at the
+            highest RPM).
+    """
+
+    rpm_levels: Tuple[float, ...]
+    transition_s_per_krpm: float = 0.4
+    min_dwell_s: float = 1.0
+    serves_at_lower_levels: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.rpm_levels) < 2:
+            raise DTMError("a multi-speed profile needs at least two levels")
+        if any(r <= 0 for r in self.rpm_levels):
+            raise DTMError("rpm levels must be positive")
+        if list(self.rpm_levels) != sorted(set(self.rpm_levels)):
+            raise DTMError("rpm levels must be strictly increasing")
+        if self.transition_s_per_krpm < 0 or self.min_dwell_s < 0:
+            raise DTMError("transition parameters cannot be negative")
+
+    @property
+    def top_rpm(self) -> float:
+        return self.rpm_levels[-1]
+
+    @property
+    def bottom_rpm(self) -> float:
+        return self.rpm_levels[0]
+
+    def transition_time_s(self, from_rpm: float, to_rpm: float) -> float:
+        """Time to move between two levels."""
+        self._check_level(from_rpm)
+        self._check_level(to_rpm)
+        return abs(to_rpm - from_rpm) / 1000.0 * self.transition_s_per_krpm
+
+    def nearest_level_at_or_below(self, rpm: float) -> float:
+        """Highest level not exceeding ``rpm``.
+
+        Raises:
+            DTMError: if every level exceeds ``rpm``.
+        """
+        candidates = [level for level in self.rpm_levels if level <= rpm]
+        if not candidates:
+            raise DTMError(
+                f"no speed level at or below {rpm:.0f} RPM in {self.rpm_levels}"
+            )
+        return candidates[-1]
+
+    def _check_level(self, rpm: float) -> None:
+        if rpm not in self.rpm_levels:
+            raise DTMError(f"{rpm} is not one of the levels {self.rpm_levels}")
+
+
+def two_level_profile(high_rpm: float, low_rpm: float) -> MultiSpeedProfile:
+    """The §5.3 throttling disk: two levels, service only at the top."""
+    if low_rpm >= high_rpm:
+        raise DTMError("low level must be below high level")
+    return MultiSpeedProfile(rpm_levels=(low_rpm, high_rpm))
+
+
+def drpm_profile(
+    top_rpm: float, levels: int = 5, step_rpm: float = 2400.0
+) -> MultiSpeedProfile:
+    """A DRPM-style ladder below ``top_rpm`` that can serve at any level."""
+    if levels < 2:
+        raise DTMError("need at least two levels")
+    if step_rpm <= 0:
+        raise DTMError("step must be positive")
+    ladder = tuple(top_rpm - step_rpm * i for i in range(levels - 1, -1, -1))
+    if ladder[0] <= 0:
+        raise DTMError("ladder bottoms out below zero RPM")
+    return MultiSpeedProfile(rpm_levels=ladder, serves_at_lower_levels=True)

@@ -1,0 +1,177 @@
+"""DTM control policies (the paper's §5.4 future-work directions).
+
+The paper sketches several ways to control a drive designed for
+average-case temperatures; this module implements them behind one
+interface so they can be compared:
+
+* :class:`ReactiveGatePolicy` — stop issuing requests near the envelope,
+  resume below a hysteresis threshold (§5.3's throttling, as implemented
+  by :class:`repro.dtm.controller.ThermallyManagedSystem`).
+* :class:`SpacingPolicy` — instead of a hard gate, stretch the issue rate
+  as temperature climbs through a warning band ("enhancing caching
+  techniques to appropriately space out requests", §5.4).
+* :class:`LadderPolicy` — a DRPM-style multi-speed disk that steps down
+  the RPM ladder as temperature bands are crossed and continues serving
+  at the lower speeds (Gurumurthi et al. [18]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.dtm.multispeed import MultiSpeedProfile
+from repro.errors import DTMError
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """What the controller should do right now.
+
+    Attributes:
+        admit: whether new requests may be issued at all.
+        issue_gap_ms: minimum spacing enforced between issued requests
+            (0 = unconstrained).
+        rpm: spindle-speed command, or None to leave it unchanged.
+    """
+
+    admit: bool = True
+    issue_gap_ms: float = 0.0
+    rpm: Optional[float] = None
+
+
+class ThermalPolicy:
+    """Interface: map the modeled air temperature to a control action."""
+
+    def decide(self, air_c: float, now_ms: float) -> ControlAction:
+        """Control decision for the current temperature."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable policy label."""
+        return type(self).__name__
+
+
+class ReactiveGatePolicy(ThermalPolicy):
+    """Hard gate with hysteresis: the §5.3 throttling behaviour.
+
+    Args:
+        envelope_c: the thermal limit.
+        trigger_margin_c: gate closes at ``envelope - trigger_margin``.
+        resume_margin_c: gate reopens at ``envelope - resume_margin``.
+        low_rpm: optional reduced speed while gated (scenario (b)).
+        full_rpm: speed to restore on resume (required with ``low_rpm``).
+    """
+
+    def __init__(
+        self,
+        envelope_c: float = THERMAL_ENVELOPE_C,
+        trigger_margin_c: float = 0.02,
+        resume_margin_c: float = 0.10,
+        low_rpm: Optional[float] = None,
+        full_rpm: Optional[float] = None,
+    ) -> None:
+        if resume_margin_c <= trigger_margin_c:
+            raise DTMError("resume margin must exceed trigger margin")
+        if (low_rpm is None) != (full_rpm is None):
+            raise DTMError("low_rpm and full_rpm must be given together")
+        if low_rpm is not None and low_rpm >= full_rpm:
+            raise DTMError("low_rpm must be below full_rpm")
+        self.envelope_c = envelope_c
+        self.trigger_c = envelope_c - trigger_margin_c
+        self.resume_c = envelope_c - resume_margin_c
+        self.low_rpm = low_rpm
+        self.full_rpm = full_rpm
+        self._gated = False
+
+    def decide(self, air_c: float, now_ms: float) -> ControlAction:
+        if not self._gated and air_c >= self.trigger_c:
+            self._gated = True
+        elif self._gated and air_c <= self.resume_c:
+            self._gated = False
+        if self._gated:
+            return ControlAction(admit=False, rpm=self.low_rpm)
+        return ControlAction(admit=True, rpm=self.full_rpm)
+
+
+class SpacingPolicy(ThermalPolicy):
+    """Proportional request spacing through a warning band.
+
+    Below the band: unconstrained.  Inside it: the enforced inter-issue
+    gap grows linearly up to ``max_gap_ms``.  At/above the trigger point:
+    a hard gate (safety net).
+
+    Args:
+        envelope_c: the thermal limit.
+        band_c: width of the warning band below the envelope.
+        max_gap_ms: spacing enforced at the top of the band.
+        trigger_margin_c: hard-gate threshold below the envelope.
+    """
+
+    def __init__(
+        self,
+        envelope_c: float = THERMAL_ENVELOPE_C,
+        band_c: float = 1.0,
+        max_gap_ms: float = 50.0,
+        trigger_margin_c: float = 0.02,
+    ) -> None:
+        if band_c <= 0 or max_gap_ms <= 0:
+            raise DTMError("band and max gap must be positive")
+        if trigger_margin_c < 0 or trigger_margin_c >= band_c:
+            raise DTMError("trigger margin must lie inside the band")
+        self.envelope_c = envelope_c
+        self.band_c = band_c
+        self.max_gap_ms = max_gap_ms
+        self.trigger_c = envelope_c - trigger_margin_c
+
+    def decide(self, air_c: float, now_ms: float) -> ControlAction:
+        if air_c >= self.trigger_c:
+            return ControlAction(admit=False)
+        band_floor = self.envelope_c - self.band_c
+        if air_c <= band_floor:
+            return ControlAction(admit=True, issue_gap_ms=0.0)
+        fraction = (air_c - band_floor) / self.band_c
+        return ControlAction(admit=True, issue_gap_ms=fraction * self.max_gap_ms)
+
+
+class LadderPolicy(ThermalPolicy):
+    """DRPM ladder: step down the speed levels as temperature rises.
+
+    The profile's top level is used below the band; each equal-width slice
+    of the band maps to the next level down.  Service continues at every
+    level (requires ``serves_at_lower_levels``).
+
+    Args:
+        profile: the multi-speed profile (must serve at lower levels).
+        envelope_c: the thermal limit.
+        band_c: temperature band over which the ladder is traversed.
+        trigger_margin_c: hard gate just below the envelope (last resort).
+    """
+
+    def __init__(
+        self,
+        profile: MultiSpeedProfile,
+        envelope_c: float = THERMAL_ENVELOPE_C,
+        band_c: float = 1.0,
+        trigger_margin_c: float = 0.02,
+    ) -> None:
+        if not profile.serves_at_lower_levels:
+            raise DTMError("LadderPolicy needs a profile that serves at lower levels")
+        if band_c <= 0:
+            raise DTMError("band must be positive")
+        self.profile = profile
+        self.envelope_c = envelope_c
+        self.band_c = band_c
+        self.trigger_c = envelope_c - trigger_margin_c
+
+    def decide(self, air_c: float, now_ms: float) -> ControlAction:
+        if air_c >= self.trigger_c:
+            return ControlAction(admit=False, rpm=self.profile.bottom_rpm)
+        band_floor = self.envelope_c - self.band_c
+        levels = list(self.profile.rpm_levels)
+        if air_c <= band_floor:
+            return ControlAction(admit=True, rpm=levels[-1])
+        fraction = (air_c - band_floor) / self.band_c
+        steps_down = min(int(fraction * len(levels)), len(levels) - 1)
+        return ControlAction(admit=True, rpm=levels[len(levels) - 1 - steps_down])

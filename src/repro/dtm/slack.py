@@ -1,0 +1,152 @@
+"""Exploiting thermal slack (paper §5.2).
+
+The envelope is defined with the VCM continuously on (worst case).  During
+idle or sequential phases the VCM is off and the drive runs cooler — a
+*thermal slack* a multi-speed disk can spend by temporarily spinning faster
+than the envelope-design RPM.  This module quantifies that slack: the
+VCM-off maximum RPM per platter size (Figure 5a) and the revised IDR
+roadmap it enables (Figure 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import (
+    AMBIENT_TEMPERATURE_C,
+    ROADMAP_FIRST_YEAR,
+    ROADMAP_LAST_YEAR,
+    ROADMAP_PLATTER_SIZES_IN,
+    ROADMAP_ZONES,
+    THERMAL_ENVELOPE_C,
+)
+from repro.scaling.roadmap import RoadmapPoint, thermal_roadmap
+from repro.scaling.trends import PAPER_TRENDS, TechnologyTrends
+from repro.thermal.envelope import max_rpm_within_envelope
+from repro.thermal.model import ThermalCalibration
+from repro.thermal.vcm import vcm_power_w
+
+
+@dataclass(frozen=True)
+class SlackPoint:
+    """Envelope-design vs slack-exploiting RPM for one platter size.
+
+    Attributes:
+        diameter_in: platter size.
+        platter_count: platters in the stack.
+        envelope_rpm: max RPM with the VCM assumed always on.
+        vcm_off_rpm: max RPM attainable while the VCM is off.
+        vcm_power_w: the VCM power whose removal creates the slack.
+    """
+
+    diameter_in: float
+    platter_count: int
+    envelope_rpm: float
+    vcm_off_rpm: float
+    vcm_power_w: float
+
+    @property
+    def rpm_gain(self) -> float:
+        """Extra RPM unlocked by the slack."""
+        return self.vcm_off_rpm - self.envelope_rpm
+
+    @property
+    def rpm_gain_fraction(self) -> float:
+        """Relative RPM (= IDR) gain from exploiting the slack."""
+        return self.rpm_gain / self.envelope_rpm
+
+
+def slack_by_platter_size(
+    sizes: Sequence[float] = ROADMAP_PLATTER_SIZES_IN,
+    platter_count: int = 1,
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    ambient_c: float = AMBIENT_TEMPERATURE_C,
+    calibration: Optional[ThermalCalibration] = None,
+) -> List[SlackPoint]:
+    """Figure 5(a): maximum RPM with and without the VCM, per platter size.
+
+    The slack shrinks with the platter because VCM power falls steeply with
+    size (3.9 W at 2.6 in vs 0.618 W at 1.6 in).
+    """
+    points: List[SlackPoint] = []
+    for diameter in sizes:
+        envelope_rpm = max_rpm_within_envelope(
+            diameter,
+            platter_count=platter_count,
+            envelope_c=envelope_c,
+            ambient_c=ambient_c,
+            vcm_active=True,
+            calibration=calibration,
+        )
+        off_rpm = max_rpm_within_envelope(
+            diameter,
+            platter_count=platter_count,
+            envelope_c=envelope_c,
+            ambient_c=ambient_c,
+            vcm_active=False,
+            calibration=calibration,
+        )
+        points.append(
+            SlackPoint(
+                diameter_in=diameter,
+                platter_count=platter_count,
+                envelope_rpm=envelope_rpm,
+                vcm_off_rpm=off_rpm,
+                vcm_power_w=vcm_power_w(diameter),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SlackRoadmap:
+    """Figure 5(b): the roadmap with and without slack exploitation.
+
+    Attributes:
+        envelope_design: per-year points with the VCM assumed always on.
+        vcm_off: per-year points at the VCM-off (slack) RPM.
+    """
+
+    envelope_design: List[RoadmapPoint]
+    vcm_off: List[RoadmapPoint]
+
+    def idr_gain_fraction(self, year: int, diameter_in: float) -> float:
+        """Relative IDR gain from slack for one (year, size)."""
+
+        def find(points: List[RoadmapPoint]) -> RoadmapPoint:
+            for point in points:
+                if point.year == year and point.diameter_in == diameter_in:
+                    return point
+            raise KeyError((year, diameter_in))
+
+        base = find(self.envelope_design)
+        slack = find(self.vcm_off)
+        return (slack.max_idr_mb_s - base.max_idr_mb_s) / base.max_idr_mb_s
+
+
+def slack_roadmap(
+    trends: TechnologyTrends = PAPER_TRENDS,
+    years: Sequence[int] = tuple(range(ROADMAP_FIRST_YEAR, ROADMAP_LAST_YEAR + 1)),
+    sizes: Sequence[float] = ROADMAP_PLATTER_SIZES_IN,
+    platter_count: int = 1,
+    zone_count: int = ROADMAP_ZONES,
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    ambient_c: float = AMBIENT_TEMPERATURE_C,
+    calibration: Optional[ThermalCalibration] = None,
+) -> SlackRoadmap:
+    """Figure 5(b): revised IDR roadmap when the slack is exploited."""
+    common = dict(
+        trends=trends,
+        years=years,
+        sizes=sizes,
+        platter_count=platter_count,
+        zone_count=zone_count,
+        envelope_c=envelope_c,
+        ambient_c=ambient_c,
+        calibration=calibration,
+    )
+    return SlackRoadmap(
+        envelope_design=thermal_roadmap(vcm_active=True, **common),
+        vcm_off=thermal_roadmap(vcm_active=False, **common),
+    )

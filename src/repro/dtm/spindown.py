@@ -1,0 +1,220 @@
+"""Spin-down power management (related work, paper §2).
+
+The paper situates DTM against the classic disk power-management line:
+spinning the platters down during idle periods (Douglis & Krishnan [11],
+Lu et al. [32]) and MAID-style mostly-idle archives (Colarelli & Grunwald
+[10]).  This module provides that machinery — power states, idle-timeout
+policies, and spin-up penalties — integrated with the same thermal and
+energy models, so the classic energy/performance trade-off can be compared
+against DTM on the same substrate.
+
+States: ACTIVE (serving), IDLE (spinning, heads parked), STANDBY (spun
+down — no windage or spindle loss, but the next request pays a multi-
+second spin-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.errors import DTMError
+from repro.simulation.disk import SimulatedDisk
+from repro.simulation.request import Request
+from repro.simulation.statistics import ResponseTimeStats
+from repro.thermal.model import DEFAULT_CALIBRATION, ThermalCalibration
+from repro.thermal.vcm import vcm_power_w
+from repro.thermal.viscous import viscous_power_w
+from repro.workloads.trace import Trace
+
+
+class PowerState(Enum):
+    """Spindle power states."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    STANDBY = "standby"
+
+
+@dataclass(frozen=True)
+class SpinPolicy:
+    """Fixed-timeout spin-down policy.
+
+    Attributes:
+        idle_timeout_ms: idle time after which the spindle spins down;
+            None disables spin-down (always-on, the server default the
+            paper's drives use).
+        spin_up_ms: time to return from STANDBY to ACTIVE (server drives:
+            several seconds).
+        spin_up_energy_j: extra energy burned by a spin-up.
+    """
+
+    idle_timeout_ms: Optional[float] = None
+    spin_up_ms: float = 6000.0
+    spin_up_energy_j: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.idle_timeout_ms is not None and self.idle_timeout_ms < 0:
+            raise DTMError("idle timeout cannot be negative")
+        if self.spin_up_ms < 0 or self.spin_up_energy_j < 0:
+            raise DTMError("spin-up costs cannot be negative")
+
+
+@dataclass
+class SpinReport:
+    """Outcome of a spin-managed replay.
+
+    Attributes:
+        stats: response times (spin-up waits included).
+        spin_ups: number of spin-up events.
+        standby_ms: total time spent spun down.
+        active_idle_ms: total spinning time (serving + idle).
+        energy_j: total spindle + windage + VCM energy, including spin-up
+            costs.
+        simulated_ms: simulated duration.
+    """
+
+    stats: ResponseTimeStats
+    spin_ups: int
+    standby_ms: float
+    active_idle_ms: float
+    energy_j: float
+    simulated_ms: float
+
+    @property
+    def standby_fraction(self) -> float:
+        if self.simulated_ms <= 0:
+            return 0.0
+        return min(self.standby_ms / self.simulated_ms, 1.0)
+
+
+class SpinManagedDisk:
+    """One disk under a fixed-timeout spin-down policy.
+
+    Wraps a :class:`SimulatedDisk`: requests arriving in STANDBY wait for
+    the spin-up; an idle timer (re-armed at each completion) triggers the
+    spin-down.  Energy is integrated per state.
+
+    Args:
+        disk: the underlying simulated disk.
+        policy: the spin-down policy.
+        diameter_in / platter_count: drive geometry for the energy model.
+        calibration: supplies the spindle loss.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        policy: SpinPolicy,
+        diameter_in: float = 2.6,
+        platter_count: int = 1,
+        calibration: ThermalCalibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.disk = disk
+        self.policy = policy
+        self.diameter_in = diameter_in
+        self.platter_count = platter_count
+        self.calibration = calibration
+        self.state = PowerState.IDLE
+        self.stats = ResponseTimeStats()
+        self.spin_ups = 0
+        self.standby_ms = 0.0
+        self._energy_j = 0.0
+        self._last_transition_ms = 0.0
+        self._outstanding = 0
+        self._waiting: List[Request] = []
+        self._spin_up_done_ms: Optional[float] = None
+        self._idle_timer_deadline: Optional[float] = None
+        disk.on_complete = self._completed
+
+    # -- energy integration ---------------------------------------------------------
+
+    def _spinning_power_w(self) -> float:
+        return (
+            viscous_power_w(self.disk.rpm, self.diameter_in, self.platter_count)
+            + self.calibration.spm_power_w
+        )
+
+    def _account_interval(self, now: float) -> None:
+        interval_s = max(now - self._last_transition_ms, 0.0) / 1000.0
+        if self.state != PowerState.STANDBY:
+            self._energy_j += self._spinning_power_w() * interval_s
+        else:
+            self.standby_ms += now - self._last_transition_ms
+        self._last_transition_ms = now
+
+    def _enter(self, state: PowerState, now: float) -> None:
+        self._account_interval(now)
+        self.state = state
+
+    # -- request path ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        now = self.disk.events.now_ms
+        self._idle_timer_deadline = None  # any arrival cancels the timer
+        if self.state == PowerState.STANDBY:
+            self._waiting.append(request)
+            if self._spin_up_done_ms is None:
+                self.spin_ups += 1
+                self._energy_j += self.policy.spin_up_energy_j
+                self._spin_up_done_ms = now + self.policy.spin_up_ms
+                self.disk.events.schedule(
+                    self._spin_up_done_ms, lambda t: self._spun_up(t)
+                )
+            return
+        self._enter(PowerState.ACTIVE, now)
+        self._outstanding += 1
+        self.disk.submit(request)
+
+    def _spun_up(self, now: float) -> None:
+        self._enter(PowerState.ACTIVE, now)
+        self._spin_up_done_ms = None
+        waiting, self._waiting = self._waiting, []
+        for request in waiting:
+            self._outstanding += 1
+            self.disk.submit(request)
+
+    def _completed(self, request: Request, now: float) -> None:
+        self.stats.add(request.response_time_ms)
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._enter(PowerState.IDLE, now)
+            if self.policy.idle_timeout_ms is not None:
+                deadline = now + self.policy.idle_timeout_ms
+                self._idle_timer_deadline = deadline
+                self.disk.events.schedule(deadline, lambda t: self._idle_timeout(t))
+
+    def _idle_timeout(self, now: float) -> None:
+        # Stale timers (re-armed or cancelled by later activity) are no-ops.
+        if self._idle_timer_deadline != now or self.state != PowerState.IDLE:
+            return
+        self._idle_timer_deadline = None
+        self._enter(PowerState.STANDBY, now)
+
+    # -- replay ---------------------------------------------------------------------------
+
+    def run_trace(self, trace: Trace) -> SpinReport:
+        """Replay a trace through the spin-managed disk."""
+        events = self.disk.events
+        for record in trace:
+            request = Request(
+                arrival_ms=record.time_ms,
+                lba=record.lba,
+                sectors=record.sectors,
+                is_write=record.is_write,
+            )
+            events.schedule(record.time_ms, lambda t, r=request: self.submit(r))
+        events.run()
+        now = events.now_ms
+        self._account_interval(now)
+        # VCM energy accrues only while seeking.
+        self._energy_j += vcm_power_w(self.diameter_in) * self.disk.stats.seek_ms / 1000.0
+        return SpinReport(
+            stats=self.stats,
+            spin_ups=self.spin_ups,
+            standby_ms=self.standby_ms,
+            active_idle_ms=now - self.standby_ms,
+            energy_j=self._energy_j,
+            simulated_ms=now,
+        )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """A drive geometry parameter is physically impossible or inconsistent."""
+
+
+class RecordingError(ReproError):
+    """A recording-technology parameter (BPI/TPI/zones/ECC) is invalid."""
+
+
+class ThermalError(ReproError):
+    """The thermal model was given invalid inputs or failed to converge."""
+
+
+class EnvelopeError(ThermalError):
+    """No operating point satisfies the requested thermal envelope."""
+
+
+class RoadmapError(ReproError):
+    """The roadmap engine was asked for an infeasible configuration."""
+
+
+class SimulationError(ReproError):
+    """The storage simulator detected an inconsistent event or request."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or violates ordering invariants."""
+
+
+class DTMError(ReproError):
+    """A dynamic-thermal-management policy received invalid parameters."""

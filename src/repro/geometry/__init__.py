@@ -1,0 +1,24 @@
+"""Drive geometry: platters, stacks, enclosures and actuators."""
+
+from repro.geometry.actuator import Actuator, actuator_for_platter
+from repro.geometry.enclosure import (
+    FORM_FACTOR_25,
+    FORM_FACTOR_35,
+    FORM_FACTORS,
+    Enclosure,
+    form_factor,
+)
+from repro.geometry.platter import Platter
+from repro.geometry.stack import DiskStack
+
+__all__ = [
+    "Actuator",
+    "actuator_for_platter",
+    "Enclosure",
+    "form_factor",
+    "FORM_FACTORS",
+    "FORM_FACTOR_25",
+    "FORM_FACTOR_35",
+    "Platter",
+    "DiskStack",
+]

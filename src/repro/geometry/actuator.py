@@ -1,0 +1,95 @@
+"""Actuator (voice-coil motor and disk arms) geometry.
+
+The VCM node in the thermal model lumps the coil, the E-block and the arms.
+Arm length scales with platter size (the arm must sweep the data band), so we
+parameterize the actuator on the platter it serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import GeometryError
+from repro.geometry.platter import Platter
+from repro.materials import ALUMINUM, Material
+
+
+@dataclass(frozen=True)
+class Actuator:
+    """Voice-coil actuator serving a platter stack.
+
+    Attributes:
+        arm_length_m: pivot-to-head arm length, meters.
+        arm_width_m: arm width, meters.
+        arm_thickness_m: arm thickness, meters.
+        arm_count: number of arms (one per surface plus structure).
+        coil_mass_kg: mass of the voice coil and magnet-adjacent structure.
+        material: arm material.
+    """
+
+    arm_length_m: float
+    arm_width_m: float = 0.008
+    arm_thickness_m: float = 0.5e-3
+    arm_count: int = 2
+    coil_mass_kg: float = 0.0015
+    material: Material = field(default=ALUMINUM)
+
+    def __post_init__(self) -> None:
+        if self.arm_length_m <= 0:
+            raise GeometryError("arm length must be positive")
+        if self.arm_count < 1:
+            raise GeometryError("arm count must be >= 1")
+        if self.coil_mass_kg < 0:
+            raise GeometryError("coil mass cannot be negative")
+
+    def arm_mass_kg(self) -> float:
+        """Mass of all arms, kg."""
+        one = self.arm_length_m * self.arm_width_m * self.arm_thickness_m * self.material.density
+        return self.arm_count * one
+
+    def mass_kg(self) -> float:
+        """Total actuator mass (arms + coil), kg."""
+        return self.arm_mass_kg() + self.coil_mass_kg
+
+    def heat_capacity_j_per_k(self) -> float:
+        """Lumped heat capacity, J/K.
+
+        The copper coil's specific heat (385 J/kg K) differs from aluminum's;
+        we charge the coil at copper's value.  The default masses keep the
+        actuator node's thermal time constant sub-second — VCM heat is
+        dissipated in the few-gram coil and thin arms, which is what gives
+        dynamic throttling its second-scale cool/heat dynamics (paper §5.3);
+        steady-state results are independent of this capacitance.
+        """
+        copper_specific_heat = 385.0
+        return (
+            self.arm_mass_kg() * self.material.specific_heat
+            + self.coil_mass_kg * copper_specific_heat
+        )
+
+    def convective_area_m2(self) -> float:
+        """Area exchanging heat with internal air (both arm faces + coil), m^2."""
+        arm_faces = 2.0 * self.arm_length_m * self.arm_width_m * self.arm_count
+        coil_area = 6.0e-4
+        return arm_faces + coil_area
+
+
+def actuator_for_platter(platter: Platter, surfaces: int = 2) -> Actuator:
+    """Build an actuator sized for the given platter.
+
+    The arm must reach from a pivot outside the platter across the data band;
+    a good approximation (measured on the dissected Cheetah 15K.3 in the
+    paper) is an arm about 1.2x the platter radius.
+
+    Args:
+        platter: the platter the actuator sweeps.
+        surfaces: number of recording surfaces (arms ~ one per surface).
+    """
+    arm_length = 1.2 * platter.outer_radius_m
+    width = max(0.3 * units.inches_to_meters(platter.outer_radius_in), 0.004)
+    return Actuator(
+        arm_length_m=arm_length,
+        arm_width_m=width,
+        arm_count=max(surfaces, 1),
+    )

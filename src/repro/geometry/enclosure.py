@@ -1,0 +1,131 @@
+"""Drive enclosure (form factor) geometry.
+
+The enclosure matters thermally through (i) the base/cover area available to
+convect heat to the outside air and (ii) the thermal mass of the castings.
+The paper studies the standard 3.5-inch form factor and a smaller 2.5-inch
+form factor (3.96 x 2.75 inches, per the StorageReview reference [45]) that
+can still house a 2.6-inch platter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import GeometryError
+from repro.materials import ALUMINUM, Material
+
+
+@dataclass(frozen=True)
+class Enclosure:
+    """Rectangular drive enclosure.
+
+    Attributes:
+        name: form-factor label (e.g. ``"3.5-inch"``).
+        length_in: longest horizontal dimension, inches.
+        width_in: other horizontal dimension, inches.
+        height_in: enclosure height, inches.
+        wall_thickness_m: casting wall thickness, meters.
+        material: casting material.
+    """
+
+    name: str
+    length_in: float
+    width_in: float
+    height_in: float
+    wall_thickness_m: float = 3.0e-3
+    material: Material = field(default=ALUMINUM)
+
+    def __post_init__(self) -> None:
+        for field_name in ("length_in", "width_in", "height_in", "wall_thickness_m"):
+            if getattr(self, field_name) <= 0:
+                raise GeometryError(f"{field_name} must be positive")
+
+    # -- derived metric dimensions ---------------------------------------------
+
+    @property
+    def length_m(self) -> float:
+        """Enclosure length in meters."""
+        return units.inches_to_meters(self.length_in)
+
+    @property
+    def width_m(self) -> float:
+        """Enclosure width in meters."""
+        return units.inches_to_meters(self.width_in)
+
+    @property
+    def height_m(self) -> float:
+        """Enclosure height in meters."""
+        return units.inches_to_meters(self.height_in)
+
+    # -- thermal quantities -----------------------------------------------------
+
+    def footprint_area_m2(self) -> float:
+        """Base (or cover) plan area, m^2."""
+        return self.length_m * self.width_m
+
+    def external_area_m2(self) -> float:
+        """Total outside surface area (base + cover + four sides), m^2."""
+        top_bottom = 2.0 * self.footprint_area_m2()
+        sides = 2.0 * self.height_m * (self.length_m + self.width_m)
+        return top_bottom + sides
+
+    def internal_air_volume_m3(self, displaced_volume_m3: float = 0.0) -> float:
+        """Approximate internal air volume after subtracting internals, m^3.
+
+        Args:
+            displaced_volume_m3: volume occupied by the stack, actuator and
+                motor internals, subtracted from the cavity volume.
+        """
+        inner_l = max(self.length_m - 2 * self.wall_thickness_m, 0.0)
+        inner_w = max(self.width_m - 2 * self.wall_thickness_m, 0.0)
+        inner_h = max(self.height_m - 2 * self.wall_thickness_m, 0.0)
+        cavity = inner_l * inner_w * inner_h
+        return max(cavity - displaced_volume_m3, 1.0e-7)
+
+    def casting_mass_kg(self) -> float:
+        """Mass of base + cover castings (shell approximation), kg."""
+        shell_volume = self.external_area_m2() * self.wall_thickness_m
+        return shell_volume * self.material.density
+
+    def heat_capacity_j_per_k(self) -> float:
+        """Lumped heat capacity of the castings, J/K."""
+        return self.casting_mass_kg() * self.material.specific_heat
+
+    def can_house_platter(self, platter_diameter_in: float) -> bool:
+        """Whether a platter of the given diameter fits inside the walls."""
+        wall_in = units.meters_to_inches(self.wall_thickness_m)
+        return platter_diameter_in <= self.width_in - 2 * wall_in
+
+
+#: Standard 3.5-inch server form factor (low-profile, 1-inch height).
+FORM_FACTOR_35 = Enclosure(name="3.5-inch", length_in=5.75, width_in=4.0, height_in=1.0)
+
+#: 2.5-inch form factor per StorageReview [45]: 3.96 x 2.75 inches.  The
+#: paper notes this can still house a 2.6-inch platter.
+FORM_FACTOR_25 = Enclosure(
+    name="2.5-inch", length_in=3.96, width_in=2.75, height_in=0.75,
+    wall_thickness_m=1.5e-3,
+)
+
+#: Lookup by label used in drive specifications.
+FORM_FACTORS = {
+    "3.5": FORM_FACTOR_35,
+    "2.5": FORM_FACTOR_25,
+}
+
+
+def form_factor(label: str) -> Enclosure:
+    """Return the named form factor.
+
+    Args:
+        label: ``"3.5"`` or ``"2.5"``.
+
+    Raises:
+        GeometryError: if the label is unknown.
+    """
+    try:
+        return FORM_FACTORS[label]
+    except KeyError:
+        known = ", ".join(sorted(FORM_FACTORS))
+        raise GeometryError(f"unknown form factor {label!r} (known: {known})") from None

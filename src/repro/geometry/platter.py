@@ -1,0 +1,89 @@
+"""Platter geometry.
+
+A platter is described by its outer diameter (the figure quoted in drive
+datasheets, e.g. "2.6 inch media") and a thickness.  Following the paper, the
+inner (spindle-clamp) radius is half the outer radius and the recordable band
+occupies the stroke-efficiency fraction of the radial span between them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.constants import INNER_RADIUS_RATIO
+from repro.errors import GeometryError
+from repro.materials import ALUMINUM, Material
+
+
+@dataclass(frozen=True)
+class Platter:
+    """Geometry of a single recording platter.
+
+    Attributes:
+        diameter_in: outer diameter of the media in inches.
+        thickness_m: platter thickness in meters (typical server media
+            is 0.8-1.27 mm).
+        material: platter substrate material (aluminum by default).
+    """
+
+    diameter_in: float
+    thickness_m: float = 1.0e-3
+    material: Material = field(default=ALUMINUM)
+
+    def __post_init__(self) -> None:
+        if self.diameter_in <= 0:
+            raise GeometryError(f"platter diameter must be positive, got {self.diameter_in}")
+        if self.thickness_m <= 0:
+            raise GeometryError(f"platter thickness must be positive, got {self.thickness_m}")
+
+    # -- radii ---------------------------------------------------------------
+
+    @property
+    def outer_radius_in(self) -> float:
+        """Outer radius in inches."""
+        return self.diameter_in / 2.0
+
+    @property
+    def inner_radius_in(self) -> float:
+        """Inner (clamp) radius in inches; half the outer per the paper."""
+        return self.outer_radius_in * INNER_RADIUS_RATIO
+
+    @property
+    def outer_radius_m(self) -> float:
+        """Outer radius in meters."""
+        return units.inches_to_meters(self.outer_radius_in)
+
+    @property
+    def inner_radius_m(self) -> float:
+        """Inner radius in meters."""
+        return units.inches_to_meters(self.inner_radius_in)
+
+    @property
+    def radial_band_in(self) -> float:
+        """Radial span (outer - inner radius) available for tracks, inches."""
+        return self.outer_radius_in - self.inner_radius_in
+
+    # -- areas / volume / mass -------------------------------------------------
+
+    def annulus_area_in2(self) -> float:
+        """Recordable annulus area per surface, in square inches."""
+        return math.pi * (self.outer_radius_in**2 - self.inner_radius_in**2)
+
+    def face_area_m2(self) -> float:
+        """One full face area (disc, no annulus subtraction) in m^2."""
+        return math.pi * self.outer_radius_m**2
+
+    def volume_m3(self) -> float:
+        """Platter solid volume in m^3 (annular disc)."""
+        ring = math.pi * (self.outer_radius_m**2 - self.inner_radius_m**2)
+        return ring * self.thickness_m
+
+    def mass_kg(self) -> float:
+        """Platter mass in kg."""
+        return self.volume_m3() * self.material.density
+
+    def heat_capacity_j_per_k(self) -> float:
+        """Lumped heat capacity of the platter, J/K."""
+        return self.mass_kg() * self.material.specific_heat

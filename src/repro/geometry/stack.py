@@ -1,0 +1,78 @@
+"""Disk stack: the spindle-motor assembly of platters plus hub.
+
+The thermal model treats the rotating stack (hub + platters) as a single
+lumped node, so the quantities of interest are its total heat capacity and
+the wetted surface area exchanging heat with the internal air.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import GeometryError
+from repro.geometry.platter import Platter
+from repro.materials import ALUMINUM, Material
+
+
+@dataclass(frozen=True)
+class DiskStack:
+    """A spindle stack of identical platters.
+
+    Attributes:
+        platter: geometry of each platter.
+        count: number of platters (each contributing two surfaces).
+        hub_radius_m: radius of the spindle hub cylinder.
+        hub_height_m: axial height of the hub.
+        hub_material: hub material (aluminum).
+        platter_spacing_m: axial gap between adjacent platters.
+    """
+
+    platter: Platter
+    count: int = 1
+    hub_radius_m: float = 0.009
+    hub_height_m: float = 0.020
+    hub_material: Material = field(default=ALUMINUM)
+    platter_spacing_m: float = 2.5e-3
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise GeometryError(f"platter count must be >= 1, got {self.count}")
+        if self.hub_radius_m <= 0 or self.hub_height_m <= 0:
+            raise GeometryError("hub dimensions must be positive")
+        if self.platter_spacing_m <= 0:
+            raise GeometryError("platter spacing must be positive")
+
+    @property
+    def surfaces(self) -> int:
+        """Number of recording surfaces (two per platter)."""
+        return 2 * self.count
+
+    def hub_mass_kg(self) -> float:
+        """Spindle hub mass (solid cylinder approximation), kg."""
+        volume = math.pi * self.hub_radius_m**2 * self.hub_height_m
+        return volume * self.hub_material.density
+
+    def mass_kg(self) -> float:
+        """Total rotating mass: platters plus hub, kg."""
+        return self.count * self.platter.mass_kg() + self.hub_mass_kg()
+
+    def heat_capacity_j_per_k(self) -> float:
+        """Lumped heat capacity of the rotating stack, J/K."""
+        platters = self.count * self.platter.heat_capacity_j_per_k()
+        hub = self.hub_mass_kg() * self.hub_material.specific_heat
+        return platters + hub
+
+    def convective_area_m2(self) -> float:
+        """Wetted area exchanging heat with internal air, m^2.
+
+        Both faces of every platter (annulus from hub radius to the outer
+        edge) plus the rim, plus the exposed hub lateral surface.
+        """
+        r_out = self.platter.outer_radius_m
+        r_hub = min(self.hub_radius_m, r_out)
+        face = math.pi * (r_out**2 - r_hub**2)
+        rim = 2.0 * math.pi * r_out * self.platter.thickness_m
+        per_platter = 2.0 * face + rim
+        hub_side = 2.0 * math.pi * self.hub_radius_m * self.hub_height_m
+        return self.count * per_platter + hub_side

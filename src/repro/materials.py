@@ -1,0 +1,80 @@
+"""Material thermal properties used by the drive thermal model.
+
+The paper assumes the platters, spindle hub and disk arm are aluminum (the
+exact Al-Mg alloy is proprietary) and the base/cover castings are aluminum
+as well.  The internal drive air is modeled as dry air at roughly the drive
+operating temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """Thermal properties of a homogeneous material.
+
+    Attributes:
+        name: human-readable material name.
+        density: mass density in kg/m^3.
+        specific_heat: specific heat capacity in J/(kg K).
+        conductivity: thermal conductivity in W/(m K).
+    """
+
+    name: str
+    density: float
+    specific_heat: float
+    conductivity: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("density", "specific_heat", "conductivity"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be positive, got {value}")
+
+    def volumetric_heat_capacity(self) -> float:
+        """Heat capacity per unit volume, J/(m^3 K)."""
+        return self.density * self.specific_heat
+
+    def thermal_diffusivity(self) -> float:
+        """Thermal diffusivity k / (rho c), m^2/s."""
+        return self.conductivity / self.volumetric_heat_capacity()
+
+
+@dataclass(frozen=True)
+class Fluid(Material):
+    """A fluid: a material plus transport properties needed for convection.
+
+    Attributes:
+        kinematic_viscosity: nu in m^2/s.
+        prandtl: Prandtl number (dimensionless).
+    """
+
+    kinematic_viscosity: float = 0.0
+    prandtl: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kinematic_viscosity <= 0:
+            raise ValueError(f"{self.name}: kinematic_viscosity must be positive")
+        if self.prandtl <= 0:
+            raise ValueError(f"{self.name}: prandtl must be positive")
+
+
+#: Aluminum (platters, hub, arms, base and cover castings).  Generic 6xxx
+#: wrought-alloy values; the exact drive alloys are proprietary (paper §3.3).
+ALUMINUM = Material(name="aluminum", density=2700.0, specific_heat=896.0, conductivity=180.0)
+
+#: Stainless steel (spindle shaft, screws); used for small internal parts.
+STEEL = Material(name="steel", density=7850.0, specific_heat=490.0, conductivity=16.0)
+
+#: Dry air near 40 C, the regime of the internal drive air.
+AIR = Fluid(
+    name="air",
+    density=1.127,
+    specific_heat=1007.0,
+    conductivity=0.0271,
+    kinematic_viscosity=1.70e-5,
+    prandtl=0.706,
+)

@@ -1,0 +1,43 @@
+"""Performance model: seek curves, internal data rate, rotational timing."""
+
+from repro.performance.extraction import (
+    SeekSample,
+    extract_seek_curve,
+    extraction_error,
+)
+from repro.performance.idr import (
+    idr_mb_per_s,
+    media_rate_mb_per_s,
+    required_rpm_for_idr,
+    surface_idr_mb_per_s,
+)
+from repro.performance.rotation import (
+    angle_at,
+    average_rotational_latency_ms,
+    full_rotation_ms,
+    wait_for_angle_ms,
+)
+from repro.performance.seek import (
+    SeekModel,
+    SeekParameters,
+    seek_model_for_platter,
+    seek_parameters_for_platter,
+)
+
+__all__ = [
+    "SeekSample",
+    "extract_seek_curve",
+    "extraction_error",
+    "SeekModel",
+    "SeekParameters",
+    "seek_model_for_platter",
+    "seek_parameters_for_platter",
+    "idr_mb_per_s",
+    "media_rate_mb_per_s",
+    "required_rpm_for_idr",
+    "surface_idr_mb_per_s",
+    "angle_at",
+    "average_rotational_latency_ms",
+    "full_rotation_ms",
+    "wait_for_angle_ms",
+]

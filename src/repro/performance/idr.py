@@ -1,0 +1,60 @@
+"""Internal data rate (paper §3.2, eq. 4).
+
+The maximum IDR is delivered by the outermost zone, which stores the most
+sectors per track while the angular velocity is constant:
+
+    IDR [MB/s] = (rpm / 60) * (n_tz0 * 512) / 2^20
+
+The inverse — the RPM required to hit a target IDR at a given zone-0 sector
+count — drives the roadmap's step 2.
+"""
+
+from __future__ import annotations
+
+from repro.capacity.zones import ZonedSurface
+from repro.errors import ReproError
+from repro.units import BYTES_PER_SECTOR, MIB
+
+
+def idr_mb_per_s(rpm: float, sectors_per_track_zone0: int) -> float:
+    """Maximum internal data rate in MB/s (2**20 bytes).
+
+    Args:
+        rpm: spindle speed in rotations per minute.
+        sectors_per_track_zone0: sectors per track in the outermost zone.
+    """
+    if rpm <= 0:
+        raise ReproError(f"rpm must be positive, got {rpm}")
+    if sectors_per_track_zone0 < 1:
+        raise ReproError(
+            f"zone-0 sector count must be >= 1, got {sectors_per_track_zone0}"
+        )
+    bytes_per_rev = sectors_per_track_zone0 * BYTES_PER_SECTOR
+    return (rpm / 60.0) * bytes_per_rev / MIB
+
+
+def required_rpm_for_idr(target_idr_mb_per_s: float, sectors_per_track_zone0: int) -> float:
+    """RPM needed to reach a target IDR (inverse of :func:`idr_mb_per_s`)."""
+    if target_idr_mb_per_s <= 0:
+        raise ReproError(f"target IDR must be positive, got {target_idr_mb_per_s}")
+    if sectors_per_track_zone0 < 1:
+        raise ReproError(
+            f"zone-0 sector count must be >= 1, got {sectors_per_track_zone0}"
+        )
+    bytes_per_rev = sectors_per_track_zone0 * BYTES_PER_SECTOR
+    return target_idr_mb_per_s * MIB * 60.0 / bytes_per_rev
+
+
+def surface_idr_mb_per_s(surface: ZonedSurface, rpm: float) -> float:
+    """IDR of a laid-out surface at a spindle speed."""
+    return idr_mb_per_s(rpm, surface.sectors_per_track_zone0)
+
+
+def media_rate_mb_per_s(surface: ZonedSurface, rpm: float, track: int) -> float:
+    """Sustained media rate while reading a specific track's zone, MB/s.
+
+    Inner zones transfer slower than zone 0; the storage simulator uses this
+    to compute per-request transfer times.
+    """
+    zone = surface.zone_of_track(track)
+    return idr_mb_per_s(rpm, zone.sectors_per_track)

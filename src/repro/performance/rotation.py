@@ -1,0 +1,61 @@
+"""Rotational timing helpers.
+
+The simulator tracks the platter's angular position to compute exact
+rotational delays; these helpers centralize the revolution arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.units import rotation_time_ms
+
+
+def full_rotation_ms(rpm: float) -> float:
+    """One revolution, in milliseconds."""
+    return rotation_time_ms(rpm)
+
+
+def average_rotational_latency_ms(rpm: float) -> float:
+    """Expected latency to a random angular target: half a revolution."""
+    return rotation_time_ms(rpm) / 2.0
+
+
+def angle_at(time_ms: float, rpm: float, phase: float = 0.0) -> float:
+    """Fractional angular position of the platter at a time.
+
+    Args:
+        time_ms: absolute simulation time in milliseconds.
+        rpm: spindle speed.
+        phase: fractional position at time 0, in [0, 1).
+
+    Returns:
+        Position in revolutions, wrapped to [0, 1).
+    """
+    if time_ms < 0:
+        raise ReproError(f"time cannot be negative, got {time_ms}")
+    period = rotation_time_ms(rpm)
+    return (phase + time_ms / period) % 1.0
+
+
+def wait_for_angle_ms(now_ms: float, target_angle: float, rpm: float, phase: float = 0.0) -> float:
+    """Time to wait from ``now_ms`` until the head is over ``target_angle``.
+
+    Args:
+        now_ms: current simulation time in milliseconds.
+        target_angle: target angular position in revolutions, [0, 1).
+        rpm: spindle speed.
+        phase: platter phase at time 0.
+
+    Returns:
+        Non-negative wait in milliseconds, strictly less than one revolution.
+    """
+    if not 0.0 <= target_angle < 1.0:
+        raise ReproError(f"target angle must be in [0, 1), got {target_angle}")
+    period = rotation_time_ms(rpm)
+    current = angle_at(now_ms, rpm, phase)
+    delta = (target_angle - current) % 1.0
+    if delta >= 1.0:
+        # Float artifact: (-epsilon) % 1.0 can return exactly 1.0; the head
+        # is already on target.
+        delta = 0.0
+    return delta * period

@@ -1,0 +1,134 @@
+"""Seek-time model (paper §3.2).
+
+The paper leverages the Worthington et al. three-parameter model: the
+track-to-track, average, and full-stroke seek times from the datasheet, with
+linear interpolation in seek distance between those anchors.  For future
+drives of a given platter size, the three parameters themselves come from a
+linear interpolation over real devices of different platter sizes (the seek
+arc shrinks with the platter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SeekParameters:
+    """The three datasheet seek anchors, in milliseconds.
+
+    Attributes:
+        track_to_track_ms: single-cylinder seek time.
+        average_ms: average seek time (random uniform requests).
+        full_stroke_ms: end-to-end seek time.
+    """
+
+    track_to_track_ms: float
+    average_ms: float
+    full_stroke_ms: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.track_to_track_ms <= self.average_ms <= self.full_stroke_ms:
+            raise ReproError(
+                "seek anchors must satisfy 0 < track_to_track <= average <= full_stroke; "
+                f"got {self.track_to_track_ms}, {self.average_ms}, {self.full_stroke_ms}"
+            )
+
+
+class SeekModel:
+    """Piecewise-linear seek-time curve over cylinder distance.
+
+    The average seek time is pinned at the mean random-seek distance, which
+    for a uniformly used band of ``cylinders`` tracks is ``cylinders / 3``.
+
+    Args:
+        parameters: the three seek anchors.
+        cylinders: number of cylinders the actuator sweeps.
+    """
+
+    def __init__(self, parameters: SeekParameters, cylinders: int) -> None:
+        if cylinders < 2:
+            raise ReproError(f"need at least 2 cylinders for seeks, got {cylinders}")
+        self.parameters = parameters
+        self.cylinders = cylinders
+        self._avg_distance = max(cylinders / 3.0, 2.0)
+        self._full_distance = float(cylinders - 1)
+
+    def seek_time_ms(self, distance: int) -> float:
+        """Seek time for a cylinder distance, in milliseconds.
+
+        Args:
+            distance: absolute cylinder distance; 0 means no seek.
+        """
+        if distance < 0:
+            raise ReproError(f"seek distance cannot be negative, got {distance}")
+        if distance == 0:
+            return 0.0
+        if distance >= self._full_distance:
+            return self.parameters.full_stroke_ms
+        p = self.parameters
+        if distance <= self._avg_distance:
+            span = self._avg_distance - 1.0
+            if span <= 0:
+                return p.average_ms
+            frac = (distance - 1.0) / span
+            return p.track_to_track_ms + frac * (p.average_ms - p.track_to_track_ms)
+        span = self._full_distance - self._avg_distance
+        frac = (distance - self._avg_distance) / span
+        return p.average_ms + frac * (p.full_stroke_ms - p.average_ms)
+
+    def average_seek_ms(self) -> float:
+        """The model's value at the mean random-seek distance."""
+        return self.seek_time_ms(int(round(self._avg_distance)))
+
+
+#: Seek anchors measured on real server drives of various platter sizes
+#: (datasheet values for the drives of Table 1 and their relatives), used to
+#: interpolate anchors for arbitrary future platter sizes, as the paper does.
+_PLATTER_SEEK_TABLE: Sequence[Tuple[float, SeekParameters]] = (
+    (1.6, SeekParameters(track_to_track_ms=0.30, average_ms=2.40, full_stroke_ms=5.0)),
+    (2.1, SeekParameters(track_to_track_ms=0.35, average_ms=3.00, full_stroke_ms=6.2)),
+    (2.6, SeekParameters(track_to_track_ms=0.40, average_ms=3.60, full_stroke_ms=7.5)),
+    (3.0, SeekParameters(track_to_track_ms=0.50, average_ms=4.20, full_stroke_ms=8.8)),
+    (3.3, SeekParameters(track_to_track_ms=0.60, average_ms=4.70, full_stroke_ms=10.0)),
+    (3.7, SeekParameters(track_to_track_ms=0.80, average_ms=7.40, full_stroke_ms=16.0)),
+)
+
+
+def seek_parameters_for_platter(diameter_in: float) -> SeekParameters:
+    """Interpolate the three seek anchors for a platter diameter.
+
+    Linear interpolation between the table entries; clamped at the table
+    boundaries (the paper likewise refuses to extrapolate below 1.6 inches).
+
+    Args:
+        diameter_in: platter diameter in inches.
+    """
+    if diameter_in <= 0:
+        raise ReproError(f"diameter must be positive, got {diameter_in}")
+    table = _PLATTER_SEEK_TABLE
+    if diameter_in <= table[0][0]:
+        return table[0][1]
+    if diameter_in >= table[-1][0]:
+        return table[-1][1]
+    for (d_lo, p_lo), (d_hi, p_hi) in zip(table, table[1:]):
+        if d_lo <= diameter_in <= d_hi:
+            frac = (diameter_in - d_lo) / (d_hi - d_lo)
+
+            def lerp(a: float, b: float) -> float:
+                return a + frac * (b - a)
+
+            return SeekParameters(
+                track_to_track_ms=lerp(p_lo.track_to_track_ms, p_hi.track_to_track_ms),
+                average_ms=lerp(p_lo.average_ms, p_hi.average_ms),
+                full_stroke_ms=lerp(p_lo.full_stroke_ms, p_hi.full_stroke_ms),
+            )
+    raise ReproError(f"failed to interpolate seek anchors for {diameter_in}")  # pragma: no cover
+
+
+def seek_model_for_platter(diameter_in: float, cylinders: int) -> SeekModel:
+    """Convenience: a :class:`SeekModel` for a platter size and track count."""
+    return SeekModel(seek_parameters_for_platter(diameter_in), cylinders)

@@ -1,0 +1,6 @@
+"""Reporting helpers for the benchmark harness."""
+
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.tables import format_cell, format_comparison, format_table
+
+__all__ = ["ascii_plot", "format_cell", "format_comparison", "format_table"]

@@ -1,0 +1,71 @@
+"""Minimal ASCII line plots so benchmark output can show figure shapes
+without a graphics stack."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 70,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Plot one or more (label, xs, ys) series on a shared character grid.
+
+    Args:
+        series: list of (label, xs, ys); each series gets a distinct glyph.
+        width: plot width in characters.
+        height: plot height in rows.
+        logy: plot log10 of y.
+        title: optional title line.
+
+    Returns:
+        The plot as a newline-joined string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    glyphs = "*+ox#@%&"
+    all_x = [x for _, xs, _ in series for x in xs]
+    all_y = [y for _, _, ys in series for y in ys]
+    if not all_x:
+        raise ValueError("series are empty")
+    if logy:
+        if any(y <= 0 for y in all_y):
+            raise ValueError("log-scale plot requires positive y values")
+        transform = math.log10
+    else:
+        def transform(v: float) -> float:
+            return v
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_values = [transform(y) for y in all_y]
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (label, xs, ys) in enumerate(series):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{(10 ** y_hi if logy else y_hi):.4g}"
+    bottom_label = f"{(10 ** y_lo if logy else y_lo):.4g}"
+    lines.append(f"{top_label:>10} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bottom_label:>10} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<.4g}" + " " * max(width - 12, 1) + f"{x_hi:.4g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={label}" for i, (label, _, _) in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Plain-text table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render a cell: floats at fixed precision, everything else via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    indent: str = "",
+) -> str:
+    """Format an aligned monospace table.
+
+    Args:
+        headers: column titles.
+        rows: row cells; each row must match the header count.
+        precision: decimal places for float cells.
+        indent: prefix prepended to each line.
+
+    Returns:
+        The table as a newline-joined string (no trailing newline).
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [format_cell(cell, precision) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rendered):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(indent + line)
+        if index == 0:
+            lines.append(indent + "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str, ours: float, paper: float, precision: int = 2
+) -> str:
+    """One-line ours-vs-paper comparison with the relative deviation."""
+    if paper == 0:
+        return f"{label}: ours={ours:.{precision}f} paper={paper:.{precision}f}"
+    deviation = (ours - paper) / abs(paper) * 100.0
+    return (
+        f"{label}: ours={ours:.{precision}f} paper={paper:.{precision}f} "
+        f"({deviation:+.1f}%)"
+    )

@@ -1,0 +1,50 @@
+"""Technology trends and the thermally constrained roadmap."""
+
+from repro.scaling.cooling import (
+    PAPER_COOLING_DELTAS,
+    CoolingScenario,
+    cooling_study,
+    roadmap_extension_years,
+)
+from repro.scaling.formfactor import (
+    FormFactorComparison,
+    extra_cooling_needed_c,
+    formfactor_study,
+)
+from repro.scaling.roadmap import (
+    REFERENCE_RPM,
+    RequiredRpmCell,
+    RoadmapPoint,
+    YearDesign,
+    capacity_series,
+    cooling_budget_ambient_c,
+    first_shortfall_year,
+    idr_series,
+    plan_roadmap,
+    required_rpm_table,
+    thermal_roadmap,
+)
+from repro.scaling.trends import PAPER_TRENDS, TechnologyTrends
+
+__all__ = [
+    "PAPER_TRENDS",
+    "TechnologyTrends",
+    "REFERENCE_RPM",
+    "RequiredRpmCell",
+    "RoadmapPoint",
+    "YearDesign",
+    "required_rpm_table",
+    "thermal_roadmap",
+    "plan_roadmap",
+    "cooling_budget_ambient_c",
+    "first_shortfall_year",
+    "idr_series",
+    "capacity_series",
+    "CoolingScenario",
+    "PAPER_COOLING_DELTAS",
+    "cooling_study",
+    "roadmap_extension_years",
+    "FormFactorComparison",
+    "formfactor_study",
+    "extra_cooling_needed_c",
+]

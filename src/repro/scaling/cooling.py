@@ -1,0 +1,120 @@
+"""Cooling-system sensitivity study (paper §4.2.1, Figure 3).
+
+Better external cooling lowers the effective ambient, letting the same
+design spin faster before hitting the envelope.  The paper examines 5 C and
+10 C cooler ambients and finds they extend the roadmap by roughly one and
+two years respectively — while noting such cooling is impractical in the
+commodity market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.constants import (
+    ROADMAP_FIRST_YEAR,
+    ROADMAP_LAST_YEAR,
+    ROADMAP_PLATTER_SIZES_IN,
+    ROADMAP_ZONES,
+    THERMAL_ENVELOPE_C,
+)
+from repro.scaling.roadmap import (
+    RoadmapPoint,
+    cooling_budget_ambient_c,
+    first_shortfall_year,
+    thermal_roadmap,
+)
+from repro.scaling.trends import PAPER_TRENDS, TechnologyTrends
+from repro.thermal.model import ThermalCalibration
+
+#: The paper's cooling scenarios: ambient reduction in Celsius.
+PAPER_COOLING_DELTAS = (0.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class CoolingScenario:
+    """A cooling configuration and its roadmap.
+
+    Attributes:
+        delta_c: ambient reduction relative to the baseline cooling system.
+        ambient_c: resulting effective ambient.
+        points: the thermal roadmap under this cooling.
+    """
+
+    delta_c: float
+    ambient_c: float
+    points: List[RoadmapPoint]
+
+    def last_year_meeting_target(self, diameter_in: float) -> Optional[int]:
+        """Last roadmap year this platter size still meets the target."""
+        meeting = [
+            p.year
+            for p in self.points
+            if p.diameter_in == diameter_in and p.meets_target
+        ]
+        return max(meeting) if meeting else None
+
+    def first_shortfall_year(self) -> Optional[int]:
+        """First year no studied size meets the target."""
+        return first_shortfall_year(self.points)
+
+
+def cooling_study(
+    deltas_c: Sequence[float] = PAPER_COOLING_DELTAS,
+    trends: TechnologyTrends = PAPER_TRENDS,
+    years: Sequence[int] = tuple(range(ROADMAP_FIRST_YEAR, ROADMAP_LAST_YEAR + 1)),
+    sizes: Sequence[float] = ROADMAP_PLATTER_SIZES_IN,
+    platter_count: int = 1,
+    zone_count: int = ROADMAP_ZONES,
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    calibration: Optional[ThermalCalibration] = None,
+) -> Dict[float, CoolingScenario]:
+    """Run the roadmap under several cooling improvements (Figure 3).
+
+    Returns:
+        Mapping from ambient reduction (C) to the resulting scenario.
+    """
+    baseline_ambient = cooling_budget_ambient_c(
+        platter_count,
+        trends=trends,
+        zone_count=zone_count,
+        envelope_c=envelope_c,
+        calibration=calibration,
+    )
+    scenarios: Dict[float, CoolingScenario] = {}
+    for delta in deltas_c:
+        ambient = baseline_ambient - delta
+        points = thermal_roadmap(
+            trends=trends,
+            years=years,
+            sizes=sizes,
+            platter_count=platter_count,
+            zone_count=zone_count,
+            envelope_c=envelope_c,
+            ambient_c=ambient,
+            calibration=calibration,
+        )
+        scenarios[delta] = CoolingScenario(
+            delta_c=delta, ambient_c=ambient, points=points
+        )
+    return scenarios
+
+
+def roadmap_extension_years(
+    scenarios: Dict[float, CoolingScenario], diameter_in: float
+) -> Dict[float, int]:
+    """How many extra years each cooling delta buys for a platter size,
+    relative to the baseline (delta 0) scenario."""
+    if 0.0 not in scenarios:
+        raise ValueError("scenarios must include the 0.0 C baseline")
+    base_last = scenarios[0.0].last_year_meeting_target(diameter_in)
+    if base_last is None:
+        base_last = ROADMAP_FIRST_YEAR - 1
+    extensions: Dict[float, int] = {}
+    for delta, scenario in scenarios.items():
+        last = scenario.last_year_meeting_target(diameter_in)
+        if last is None:
+            last = ROADMAP_FIRST_YEAR - 1
+        extensions[delta] = last - base_last
+    return extensions

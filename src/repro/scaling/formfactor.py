@@ -1,0 +1,131 @@
+"""Form-factor sensitivity study (paper §4.2.2).
+
+Moving a 2.6-inch platter from the 3.5-inch enclosure to the 2.5-inch form
+factor shrinks the base/cover area that convects heat to the outside, so the
+same design runs hotter.  The paper finds the smaller enclosure falls off
+the roadmap already in 2002 and needs roughly 15 C of extra cooling before
+it becomes comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import (
+    AMBIENT_TEMPERATURE_C,
+    ROADMAP_FIRST_YEAR,
+    ROADMAP_LAST_YEAR,
+    ROADMAP_ZONES,
+    THERMAL_ENVELOPE_C,
+)
+from repro.geometry.enclosure import FORM_FACTOR_25, FORM_FACTOR_35, Enclosure
+from repro.scaling.roadmap import RoadmapPoint, thermal_roadmap
+from repro.scaling.trends import PAPER_TRENDS, TechnologyTrends
+from repro.thermal.envelope import max_rpm_within_envelope
+from repro.thermal.model import ThermalCalibration
+
+
+@dataclass(frozen=True)
+class FormFactorComparison:
+    """Roadmaps of the same media in two enclosures.
+
+    Attributes:
+        diameter_in: platter size (the paper uses 2.6 inches).
+        large: roadmap points in the 3.5-inch enclosure.
+        small: roadmap points in the 2.5-inch enclosure.
+    """
+
+    diameter_in: float
+    large: List[RoadmapPoint]
+    small: List[RoadmapPoint]
+
+    def small_meets_target_ever(self) -> bool:
+        """Whether the small enclosure meets the target in any year."""
+        return any(p.meets_target for p in self.small)
+
+
+def formfactor_study(
+    diameter_in: float = 2.6,
+    platter_count: int = 1,
+    trends: TechnologyTrends = PAPER_TRENDS,
+    years: Sequence[int] = tuple(range(ROADMAP_FIRST_YEAR, ROADMAP_LAST_YEAR + 1)),
+    zone_count: int = ROADMAP_ZONES,
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    ambient_c: float = AMBIENT_TEMPERATURE_C,
+    large: Enclosure = FORM_FACTOR_35,
+    small: Enclosure = FORM_FACTOR_25,
+    calibration: Optional[ThermalCalibration] = None,
+) -> FormFactorComparison:
+    """Compare the roadmap of one platter size across two enclosures."""
+    common = dict(
+        trends=trends,
+        years=years,
+        sizes=(diameter_in,),
+        platter_count=platter_count,
+        zone_count=zone_count,
+        envelope_c=envelope_c,
+        ambient_c=ambient_c,
+        calibration=calibration,
+    )
+    return FormFactorComparison(
+        diameter_in=diameter_in,
+        large=thermal_roadmap(enclosure=large, **common),
+        small=thermal_roadmap(enclosure=small, **common),
+    )
+
+
+def extra_cooling_needed_c(
+    diameter_in: float = 2.6,
+    platter_count: int = 1,
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    ambient_c: float = AMBIENT_TEMPERATURE_C,
+    large: Enclosure = FORM_FACTOR_35,
+    small: Enclosure = FORM_FACTOR_25,
+    calibration: Optional[ThermalCalibration] = None,
+    tolerance_c: float = 0.05,
+) -> float:
+    """Ambient reduction needed for the small enclosure to match the large.
+
+    Finds (by bisection, exploiting the network's unit ambient gain) the
+    cooling delta at which the small enclosure supports the same maximum
+    in-envelope RPM as the large one at the paper's baseline ambient.
+    """
+    target_rpm = max_rpm_within_envelope(
+        diameter_in,
+        platter_count=platter_count,
+        envelope_c=envelope_c,
+        ambient_c=ambient_c,
+        enclosure=large,
+        calibration=calibration,
+    )
+
+    def small_rpm(delta: float) -> float:
+        from repro.errors import EnvelopeError
+
+        try:
+            return max_rpm_within_envelope(
+                diameter_in,
+                platter_count=platter_count,
+                envelope_c=envelope_c,
+                ambient_c=ambient_c - delta,
+                enclosure=small,
+                calibration=calibration,
+            )
+        except EnvelopeError:
+            return 0.0
+
+    low, high = 0.0, 60.0
+    if small_rpm(low) >= target_rpm:
+        return 0.0
+    if small_rpm(high) < target_rpm:
+        raise ValueError(
+            "even 60 C of extra cooling cannot equalize the enclosures"
+        )
+    while high - low > tolerance_c:
+        mid = 0.5 * (low + high)
+        if small_rpm(mid) >= target_rpm:
+            high = mid
+        else:
+            low = mid
+    return high

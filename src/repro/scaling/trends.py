@@ -1,0 +1,104 @@
+"""Technology scaling trends (paper §4).
+
+The roadmap starts from the Hitachi trend charts [22]: in 1999 the industry
+shipped 270 KBPI / 20 KTPI / 47 MB/s, with compound annual growth rates of
+30% (BPI), 50% (TPI) and 40% (IDR target).  Density growth is expected to
+slow after 2003 — the paper re-fits the CGRs to 14% (BPI) and 28% (TPI) so
+that areal density reaches the conservative terabit design point (1.85 MBPI
+x 540 KTPI, BAR 3.42) in 2010.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capacity.recording import RecordingTechnology
+from repro.constants import IDR_TARGET_CGR, TERABIT_AREAL_DENSITY
+from repro.errors import RoadmapError
+
+
+@dataclass(frozen=True)
+class TechnologyTrends:
+    """Parameterized density/IDR growth trends.
+
+    Attributes:
+        base_year: anchor year for the published densities.
+        base_kbpi: linear density in the anchor year, KBPI.
+        base_ktpi: track density in the anchor year, KTPI.
+        base_idr_mb_s: shipped IDR in the anchor year, MB/s.
+        early_bpi_cgr / early_tpi_cgr: growth rates through ``slowdown_year``.
+        late_bpi_cgr / late_tpi_cgr: growth rates after the slowdown.
+        slowdown_year: last year grown at the early rates.
+        idr_cgr: the industry IDR growth-rate target.
+    """
+
+    base_year: int = 1999
+    base_kbpi: float = 270.0
+    base_ktpi: float = 20.0
+    base_idr_mb_s: float = 47.0
+    early_bpi_cgr: float = 0.30
+    early_tpi_cgr: float = 0.50
+    late_bpi_cgr: float = 0.14
+    late_tpi_cgr: float = 0.28
+    slowdown_year: int = 2003
+    idr_cgr: float = IDR_TARGET_CGR
+
+    def __post_init__(self) -> None:
+        if self.slowdown_year < self.base_year:
+            raise RoadmapError(
+                f"slowdown year {self.slowdown_year} precedes base year {self.base_year}"
+            )
+
+    def _growth(self, year: int, early_cgr: float, late_cgr: float) -> float:
+        if year < self.base_year:
+            raise RoadmapError(
+                f"year {year} precedes the trend anchor {self.base_year}"
+            )
+        early_years = min(year, self.slowdown_year) - self.base_year
+        late_years = max(year - self.slowdown_year, 0)
+        return (1.0 + early_cgr) ** early_years * (1.0 + late_cgr) ** late_years
+
+    # -- densities --------------------------------------------------------------
+
+    def kbpi(self, year: int) -> float:
+        """Linear density in KBPI for a year."""
+        return self.base_kbpi * self._growth(year, self.early_bpi_cgr, self.late_bpi_cgr)
+
+    def ktpi(self, year: int) -> float:
+        """Track density in KTPI for a year."""
+        return self.base_ktpi * self._growth(year, self.early_tpi_cgr, self.late_tpi_cgr)
+
+    def technology(self, year: int) -> RecordingTechnology:
+        """Recording-technology point projected for a year."""
+        return RecordingTechnology.from_kilo_units(self.kbpi(year), self.ktpi(year))
+
+    def areal_density(self, year: int) -> float:
+        """Projected areal density, bits per square inch."""
+        return self.technology(year).areal_density
+
+    def bit_aspect_ratio(self, year: int) -> float:
+        """Projected BAR (drops from ~6-7 toward ~3.4 at the terabit point)."""
+        return self.technology(year).bit_aspect_ratio
+
+    def terabit_year(self, search_until: int = 2030) -> int:
+        """First year the projection reaches 1 Tb/in^2."""
+        for year in range(self.base_year, search_until + 1):
+            if self.areal_density(year) >= TERABIT_AREAL_DENSITY:
+                return year
+        raise RoadmapError(
+            f"areal density never reaches terabit by {search_until}"
+        )
+
+    # -- targets -----------------------------------------------------------------
+
+    def target_idr_mb_s(self, year: int) -> float:
+        """The 40%-CGR IDR target for a year, MB/s."""
+        if year < self.base_year:
+            raise RoadmapError(
+                f"year {year} precedes the trend anchor {self.base_year}"
+            )
+        return self.base_idr_mb_s * (1.0 + self.idr_cgr) ** (year - self.base_year)
+
+
+#: The paper's trend parameterization.
+PAPER_TRENDS = TechnologyTrends()

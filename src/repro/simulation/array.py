@@ -1,0 +1,130 @@
+"""Storage array: fans logical requests out to member disks.
+
+Implements the phased execution of :mod:`repro.simulation.raid` plans: all
+children of a phase are issued together; the next phase starts when the
+last child of the current phase completes; the logical request completes
+with its final phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.simulation.disk import SimulatedDisk
+from repro.simulation.events import EventQueue
+from repro.simulation.raid import AccessPlan, ArrayGeometry
+from repro.simulation.request import Request
+
+LogicalCompletion = Callable[[Request, float], None]
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping for one logical request being executed."""
+
+    logical: Request
+    plan: AccessPlan
+    phase_index: int = 0
+    outstanding: int = 0
+    children_issued: int = 0
+    child_ids: Dict[int, int] = field(default_factory=dict)
+
+
+class StorageArray:
+    """A set of disks behind one logical address space.
+
+    Args:
+        disks: member disks (must all share the event queue).
+        geometry: striping/RAID geometry; its ``disk_count`` must match.
+        events: the simulation event queue.
+        on_complete: callback for each completed logical request.
+    """
+
+    def __init__(
+        self,
+        disks: Sequence[SimulatedDisk],
+        geometry: ArrayGeometry,
+        events: EventQueue,
+        on_complete: Optional[LogicalCompletion] = None,
+    ) -> None:
+        if len(disks) != geometry.disk_count:
+            raise SimulationError(
+                f"geometry expects {geometry.disk_count} disks, got {len(disks)}"
+            )
+        for disk in disks:
+            if disk.total_sectors < geometry.disk_sectors:
+                raise SimulationError(
+                    f"disk {disk.name} smaller ({disk.total_sectors}) than the "
+                    f"geometry's per-disk size {geometry.disk_sectors}"
+                )
+        self.disks = list(disks)
+        self.geometry = geometry
+        self.events = events
+        self.on_complete = on_complete
+        self._tracking: Dict[int, _InFlight] = {}
+        self.completed: List[Request] = []
+        for disk in self.disks:
+            disk.on_complete = self._child_completed
+
+    @property
+    def logical_sectors(self) -> int:
+        """Usable logical capacity in sectors."""
+        return self.geometry.logical_sectors
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Accept a logical request at the current simulated time."""
+        plan = self.geometry.plan(request)
+        if not plan.phases:
+            raise SimulationError("geometry produced an empty plan")
+        flight = _InFlight(logical=request, plan=plan)
+        self._tracking[request.request_id] = flight
+        self._issue_phase(flight)
+
+    def _issue_phase(self, flight: _InFlight) -> None:
+        phase = flight.plan.phases[flight.phase_index]
+        flight.outstanding = len(phase)
+        if flight.outstanding == 0:  # pragma: no cover - defensive
+            raise SimulationError("empty phase in access plan")
+        for child in phase:
+            child_request = Request(
+                arrival_ms=self.events.now_ms,
+                lba=child.lba,
+                sectors=child.sectors,
+                is_write=child.is_write,
+                parent=flight.logical,
+            )
+            flight.child_ids[child_request.request_id] = flight.phase_index
+            flight.children_issued += 1
+            self.disks[child.disk].submit(child_request)
+
+    def _child_completed(self, child: Request, now: float) -> None:
+        if child.parent is None:
+            return
+        flight = self._tracking.get(child.parent.request_id)
+        if flight is None:
+            raise SimulationError(
+                f"completion for unknown logical request {child.parent.request_id}"
+            )
+        flight.outstanding -= 1
+        if flight.outstanding > 0:
+            return
+        flight.phase_index += 1
+        if flight.phase_index < len(flight.plan.phases):
+            self._issue_phase(flight)
+            return
+        logical = flight.logical
+        logical.completion_ms = now
+        del self._tracking[logical.request_id]
+        self.completed.append(logical)
+        if self.on_complete is not None:
+            self.on_complete(logical, now)
+
+    # -- introspection ------------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Number of logical requests currently executing."""
+        return len(self._tracking)

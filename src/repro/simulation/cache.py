@@ -1,0 +1,146 @@
+"""Segmented disk buffer cache.
+
+Models the on-drive cache the paper configures at 4 MB: a set of segments,
+each holding one contiguous LBA run, managed LRU.  Reads that fall entirely
+inside a segment are cache hits (served at electronic speed); misses fetch
+the requested range plus a read-ahead tail into a recycled segment.  Writes
+are write-through — they always reach the media — but update any overlapping
+cached segments so subsequent reads stay coherent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SimulationError
+from repro.units import BYTES_PER_SECTOR
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.read_hits / self.lookups if self.lookups else 0.0
+
+
+class DiskCache:
+    """Segmented LRU cache over LBA ranges.
+
+    Args:
+        size_bytes: total cache capacity (paper: 4 MB).
+        segments: number of segments the capacity is divided into.
+        read_ahead_sectors: sectors prefetched past each missed read.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 4 * 1024 * 1024,
+        segments: int = 16,
+        read_ahead_sectors: int = 64,
+    ) -> None:
+        if size_bytes <= 0:
+            raise SimulationError(f"cache size must be positive, got {size_bytes}")
+        if segments < 1:
+            raise SimulationError(f"segment count must be >= 1, got {segments}")
+        if read_ahead_sectors < 0:
+            raise SimulationError("read-ahead cannot be negative")
+        self.segment_sectors = max(size_bytes // BYTES_PER_SECTOR // segments, 1)
+        self.max_segments = segments
+        self.read_ahead_sectors = read_ahead_sectors
+        #: segment id -> (start_lba, length); OrderedDict gives LRU order.
+        self._segments: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        self._next_id = 0
+        self.stats = CacheStats()
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def contains(self, lba: int, sectors: int) -> bool:
+        """Whether [lba, lba+sectors) lies entirely inside one segment."""
+        end = lba + sectors
+        for start, length in self._segments.values():
+            if start <= lba and end <= start + length:
+                return True
+        return False
+
+    def lookup_read(self, lba: int, sectors: int) -> bool:
+        """Read-path lookup: records a hit or miss and refreshes LRU."""
+        if sectors <= 0:
+            raise SimulationError(f"sectors must be positive, got {sectors}")
+        end = lba + sectors
+        for seg_id, (start, length) in self._segments.items():
+            if start <= lba and end <= start + length:
+                self._segments.move_to_end(seg_id)
+                self.stats.read_hits += 1
+                return True
+        self.stats.read_misses += 1
+        return False
+
+    # -- fills and writes -----------------------------------------------------------
+
+    def fill_after_read(self, lba: int, sectors: int, disk_sectors: int) -> Tuple[int, int]:
+        """Install the segment fetched on a read miss.
+
+        Args:
+            lba: requested start.
+            sectors: requested length.
+            disk_sectors: total disk size (read-ahead is clipped to it).
+
+        Returns:
+            The (start, length) actually fetched — request plus read-ahead,
+            truncated to the segment size and to the end of the disk.
+        """
+        length = min(
+            sectors + self.read_ahead_sectors,
+            self.segment_sectors,
+            disk_sectors - lba,
+        )
+        length = max(length, min(sectors, disk_sectors - lba))
+        self._install(lba, length)
+        return lba, length
+
+    def note_write(self, lba: int, sectors: int) -> None:
+        """Write-through bookkeeping: keep overlapping segments coherent.
+
+        Overlapping cached segments are truncated (or dropped) rather than
+        updated in place — a conservative model of drives that invalidate on
+        write — except when the write lies wholly inside a segment, which is
+        treated as updated data and kept.
+        """
+        if sectors <= 0:
+            raise SimulationError(f"sectors must be positive, got {sectors}")
+        self.stats.writes += 1
+        end = lba + sectors
+        doomed = []
+        for seg_id, (start, length) in self._segments.items():
+            seg_end = start + length
+            if start <= lba and end <= seg_end:
+                continue  # interior update: segment stays valid
+            if start < end and lba < seg_end:
+                doomed.append(seg_id)
+        for seg_id in doomed:
+            del self._segments[seg_id]
+
+    def _install(self, start: int, length: int) -> None:
+        while len(self._segments) >= self.max_segments:
+            self._segments.popitem(last=False)
+        self._segments[self._next_id] = (start, length)
+        self._next_id += 1
+
+    def clear(self) -> None:
+        """Drop all cached segments (stats are kept)."""
+        self._segments.clear()

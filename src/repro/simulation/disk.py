@@ -1,0 +1,243 @@
+"""The simulated disk drive.
+
+Ties together the ZBR layout, the mechanical timing engine, the buffer
+cache and a request scheduler behind an event-driven interface: callers
+submit requests and receive a completion callback; the disk services one
+request at a time, drawing the next from its scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.capacity.zones import ZonedSurface
+from repro.errors import SimulationError
+from repro.geometry.platter import Platter
+from repro.performance.seek import SeekModel, seek_parameters_for_platter
+from repro.simulation.cache import DiskCache
+from repro.simulation.events import EventQueue
+from repro.simulation.layout import DiskLayout
+from repro.simulation.mechanics import DiskMechanics
+from repro.simulation.request import Request
+from repro.simulation.scheduler import FCFSScheduler, Scheduler
+from repro.units import BYTES_PER_SECTOR
+
+CompletionCallback = Callable[[Request, float], None]
+
+#: Electronic service time for a cache hit, milliseconds.
+CACHE_HIT_MS = 0.1
+
+
+@dataclass
+class DiskStats:
+    """Operational counters for one disk."""
+
+    requests_completed: int = 0
+    reads: int = 0
+    writes: int = 0
+    busy_ms: float = 0.0
+    seek_ms: float = 0.0
+    rotational_ms: float = 0.0
+    transfer_ms: float = 0.0
+    seeks_with_movement: int = 0
+    total_seek_cylinders: int = 0
+    _last: float = field(default=0.0, repr=False)
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of elapsed time the disk was servicing requests."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(self.busy_ms / elapsed_ms, 1.0)
+
+    def mean_seek_distance(self) -> float:
+        """Average cylinders moved per completed request."""
+        if self.requests_completed == 0:
+            return 0.0
+        return self.total_seek_cylinders / self.requests_completed
+
+
+class SimulatedDisk:
+    """One disk attached to an event queue.
+
+    Args:
+        name: label used in error messages.
+        layout: LBA mapping.
+        seek_model: seek-time curve.
+        rpm: spindle speed.
+        events: the simulation's event queue.
+        cache: buffer cache (None disables caching).
+        scheduler: queue discipline (default FCFS).
+        bus_mb_per_s: interface transfer rate (Ultra160-class default).
+        on_complete: callback fired at each request completion.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        layout: DiskLayout,
+        seek_model: SeekModel,
+        rpm: float,
+        events: EventQueue,
+        cache: Optional[DiskCache] = None,
+        scheduler: Optional[Scheduler] = None,
+        bus_mb_per_s: float = 160.0,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        if bus_mb_per_s <= 0:
+            raise SimulationError("bus rate must be positive")
+        self.name = name
+        self.layout = layout
+        self.seek_model = seek_model
+        self.events = events
+        self.cache = cache
+        self.scheduler = scheduler if scheduler is not None else FCFSScheduler()
+        self.bus_mb_per_s = bus_mb_per_s
+        self.on_complete = on_complete
+        self.mechanics = DiskMechanics(layout, seek_model, rpm)
+        self.head_cylinder = 0
+        self.busy = False
+        self.stats = DiskStats()
+
+    # -- configuration ------------------------------------------------------------
+
+    @property
+    def rpm(self) -> float:
+        """Current spindle speed."""
+        return self.mechanics.rpm
+
+    def set_rpm(self, rpm: float) -> None:
+        """Change spindle speed (multi-speed disks); in-flight service times
+        already scheduled are unaffected."""
+        self.mechanics = DiskMechanics(self.layout, self.seek_model, rpm)
+
+    @property
+    def total_sectors(self) -> int:
+        """Disk size in sectors."""
+        return self.layout.total_sectors
+
+    def capacity_bytes(self) -> int:
+        """Disk size in bytes."""
+        return self.total_sectors * BYTES_PER_SECTOR
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Accept a request at the current simulated time."""
+        if request.end_lba > self.total_sectors:
+            raise SimulationError(
+                f"{self.name}: request [{request.lba}, {request.end_lba}) "
+                f"exceeds disk size {self.total_sectors}"
+            )
+        if self.busy:
+            self.scheduler.add(request)
+        else:
+            self._begin(request, self.events.now_ms)
+
+    def queue_depth(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self.scheduler)
+
+    # -- service -------------------------------------------------------------------
+
+    def _bus_ms(self, sectors: int) -> float:
+        return sectors * BYTES_PER_SECTOR / (self.bus_mb_per_s * 1e6) * 1e3
+
+    def _service_time(self, request: Request, now: float) -> float:
+        """Service time for a request starting now, updating cache/head."""
+        bus = self._bus_ms(request.sectors)
+        if request.is_write:
+            if self.cache is not None:
+                self.cache.note_write(request.lba, request.sectors)
+            breakdown, end_cyl = self.mechanics.service(
+                now, self.head_cylinder, request.lba, request.sectors
+            )
+            self._account(breakdown, request)
+            self.head_cylinder = end_cyl
+            return breakdown.total_ms + bus
+        if self.cache is not None and self.cache.lookup_read(request.lba, request.sectors):
+            return CACHE_HIT_MS + bus
+        breakdown, end_cyl = self.mechanics.service(
+            now, self.head_cylinder, request.lba, request.sectors
+        )
+        self._account(breakdown, request)
+        self.head_cylinder = end_cyl
+        if self.cache is not None:
+            self.cache.fill_after_read(request.lba, request.sectors, self.total_sectors)
+        return breakdown.total_ms + bus
+
+    def _account(self, breakdown, request: Request) -> None:
+        self.stats.seek_ms += breakdown.seek_ms
+        self.stats.rotational_ms += breakdown.rotational_ms
+        self.stats.transfer_ms += breakdown.transfer_ms
+        target = self.layout.cylinder_of(request.lba)
+        distance = abs(target - self.head_cylinder)
+        if distance > 0:
+            self.stats.seeks_with_movement += 1
+            self.stats.total_seek_cylinders += distance
+
+    def _begin(self, request: Request, now: float) -> None:
+        self.busy = True
+        request.start_service_ms = now
+        service = self._service_time(request, now)
+        self.stats.busy_ms += service
+        self.events.schedule(now + service, lambda t, r=request: self._finish(r, t))
+
+    def _finish(self, request: Request, now: float) -> None:
+        request.completion_ms = now
+        self.stats.requests_completed += 1
+        if request.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if self.on_complete is not None:
+            self.on_complete(request, now)
+        next_request = self.scheduler.next(self.head_cylinder)
+        if next_request is not None:
+            self._begin(next_request, now)
+        else:
+            self.busy = False
+
+
+def standard_disk(
+    name: str,
+    events: EventQueue,
+    diameter_in: float = 3.3,
+    platters: int = 2,
+    kbpi: float = 480.0,
+    ktpi: float = 30.0,
+    rpm: float = 10000.0,
+    zone_count: int = 30,
+    cache_bytes: int = 4 * 1024 * 1024,
+    scheduler: Optional[Scheduler] = None,
+    on_complete: Optional[CompletionCallback] = None,
+) -> SimulatedDisk:
+    """Convenience factory: a disk built from drive-model parameters.
+
+    Uses the library's capacity model to derive the ZBR layout and the
+    platter-size seek correlation for the seek curve — the same path the
+    paper uses to synthesize drives "for the appropriate year".
+    """
+    from repro.capacity.recording import RecordingTechnology
+
+    platter = Platter(diameter_in=diameter_in)
+    surface = ZonedSurface(
+        platter=platter,
+        technology=RecordingTechnology.from_kilo_units(kbpi, ktpi),
+        zone_count=zone_count,
+    )
+    layout = DiskLayout(surface, surfaces=2 * platters)
+    seek_model = SeekModel(
+        seek_parameters_for_platter(diameter_in), cylinders=surface.cylinders
+    )
+    cache = DiskCache(size_bytes=cache_bytes) if cache_bytes > 0 else None
+    return SimulatedDisk(
+        name=name,
+        layout=layout,
+        seek_model=seek_model,
+        rpm=rpm,
+        events=events,
+        cache=cache,
+        scheduler=scheduler,
+        on_complete=on_complete,
+    )

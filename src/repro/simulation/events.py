@@ -1,0 +1,85 @@
+"""Discrete-event engine.
+
+A minimal but strict event queue: events fire in (time, insertion order)
+order, callbacks may schedule further events, and time never flows
+backwards.  All times are milliseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[float], None]
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._counter = itertools.count()
+        self.now_ms = 0.0
+        self._fired = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events processed so far."""
+        return self._fired
+
+    def schedule(self, time_ms: float, callback: EventCallback) -> None:
+        """Schedule a callback at an absolute simulated time.
+
+        Raises:
+            SimulationError: if the time is in the simulated past.
+        """
+        if time_ms < self.now_ms - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event at {time_ms} ms; now is {self.now_ms} ms"
+            )
+        heapq.heappush(self._heap, (time_ms, next(self._counter), callback))
+
+    def schedule_after(self, delay_ms: float, callback: EventCallback) -> None:
+        """Schedule a callback ``delay_ms`` after the current time."""
+        if delay_ms < 0:
+            raise SimulationError(f"delay cannot be negative, got {delay_ms}")
+        self.schedule(self.now_ms + delay_ms, callback)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time_ms, _, callback = heapq.heappop(self._heap)
+        if time_ms < self.now_ms - 1e-9:  # pragma: no cover - defensive
+            raise SimulationError("event queue time went backwards")
+        self.now_ms = max(self.now_ms, time_ms)
+        self._fired += 1
+        callback(self.now_ms)
+        return True
+
+    def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, a time horizon, or an event budget.
+
+        Args:
+            until_ms: stop once the next event lies beyond this time (the
+                event is left queued).
+            max_events: stop after firing this many events (guards against
+                runaway feedback loops in tests).
+        """
+        fired = 0
+        while self._heap:
+            if until_ms is not None and self._heap[0][0] > until_ms:
+                self.now_ms = until_ms
+                return
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted at t={self.now_ms} ms"
+                )
+            self.step()
+            fired += 1

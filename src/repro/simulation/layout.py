@@ -1,0 +1,120 @@
+"""Logical-to-physical mapping of a ZBR disk.
+
+LBAs are laid out cylinder-major: within a cylinder, all of surface 0's
+sectors, then surface 1's, and so on; cylinders run from the outer edge
+(zone 0, fastest) inward, which is how real drives place low LBAs on the
+fast outer tracks.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List
+
+from repro.capacity.zones import ZonedSurface
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SectorAddress:
+    """Physical location of one sector.
+
+    Attributes:
+        cylinder: track index (0 = outermost).
+        surface: recording surface index.
+        sector: sector index within the track.
+        zone: ZBR zone index of the cylinder.
+        sectors_per_track: track capacity in the containing zone.
+    """
+
+    cylinder: int
+    surface: int
+    sector: int
+    zone: int
+    sectors_per_track: int
+
+
+class DiskLayout:
+    """Cylinder-major LBA mapping over a zoned surface replicated across
+    surfaces.
+
+    Args:
+        surface: the ZBR layout of one surface.
+        surfaces: number of recording surfaces.
+    """
+
+    def __init__(self, surface: ZonedSurface, surfaces: int) -> None:
+        if surfaces < 1:
+            raise SimulationError(f"surfaces must be >= 1, got {surfaces}")
+        self.surface = surface
+        self.surfaces = surfaces
+        self._zone_start_lba: List[int] = []
+        self._zone_start_cyl: List[int] = []
+        self._zone_spt: List[int] = []
+        lba = 0
+        for zone in surface.zones:
+            self._zone_start_lba.append(lba)
+            self._zone_start_cyl.append(zone.first_track)
+            self._zone_spt.append(zone.sectors_per_track)
+            lba += zone.track_count * zone.sectors_per_track * surfaces
+        self.total_sectors = lba
+        if self.total_sectors <= 0:
+            raise SimulationError("layout has no usable sectors")
+
+    @property
+    def cylinders(self) -> int:
+        """Number of cylinders."""
+        return self.surface.cylinders
+
+    def _zone_index(self, lba: int) -> int:
+        if not 0 <= lba < self.total_sectors:
+            raise SimulationError(
+                f"LBA {lba} out of range [0, {self.total_sectors})"
+            )
+        return bisect_right(self._zone_start_lba, lba) - 1
+
+    def locate(self, lba: int) -> SectorAddress:
+        """Physical address of an LBA."""
+        z = self._zone_index(lba)
+        spt = self._zone_spt[z]
+        per_cylinder = spt * self.surfaces
+        rel = lba - self._zone_start_lba[z]
+        cylinder = self._zone_start_cyl[z] + rel // per_cylinder
+        rem = rel % per_cylinder
+        return SectorAddress(
+            cylinder=cylinder,
+            surface=rem // spt,
+            sector=rem % spt,
+            zone=z,
+            sectors_per_track=spt,
+        )
+
+    def lba_of(self, cylinder: int, surface: int, sector: int) -> int:
+        """Inverse of :func:`locate`."""
+        if not 0 <= cylinder < self.cylinders:
+            raise SimulationError(f"cylinder {cylinder} out of range")
+        if not 0 <= surface < self.surfaces:
+            raise SimulationError(f"surface {surface} out of range")
+        zone = self.surface.zone_of_track(cylinder)
+        spt = zone.sectors_per_track
+        if not 0 <= sector < spt:
+            raise SimulationError(
+                f"sector {sector} out of range for zone {zone.index} (spt {spt})"
+            )
+        z = zone.index
+        rel_cyl = cylinder - self._zone_start_cyl[z]
+        return (
+            self._zone_start_lba[z]
+            + rel_cyl * spt * self.surfaces
+            + surface * spt
+            + sector
+        )
+
+    def cylinder_of(self, lba: int) -> int:
+        """Cylinder containing an LBA (cheaper than full :func:`locate`)."""
+        return self.locate(lba).cylinder
+
+    def sectors_per_track_at(self, cylinder: int) -> int:
+        """Track capacity at a cylinder."""
+        return self.surface.zone_of_track(cylinder).sectors_per_track

@@ -1,0 +1,86 @@
+"""Energy accounting for simulated disks.
+
+Links the simulator's activity counters to the thermal model's power
+terms: windage and spindle-motor losses accrue with wall-clock spin time,
+VCM power accrues only while the actuator is seeking.  Used by the DTM
+studies to report energy alongside temperature and performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simulation.disk import SimulatedDisk
+from repro.thermal.model import DEFAULT_CALIBRATION, ThermalCalibration
+from repro.thermal.vcm import vcm_power_w
+from repro.thermal.viscous import viscous_power_w
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Energy breakdown for one disk over an interval.
+
+    Attributes:
+        elapsed_s: accounted wall-clock interval.
+        spindle_j: spindle-motor electrical/bearing losses.
+        windage_j: viscous dissipation of the spinning stack.
+        vcm_j: voice-coil energy (seek-time weighted).
+        seek_duty: fraction of the interval spent seeking.
+    """
+
+    elapsed_s: float
+    spindle_j: float
+    windage_j: float
+    vcm_j: float
+    seek_duty: float
+
+    @property
+    def total_j(self) -> float:
+        return self.spindle_j + self.windage_j + self.vcm_j
+
+    @property
+    def average_w(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.total_j / self.elapsed_s
+
+
+def power_report(
+    disk: SimulatedDisk,
+    elapsed_ms: float,
+    diameter_in: float,
+    platter_count: int = 1,
+    calibration: ThermalCalibration = DEFAULT_CALIBRATION,
+) -> PowerReport:
+    """Energy breakdown of a disk after a simulation run.
+
+    Args:
+        disk: the simulated disk (its stats supply seek time).
+        elapsed_ms: simulated interval covered.
+        diameter_in: the drive's platter diameter.
+        platter_count: platters in the stack.
+        calibration: supplies the spindle-motor loss.
+
+    Raises:
+        SimulationError: if the interval is non-positive.
+    """
+    if elapsed_ms <= 0:
+        raise SimulationError(f"elapsed interval must be positive, got {elapsed_ms}")
+    elapsed_s = elapsed_ms / 1000.0
+    seek_s = min(disk.stats.seek_ms / 1000.0, elapsed_s)
+    windage = viscous_power_w(disk.rpm, diameter_in, platter_count)
+    return PowerReport(
+        elapsed_s=elapsed_s,
+        spindle_j=calibration.spm_power_w * elapsed_s,
+        windage_j=windage * elapsed_s,
+        vcm_j=vcm_power_w(diameter_in) * seek_s,
+        seek_duty=seek_s / elapsed_s,
+    )
+
+
+def energy_per_request_j(report: PowerReport, requests: int) -> float:
+    """Average energy per completed request, joules."""
+    if requests <= 0:
+        raise SimulationError(f"requests must be positive, got {requests}")
+    return report.total_j / requests

@@ -1,0 +1,275 @@
+"""Striping and RAID-5 across multiple disks.
+
+The logical address space is striped over the member disks in fixed stripe
+units.  RAID-0 simply scatters; RAID-5 (left-symmetric, the common layout)
+rotates a parity unit across the disks and services small writes with the
+classic read-modify-write: read old data and old parity, then write new
+data and new parity.  Full-stripe writes skip the pre-read.
+
+A logical request is decomposed into *phases*; all children of a phase run
+concurrently, and a phase may only start when the previous one finished
+(the RMW write phase waits for its pre-reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.simulation.request import Request
+
+
+@dataclass(frozen=True)
+class ChildAccess:
+    """One physical access derived from a logical request.
+
+    Attributes:
+        disk: member-disk index.
+        lba: physical LBA on that disk.
+        sectors: length.
+        is_write: whether this child writes.
+    """
+
+    disk: int
+    lba: int
+    sectors: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.sectors <= 0:
+            raise SimulationError("child access must be non-empty")
+        if self.lba < 0 or self.disk < 0:
+            raise SimulationError("child access indices must be non-negative")
+
+
+@dataclass
+class AccessPlan:
+    """The phased decomposition of one logical request."""
+
+    phases: List[List[ChildAccess]] = field(default_factory=list)
+
+    def all_children(self) -> Iterator[ChildAccess]:
+        for phase in self.phases:
+            yield from phase
+
+
+class ArrayGeometry:
+    """Base striping geometry.
+
+    Args:
+        disk_count: number of member disks.
+        stripe_unit_sectors: contiguous sectors per disk per stripe row
+            (the paper's RAID-5 uses 16 x 512-byte blocks).
+        disk_sectors: usable sectors per member disk.
+    """
+
+    def __init__(self, disk_count: int, stripe_unit_sectors: int, disk_sectors: int) -> None:
+        if disk_count < 1:
+            raise SimulationError(f"need at least one disk, got {disk_count}")
+        if stripe_unit_sectors < 1:
+            raise SimulationError("stripe unit must be positive")
+        if disk_sectors < stripe_unit_sectors:
+            raise SimulationError("disk smaller than one stripe unit")
+        self.disk_count = disk_count
+        self.stripe_unit = stripe_unit_sectors
+        self.disk_sectors = disk_sectors
+
+    @property
+    def logical_sectors(self) -> int:
+        """Usable logical capacity in sectors."""
+        raise NotImplementedError
+
+    def plan(self, request: Request) -> AccessPlan:
+        """Decompose a logical request into phased child accesses."""
+        raise NotImplementedError
+
+    def _check_range(self, request: Request) -> None:
+        if request.end_lba > self.logical_sectors:
+            raise SimulationError(
+                f"logical access [{request.lba}, {request.end_lba}) exceeds "
+                f"array capacity {self.logical_sectors}"
+            )
+
+    def _units(self, request: Request) -> Iterator[Tuple[int, int, int]]:
+        """Yield (stripe_unit_index, offset_in_unit, length) runs."""
+        lba = request.lba
+        remaining = request.sectors
+        while remaining > 0:
+            unit = lba // self.stripe_unit
+            offset = lba % self.stripe_unit
+            length = min(remaining, self.stripe_unit - offset)
+            yield unit, offset, length
+            lba += length
+            remaining -= length
+
+
+class Raid0Geometry(ArrayGeometry):
+    """Plain striping (also used for the paper's non-RAID multi-disk
+    systems, where data is spread across independent spindles)."""
+
+    @property
+    def logical_sectors(self) -> int:
+        units_per_disk = self.disk_sectors // self.stripe_unit
+        return units_per_disk * self.stripe_unit * self.disk_count
+
+    def locate_unit(self, unit: int) -> Tuple[int, int]:
+        """(disk, physical start LBA) of a logical stripe unit."""
+        disk = unit % self.disk_count
+        row = unit // self.disk_count
+        return disk, row * self.stripe_unit
+
+    def plan(self, request: Request) -> AccessPlan:
+        self._check_range(request)
+        children: List[ChildAccess] = []
+        for unit, offset, length in self._units(request):
+            disk, start = self.locate_unit(unit)
+            children.append(
+                ChildAccess(disk=disk, lba=start + offset, sectors=length, is_write=request.is_write)
+            )
+        return AccessPlan(phases=[_coalesce(children)])
+
+
+class Raid5Geometry(ArrayGeometry):
+    """Left-symmetric RAID-5.
+
+    In stripe row ``r`` the parity lives on disk ``(n-1-r) mod n`` and data
+    units fill the remaining disks starting just after the parity disk.
+    """
+
+    def __init__(self, disk_count: int, stripe_unit_sectors: int, disk_sectors: int) -> None:
+        if disk_count < 3:
+            raise SimulationError(f"RAID-5 needs >= 3 disks, got {disk_count}")
+        super().__init__(disk_count, stripe_unit_sectors, disk_sectors)
+
+    @property
+    def data_disks(self) -> int:
+        return self.disk_count - 1
+
+    @property
+    def logical_sectors(self) -> int:
+        rows = self.disk_sectors // self.stripe_unit
+        return rows * self.stripe_unit * self.data_disks
+
+    def parity_disk(self, row: int) -> int:
+        """Parity disk of a stripe row."""
+        return (self.disk_count - 1 - row % self.disk_count) % self.disk_count
+
+    def locate_unit(self, unit: int) -> Tuple[int, int]:
+        """(disk, physical start LBA) of a logical data unit."""
+        row = unit // self.data_disks
+        position = unit % self.data_disks
+        parity = self.parity_disk(row)
+        disk = (parity + 1 + position) % self.disk_count
+        return disk, row * self.stripe_unit
+
+    def plan(self, request: Request) -> AccessPlan:
+        self._check_range(request)
+        if not request.is_write:
+            children: List[ChildAccess] = []
+            for unit, offset, length in self._units(request):
+                disk, start = self.locate_unit(unit)
+                children.append(
+                    ChildAccess(disk=disk, lba=start + offset, sectors=length, is_write=False)
+                )
+            return AccessPlan(phases=[_coalesce(children)])
+        return self._plan_write(request)
+
+    def _plan_write(self, request: Request) -> AccessPlan:
+        by_row: Dict[int, List[Tuple[int, int, int]]] = {}
+        for unit, offset, length in self._units(request):
+            by_row.setdefault(unit // self.data_disks, []).append((unit, offset, length))
+        pre_reads: List[ChildAccess] = []
+        writes: List[ChildAccess] = []
+        for row, runs in sorted(by_row.items()):
+            parity = self.parity_disk(row)
+            parity_lba = row * self.stripe_unit
+            full_units = {u for u, off, ln in runs if off == 0 and ln == self.stripe_unit}
+            full_stripe = len(full_units) == self.data_disks
+            for unit, offset, length in runs:
+                disk, start = self.locate_unit(unit)
+                writes.append(
+                    ChildAccess(disk=disk, lba=start + offset, sectors=length, is_write=True)
+                )
+                if not full_stripe:
+                    pre_reads.append(
+                        ChildAccess(disk=disk, lba=start + offset, sectors=length, is_write=False)
+                    )
+            writes.append(
+                ChildAccess(disk=parity, lba=parity_lba, sectors=self.stripe_unit, is_write=True)
+            )
+            if not full_stripe:
+                pre_reads.append(
+                    ChildAccess(
+                        disk=parity, lba=parity_lba, sectors=self.stripe_unit, is_write=False
+                    )
+                )
+        phases: List[List[ChildAccess]] = []
+        if pre_reads:
+            phases.append(_coalesce(pre_reads))
+        phases.append(_coalesce(writes))
+        return AccessPlan(phases=phases)
+
+
+class Raid1Geometry(ArrayGeometry):
+    """Mirrored pair (RAID-1).
+
+    Writes propagate to both disks; reads are served by ``read_target``,
+    which DTM policies may steer — the paper (§5.4) suggests directing
+    reads at one mirror while the other cools, then alternating.
+
+    The stripe unit is irrelevant for mirroring; the logical space equals
+    one member disk.
+    """
+
+    def __init__(self, disk_sectors: int) -> None:
+        super().__init__(disk_count=2, stripe_unit_sectors=1, disk_sectors=disk_sectors)
+        self.read_target = 0
+
+    @property
+    def logical_sectors(self) -> int:
+        return self.disk_sectors
+
+    def set_read_target(self, disk: int) -> None:
+        """Point subsequent reads at one mirror."""
+        if disk not in (0, 1):
+            raise SimulationError(f"mirror index must be 0 or 1, got {disk}")
+        self.read_target = disk
+
+    def plan(self, request: Request) -> AccessPlan:
+        self._check_range(request)
+        if request.is_write:
+            children = [
+                ChildAccess(disk=d, lba=request.lba, sectors=request.sectors, is_write=True)
+                for d in (0, 1)
+            ]
+            return AccessPlan(phases=[children])
+        child = ChildAccess(
+            disk=self.read_target,
+            lba=request.lba,
+            sectors=request.sectors,
+            is_write=False,
+        )
+        return AccessPlan(phases=[[child]])
+
+
+def _coalesce(children: Sequence[ChildAccess]) -> List[ChildAccess]:
+    """Merge physically contiguous same-disk, same-direction accesses."""
+    merged: List[ChildAccess] = []
+    for child in sorted(children, key=lambda c: (c.disk, c.is_write, c.lba)):
+        if (
+            merged
+            and merged[-1].disk == child.disk
+            and merged[-1].is_write == child.is_write
+            and merged[-1].lba + merged[-1].sectors == child.lba
+        ):
+            last = merged[-1]
+            merged[-1] = ChildAccess(
+                disk=last.disk,
+                lba=last.lba,
+                sectors=last.sectors + child.sectors,
+                is_write=last.is_write,
+            )
+        else:
+            merged.append(child)
+    return merged

@@ -1,0 +1,127 @@
+"""Request schedulers for the per-disk queue.
+
+FCFS matches the paper's open-loop trace replay; SSTF and LOOK (elevator)
+are provided for the scheduler ablation study.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.simulation.request import Request
+
+
+class Scheduler(ABC):
+    """Interface: hold pending requests, pick the next one to service."""
+
+    @abstractmethod
+    def add(self, request: Request) -> None:
+        """Enqueue a request."""
+
+    @abstractmethod
+    def next(self, head_cylinder: int) -> Optional[Request]:
+        """Remove and return the next request, or None if empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of queued requests."""
+
+
+class FCFSScheduler(Scheduler):
+    """First-come, first-served."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Request] = deque()
+
+    def add(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def next(self, head_cylinder: int) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SSTFScheduler(Scheduler):
+    """Shortest-seek-time-first (by cylinder distance).
+
+    Args:
+        cylinder_of: maps an LBA to its cylinder.
+    """
+
+    def __init__(self, cylinder_of: Callable[[int], int]) -> None:
+        self._pending: List[Request] = []
+        self._cylinder_of = cylinder_of
+
+    def add(self, request: Request) -> None:
+        self._pending.append(request)
+
+    def next(self, head_cylinder: int) -> Optional[Request]:
+        if not self._pending:
+            return None
+        best_index = min(
+            range(len(self._pending)),
+            key=lambda i: (
+                abs(self._cylinder_of(self._pending[i].lba) - head_cylinder),
+                self._pending[i].arrival_ms,
+            ),
+        )
+        return self._pending.pop(best_index)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class LookScheduler(Scheduler):
+    """Elevator (LOOK): sweep in one direction, reverse at the last request.
+
+    Args:
+        cylinder_of: maps an LBA to its cylinder.
+    """
+
+    def __init__(self, cylinder_of: Callable[[int], int]) -> None:
+        self._pending: List[Request] = []
+        self._cylinder_of = cylinder_of
+        self._direction = 1
+
+    def add(self, request: Request) -> None:
+        self._pending.append(request)
+
+    def next(self, head_cylinder: int) -> Optional[Request]:
+        if not self._pending:
+            return None
+        for _ in range(2):
+            ahead = [
+                (i, self._cylinder_of(r.lba))
+                for i, r in enumerate(self._pending)
+                if (self._cylinder_of(r.lba) - head_cylinder) * self._direction >= 0
+            ]
+            if ahead:
+                index, _ = min(
+                    ahead, key=lambda pair: abs(pair[1] - head_cylinder)
+                )
+                return self._pending.pop(index)
+            self._direction = -self._direction
+        raise SimulationError("LOOK scheduler failed to pick a request")  # pragma: no cover
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+def make_scheduler(name: str, cylinder_of: Callable[[int], int]) -> Scheduler:
+    """Factory by policy name: ``fcfs``, ``sstf`` or ``look``."""
+    policies = {
+        "fcfs": lambda: FCFSScheduler(),
+        "sstf": lambda: SSTFScheduler(cylinder_of),
+        "look": lambda: LookScheduler(cylinder_of),
+    }
+    try:
+        return policies[name.lower()]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; choose from {sorted(policies)}"
+        ) from None

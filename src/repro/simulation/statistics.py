@@ -1,0 +1,93 @@
+"""Response-time statistics and CDFs.
+
+Figure 4 reports response-time CDFs over the bins (5, 10, 20, 40, 60, 90,
+120, 150, 200, 200+) milliseconds plus the mean; this module reproduces
+those quantities from the simulator's completed requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: The response-time bin edges (ms) of the paper's Figure 4 CDF plots.
+PAPER_CDF_BINS_MS: Tuple[float, ...] = (5, 10, 20, 40, 60, 90, 120, 150, 200)
+
+
+@dataclass
+class ResponseTimeStats:
+    """Accumulates response times and derives summary statistics."""
+
+    samples_ms: List[float] = field(default_factory=list)
+
+    def add(self, response_ms: float) -> None:
+        """Record one response time."""
+        if response_ms < 0:
+            raise SimulationError(f"response time cannot be negative, got {response_ms}")
+        self.samples_ms.append(response_ms)
+
+    def __len__(self) -> int:
+        return len(self.samples_ms)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ms)
+
+    def mean_ms(self) -> float:
+        """Average response time."""
+        if not self.samples_ms:
+            raise SimulationError("no samples recorded")
+        return sum(self.samples_ms) / len(self.samples_ms)
+
+    def percentile_ms(self, q: float) -> float:
+        """q-th percentile (0 <= q <= 100), linear interpolation."""
+        if not self.samples_ms:
+            raise SimulationError("no samples recorded")
+        if not 0 <= q <= 100:
+            raise SimulationError(f"percentile must be in [0, 100], got {q}")
+        data = sorted(self.samples_ms)
+        if len(data) == 1:
+            return data[0]
+        rank = q / 100 * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def median_ms(self) -> float:
+        """Median response time."""
+        return self.percentile_ms(50)
+
+    def max_ms(self) -> float:
+        """Worst response time."""
+        if not self.samples_ms:
+            raise SimulationError("no samples recorded")
+        return max(self.samples_ms)
+
+    def cdf(self, bins_ms: Sequence[float] = PAPER_CDF_BINS_MS) -> List[Tuple[float, float]]:
+        """Cumulative fraction of responses at or below each bin edge.
+
+        Returns:
+            [(edge_ms, fraction), ...] in increasing edge order; an
+            implicit final (inf, 1.0) bin covers the "200+" tail.
+        """
+        if not self.samples_ms:
+            raise SimulationError("no samples recorded")
+        edges = sorted(bins_ms)
+        data = sorted(self.samples_ms)
+        result: List[Tuple[float, float]] = []
+        index = 0
+        for edge in edges:
+            while index < len(data) and data[index] <= edge:
+                index += 1
+            result.append((edge, index / len(data)))
+        return result
+
+    def merged_with(self, other: "ResponseTimeStats") -> "ResponseTimeStats":
+        """A new stats object pooling both sample sets."""
+        return ResponseTimeStats(samples_ms=self.samples_ms + other.samples_ms)

@@ -1,0 +1,100 @@
+"""Thermal model: lumped network, correlations, calibration and envelope."""
+
+from repro.thermal.calibration import calibrated, fit_spm_power, reference_model
+from repro.thermal.correlations import (
+    conduction_g,
+    enclosed_air_internal_h,
+    external_forced_h,
+    rotating_disk_h,
+    rotational_reynolds,
+    series_g,
+)
+from repro.thermal.array import (
+    ArrayPosition,
+    airflow_temperature_rise_c,
+    array_envelope_rpm,
+    drive_heat_w,
+    serial_array_profile,
+)
+from repro.thermal.reliability import (
+    DOUBLING_DELTA_C,
+    ReliabilityComparison,
+    dtm_reliability_gain,
+    failure_acceleration,
+    fleet_failure_rate,
+    relative_mtbf,
+)
+from repro.thermal.sensitivity import (
+    SensitivityPoint,
+    calibration_sensitivity,
+    exponent_sensitivity,
+    fixed_loss_margin_w,
+    headline_robust,
+)
+from repro.thermal.envelope import (
+    max_rpm_within_envelope,
+    steady_air_temperature_c,
+    thermal_slack_c,
+)
+from repro.thermal.model import (
+    DEFAULT_CALIBRATION,
+    NODE_AIR,
+    NODE_BASE,
+    NODE_STACK,
+    NODE_VCM,
+    DriveThermalModel,
+    ThermalCalibration,
+)
+from repro.thermal.network import ThermalNetwork, ThermalNode, TransientResult
+from repro.thermal.vcm import VCM_POWER_ANCHORS, vcm_power_w
+from repro.thermal.viscous import (
+    rpm_for_viscous_power,
+    viscous_power_w,
+    windage_torque_nm,
+)
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "DriveThermalModel",
+    "ThermalCalibration",
+    "ThermalNetwork",
+    "ThermalNode",
+    "TransientResult",
+    "NODE_AIR",
+    "NODE_BASE",
+    "NODE_STACK",
+    "NODE_VCM",
+    "calibrated",
+    "fit_spm_power",
+    "reference_model",
+    "max_rpm_within_envelope",
+    "SensitivityPoint",
+    "calibration_sensitivity",
+    "fixed_loss_margin_w",
+    "ArrayPosition",
+    "serial_array_profile",
+    "array_envelope_rpm",
+    "airflow_temperature_rise_c",
+    "drive_heat_w",
+    "DOUBLING_DELTA_C",
+    "failure_acceleration",
+    "relative_mtbf",
+    "ReliabilityComparison",
+    "dtm_reliability_gain",
+    "fleet_failure_rate",
+    "exponent_sensitivity",
+    "headline_robust",
+    "steady_air_temperature_c",
+    "thermal_slack_c",
+    "rotating_disk_h",
+    "rotational_reynolds",
+    "enclosed_air_internal_h",
+    "external_forced_h",
+    "conduction_g",
+    "series_g",
+    "vcm_power_w",
+    "VCM_POWER_ANCHORS",
+    "viscous_power_w",
+    "rpm_for_viscous_power",
+    "windage_torque_nm",
+]

@@ -1,0 +1,123 @@
+"""Temperature-driven drive reliability (paper §1 and §6).
+
+"Even a fifteen degree Celsius rise from the ambient temperature can
+double the failure rate of a disk drive" (Anderson, Dykes & Riedel [2]).
+The paper's closing argument is that DTM is worthwhile even ignoring
+performance: running cooler directly buys reliability.
+
+We model the failure-rate dependence as the exponential the doubling rule
+implies — an Arrhenius-style acceleration factor of ``2^(dT / 15)`` — and
+expose helpers that score operating points and DTM policies by their
+relative failure rate and MTBF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.errors import ThermalError
+
+#: Temperature rise that doubles the failure rate (Anderson et al. [2]).
+DOUBLING_DELTA_C = 15.0
+
+
+def failure_acceleration(
+    temperature_c: float,
+    reference_c: float = AMBIENT_TEMPERATURE_C,
+    doubling_delta_c: float = DOUBLING_DELTA_C,
+) -> float:
+    """Failure-rate multiplier at a temperature, relative to a reference.
+
+    ``2 ** ((T - T_ref) / 15)``: +15 C doubles, -15 C halves.
+
+    Args:
+        temperature_c: operating temperature.
+        reference_c: the baseline the multiplier is expressed against.
+        doubling_delta_c: degrees per failure-rate doubling.
+    """
+    if doubling_delta_c <= 0:
+        raise ThermalError("doubling delta must be positive")
+    return 2.0 ** ((temperature_c - reference_c) / doubling_delta_c)
+
+
+def relative_mtbf(
+    temperature_c: float,
+    reference_c: float = AMBIENT_TEMPERATURE_C,
+    doubling_delta_c: float = DOUBLING_DELTA_C,
+) -> float:
+    """MTBF at a temperature relative to the reference (inverse of the
+    failure acceleration)."""
+    return 1.0 / failure_acceleration(temperature_c, reference_c, doubling_delta_c)
+
+
+@dataclass(frozen=True)
+class ReliabilityComparison:
+    """Reliability effect of operating cooler.
+
+    Attributes:
+        hot_c / cool_c: the two operating temperatures compared.
+        failure_ratio: hot failure rate / cool failure rate (>1 means the
+            cooler point is more reliable).
+    """
+
+    hot_c: float
+    cool_c: float
+
+    @property
+    def failure_ratio(self) -> float:
+        return failure_acceleration(self.hot_c, reference_c=self.cool_c)
+
+    @property
+    def mtbf_gain_fraction(self) -> float:
+        """Relative MTBF improvement from running at the cooler point."""
+        return self.failure_ratio - 1.0
+
+
+def dtm_reliability_gain(
+    envelope_c: float = THERMAL_ENVELOPE_C,
+    managed_mean_c: Optional[float] = None,
+    duty: float = 0.5,
+    diameter_in: float = 2.6,
+    rpm: Optional[float] = None,
+) -> ReliabilityComparison:
+    """Reliability gain of DTM used purely to run cooler (paper §6).
+
+    Compares a worst-case design pinned at the envelope against a DTM-
+    managed drive whose average temperature reflects its true VCM duty.
+
+    Args:
+        envelope_c: the worst-case operating temperature.
+        managed_mean_c: average temperature under DTM; if None it is
+            computed from the thermal model at ``duty``.
+        duty: VCM duty cycle used when computing the managed temperature.
+        diameter_in: platter size for the computed case.
+        rpm: spindle speed for the computed case (default: the envelope
+            design's maximum).
+    """
+    if managed_mean_c is None:
+        from repro.thermal.envelope import max_rpm_within_envelope
+        from repro.thermal.model import DriveThermalModel
+
+        if not 0.0 <= duty <= 1.0:
+            raise ThermalError("duty must be in [0, 1]")
+        speed = rpm if rpm is not None else max_rpm_within_envelope(diameter_in)
+        model = DriveThermalModel(
+            platter_diameter_in=diameter_in, rpm=speed, vcm_active=True
+        )
+        model.set_vcm_duty(duty)
+        managed_mean_c = model.steady_state()["air"]
+    return ReliabilityComparison(hot_c=envelope_c, cool_c=managed_mean_c)
+
+
+def fleet_failure_rate(
+    temperatures_c: Sequence[float],
+    reference_c: float = AMBIENT_TEMPERATURE_C,
+) -> float:
+    """Aggregate relative failure rate of a fleet of drives (sum of the
+    members' acceleration factors) — RAID arrays care about the first
+    failure, whose rate is the sum."""
+    if not temperatures_c:
+        raise ThermalError("fleet must have at least one drive")
+    return sum(failure_acceleration(t, reference_c) for t in temperatures_c)

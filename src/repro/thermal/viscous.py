@@ -1,0 +1,87 @@
+"""Viscous dissipation (windage) inside the drive.
+
+The drag of the air sheared between the spinning platters and the enclosure
+dissipates power into the internal air.  Per the paper (citing Clauss [9] and
+Schirle & Lieu [41]) this windage is linear in the number of platters, grows
+with the 2.8-th power of the RPM, and the 4.8-th power of the platter
+diameter.  The proportionality constant is anchored to the paper's reported
+0.91 W for the 2002 single-platter 2.6-inch design at 15,098 RPM.
+"""
+
+from __future__ import annotations
+
+from repro.constants import (
+    VISCOUS_ANCHOR_DIAMETER_IN,
+    VISCOUS_ANCHOR_PLATTERS,
+    VISCOUS_ANCHOR_RPM,
+    VISCOUS_ANCHOR_WATTS,
+    VISCOUS_DIAMETER_EXPONENT,
+    VISCOUS_RPM_EXPONENT,
+)
+from repro.errors import ThermalError
+
+
+def viscous_power_w(
+    rpm: float,
+    diameter_in: float,
+    platters: int = 1,
+    rpm_exponent: float = VISCOUS_RPM_EXPONENT,
+    diameter_exponent: float = VISCOUS_DIAMETER_EXPONENT,
+) -> float:
+    """Windage power dissipated into the internal air, in watts.
+
+    Args:
+        rpm: spindle speed.
+        diameter_in: platter diameter in inches.
+        platters: number of platters in the stack.
+        rpm_exponent: speed exponent (paper: 2.8).
+        diameter_exponent: diameter exponent (paper: 4.8).
+
+    Returns:
+        Dissipated power in watts; 0 for rpm == 0 (spun down).
+    """
+    if rpm < 0:
+        raise ThermalError(f"rpm cannot be negative, got {rpm}")
+    if diameter_in <= 0:
+        raise ThermalError(f"diameter must be positive, got {diameter_in}")
+    if platters < 1:
+        raise ThermalError(f"platter count must be >= 1, got {platters}")
+    if rpm == 0:
+        return 0.0
+    anchor_per_platter = VISCOUS_ANCHOR_WATTS / VISCOUS_ANCHOR_PLATTERS
+    speed_ratio = rpm / VISCOUS_ANCHOR_RPM
+    size_ratio = diameter_in / VISCOUS_ANCHOR_DIAMETER_IN
+    return (
+        anchor_per_platter
+        * platters
+        * speed_ratio**rpm_exponent
+        * size_ratio**diameter_exponent
+    )
+
+
+def windage_torque_nm(rpm: float, diameter_in: float, platters: int = 1) -> float:
+    """Aerodynamic drag torque the spindle motor must overcome, N·m.
+
+    P = tau * omega, so tau = P / omega.  Useful for spindle-motor sizing
+    sanity checks and the multi-speed transition model.
+    """
+    if rpm <= 0:
+        raise ThermalError(f"rpm must be positive for torque, got {rpm}")
+    from repro.units import rpm_to_rad_per_sec
+
+    power = viscous_power_w(rpm, diameter_in, platters)
+    return power / rpm_to_rad_per_sec(rpm)
+
+
+def rpm_for_viscous_power(
+    power_w: float,
+    diameter_in: float,
+    platters: int = 1,
+) -> float:
+    """Invert :func:`viscous_power_w`: the RPM that dissipates ``power_w``."""
+    if power_w <= 0:
+        raise ThermalError(f"power must be positive, got {power_w}")
+    anchor_per_platter = VISCOUS_ANCHOR_WATTS / VISCOUS_ANCHOR_PLATTERS
+    size_ratio = diameter_in / VISCOUS_ANCHOR_DIAMETER_IN
+    base = power_w / (anchor_per_platter * platters * size_ratio**VISCOUS_DIAMETER_EXPONENT)
+    return VISCOUS_ANCHOR_RPM * base ** (1.0 / VISCOUS_RPM_EXPONENT)

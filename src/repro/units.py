@@ -1,0 +1,130 @@
+"""Unit conversions used throughout the library.
+
+The paper mixes imperial recording units (inches, bits-per-inch,
+tracks-per-inch) with SI thermal units (watts, kelvins, meters) and storage
+marketing units (GB = 1e9 bytes for capacities, MB/s = 2**20 bytes/s for
+internal data rates, matching the validation tables in the paper).  This
+module centralizes every conversion so the rest of the code never multiplies
+by a bare magic number.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+METERS_PER_INCH = 0.0254
+MM_PER_INCH = 25.4
+
+
+def inches_to_meters(inches: float) -> float:
+    """Convert a length in inches to meters."""
+    return inches * METERS_PER_INCH
+
+
+def meters_to_inches(meters: float) -> float:
+    """Convert a length in meters to inches."""
+    return meters / METERS_PER_INCH
+
+
+def inches_to_mm(inches: float) -> float:
+    """Convert a length in inches to millimeters."""
+    return inches * MM_PER_INCH
+
+
+def mm_to_inches(mm: float) -> float:
+    """Convert a length in millimeters to inches."""
+    return mm / MM_PER_INCH
+
+
+# ---------------------------------------------------------------------------
+# Angular velocity
+# ---------------------------------------------------------------------------
+
+
+def rpm_to_rad_per_sec(rpm: float) -> float:
+    """Convert rotations-per-minute to radians-per-second."""
+    return rpm * 2.0 * math.pi / 60.0
+
+
+def rad_per_sec_to_rpm(omega: float) -> float:
+    """Convert radians-per-second to rotations-per-minute."""
+    return omega * 60.0 / (2.0 * math.pi)
+
+
+def rpm_to_rev_per_sec(rpm: float) -> float:
+    """Convert rotations-per-minute to revolutions-per-second."""
+    return rpm / 60.0
+
+
+def rotation_time_ms(rpm: float) -> float:
+    """Time for one full revolution, in milliseconds."""
+    if rpm <= 0:
+        raise ValueError(f"rpm must be positive, got {rpm}")
+    return 60000.0 / rpm
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+BYTES_PER_SECTOR = 512
+BITS_PER_SECTOR = BYTES_PER_SECTOR * 8  # 4096 data bits per 512-byte sector
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+GB_MARKETING = 1_000_000_000  # drive datasheets use decimal gigabytes
+
+
+def bits_to_sectors(bits: float) -> int:
+    """Whole 512-byte sectors representable in ``bits`` raw data bits."""
+    return int(bits // BITS_PER_SECTOR)
+
+
+def sectors_to_gb(sectors: float) -> float:
+    """Convert a 512-byte sector count to marketing gigabytes (1e9 bytes)."""
+    return sectors * BYTES_PER_SECTOR / GB_MARKETING
+
+
+def bytes_to_mb_per_sec(bytes_per_sec: float) -> float:
+    """Convert bytes/second to the MB/s (2**20) used in IDR datasheets."""
+    return bytes_per_sec / MIB
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+KELVIN_OFFSET = 273.15
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to kelvins."""
+    return celsius + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert kelvins to degrees Celsius."""
+    return kelvin - KELVIN_OFFSET
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert minutes to seconds."""
+    return minutes * 60.0
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1000.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0

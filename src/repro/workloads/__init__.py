@@ -1,0 +1,35 @@
+"""Workloads: trace format, synthetic generators, and the Figure-4 catalog."""
+
+from repro.workloads.analysis import (
+    SeekActivity,
+    TraceProfile,
+    compare_to_paper_openmail,
+    profile_trace,
+    replay_and_analyze,
+    seek_activity,
+)
+from repro.workloads.catalog import WorkloadSpec, catalog, workload
+from repro.workloads.closed_loop import ClosedLoopResult, run_closed_loop
+from repro.workloads.disksim_format import read_disksim, write_disksim
+from repro.workloads.synthetic import WorkloadShape, generate_trace
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = [
+    "TraceProfile",
+    "SeekActivity",
+    "profile_trace",
+    "seek_activity",
+    "replay_and_analyze",
+    "compare_to_paper_openmail",
+    "Trace",
+    "TraceRecord",
+    "WorkloadShape",
+    "generate_trace",
+    "WorkloadSpec",
+    "ClosedLoopResult",
+    "run_closed_loop",
+    "read_disksim",
+    "write_disksim",
+    "catalog",
+    "workload",
+]

@@ -1,0 +1,147 @@
+"""Workload and run analysis.
+
+The paper characterizes its traces by statistics like "an average seek
+distance of 1,952 cylinders per request with over 86% of all requests
+requiring a movement of the arm" (Openmail, §5.1).  This module computes
+the same statistics for any trace replayed through the simulator, so the
+synthetic stand-ins can be audited against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import TraceError
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.simulation.system import StorageSystem
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Static (address-stream) statistics of a trace.
+
+    Attributes:
+        requests: number of requests.
+        read_fraction: fraction of reads.
+        mean_size_kb: mean request size in KB.
+        sequential_fraction: fraction of requests starting exactly where a
+            previous request (within a small window) ended.
+        mean_interarrival_ms: mean gap between arrivals.
+        cv2_interarrival: squared coefficient of variation of the gaps
+            (1 = Poisson; larger = bursty).
+    """
+
+    requests: int
+    read_fraction: float
+    mean_size_kb: float
+    sequential_fraction: float
+    mean_interarrival_ms: float
+    cv2_interarrival: float
+
+
+def profile_trace(trace: Trace, window: int = 8) -> TraceProfile:
+    """Compute the static profile of a trace.
+
+    Args:
+        trace: the trace to profile.
+        window: how many recent requests count as "open streams" when
+            scoring sequentiality.
+    """
+    if len(trace) < 2:
+        raise TraceError("need at least two requests to profile")
+    records = trace.records
+    gaps = [b.time_ms - a.time_ms for a, b in zip(records, records[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    variance = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+    recent_ends: List[int] = []
+    sequential = 0
+    for record in records:
+        if record.lba in recent_ends:
+            sequential += 1
+        recent_ends.append(record.lba + record.sectors)
+        if len(recent_ends) > window:
+            recent_ends.pop(0)
+    return TraceProfile(
+        requests=len(records),
+        read_fraction=1.0 - trace.write_fraction(),
+        mean_size_kb=trace.mean_request_sectors() * 0.5,
+        sequential_fraction=sequential / len(records),
+        mean_interarrival_ms=mean_gap,
+        cv2_interarrival=variance / mean_gap**2 if mean_gap > 0 else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class SeekActivity:
+    """Arm-movement statistics of a completed simulation run.
+
+    The two numbers the paper quotes for Openmail: the fraction of
+    requests that moved the arm, and the mean seek distance per request.
+
+    Attributes:
+        arm_movement_fraction: completed requests that required a seek.
+        mean_seek_cylinders: mean cylinders moved per completed request
+            (zero-distance requests included in the denominator, as in the
+            paper's phrasing "per request").
+        per_disk_mean_seek: mean seek distance per member disk.
+    """
+
+    arm_movement_fraction: float
+    mean_seek_cylinders: float
+    per_disk_mean_seek: List[float]
+
+
+def seek_activity(system: "StorageSystem") -> SeekActivity:
+    """Extract arm-movement statistics after a run.
+
+    Args:
+        system: a storage system whose trace replay has completed.
+
+    Raises:
+        TraceError: if no requests completed.
+    """
+    disks = system.disks
+    completed = sum(d.stats.requests_completed for d in disks)
+    if completed == 0:
+        raise TraceError("no completed requests to analyze")
+    moved = sum(d.stats.seeks_with_movement for d in disks)
+    total_distance = sum(d.stats.total_seek_cylinders for d in disks)
+    return SeekActivity(
+        arm_movement_fraction=moved / completed,
+        mean_seek_cylinders=total_distance / completed,
+        per_disk_mean_seek=[d.stats.mean_seek_distance() for d in disks],
+    )
+
+
+def replay_and_analyze(
+    spec,
+    num_requests: int = 4000,
+    seed: int = 1,
+    rpm: Optional[float] = None,
+) -> tuple:
+    """Generate, replay and analyze one catalog workload.
+
+    Returns:
+        (trace profile, simulation report, seek activity).
+    """
+    trace = spec.generate(num_requests=num_requests, seed=seed)
+    system = spec.build_system(rpm=rpm)
+    report = system.run_trace(trace)
+    return profile_trace(trace), report, seek_activity(system)
+
+
+def compare_to_paper_openmail(activity: SeekActivity) -> dict:
+    """Score a run against the paper's Openmail characterization.
+
+    Returns a dict with the measured values and the paper's (1,952
+    cylinders mean seek, 86% arm movement).
+    """
+    return {
+        "arm_movement_fraction": activity.arm_movement_fraction,
+        "paper_arm_movement_fraction": 0.86,
+        "mean_seek_cylinders": activity.mean_seek_cylinders,
+        "paper_mean_seek_cylinders": 1952.0,
+    }

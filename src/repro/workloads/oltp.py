@@ -1,0 +1,45 @@
+"""OLTP Application workload (UMass trace repository [47], "Financial").
+
+An online-transaction-processing trace from 1999 running over 24
+independent 19 GB, 10K RPM spindles (no RAID).  Small, write-heavy,
+strongly localized requests at modest per-disk utilization — the lightest
+system of the five, improving ~21% with +5K RPM (rotational latency is a
+large share of its short service times).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import WorkloadShape
+
+SHAPE = WorkloadShape(
+    name="oltp",
+    mean_interarrival_ms=1.2,
+    burstiness=1.5,
+    read_fraction=0.23,
+    size_mix=((4, 0.55), (8, 0.35), (16, 0.10)),
+    sequential_fraction=0.10,
+    stream_count=6,
+    hot_fraction=0.85,
+    hot_region_fraction=0.03,
+)
+
+
+def _spec():
+    from repro.workloads.catalog import WorkloadSpec
+
+    return WorkloadSpec(
+        name="oltp",
+        display_name="OLTP Application",
+        year=1999,
+        disk_count=24,
+        base_rpm=10000.0,
+        disk_capacity_gb=19.07,
+        raid5=False,
+        shape=SHAPE,
+        kbpi=350.0,
+        ktpi=20.0,
+        platters=4,
+    )
+
+
+SPEC = _spec()

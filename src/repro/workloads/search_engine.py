@@ -1,0 +1,44 @@
+"""Search-Engine workload (UMass trace repository [47], "Websearch").
+
+A 1999 web search engine trace over 6 independent 19 GB, 10K RPM spindles.
+Almost purely random reads of index pages at high rate — the canonical
+random-read server workload; its 16 ms baseline mean response drops ~34%
+with +5K RPM in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import WorkloadShape
+
+SHAPE = WorkloadShape(
+    name="search_engine",
+    mean_interarrival_ms=2.15,
+    burstiness=3.5,
+    read_fraction=0.99,
+    size_mix=((8, 0.45), (16, 0.40), (32, 0.15)),
+    sequential_fraction=0.05,
+    stream_count=4,
+    hot_fraction=0.45,
+    hot_region_fraction=0.15,
+)
+
+
+def _spec():
+    from repro.workloads.catalog import WorkloadSpec
+
+    return WorkloadSpec(
+        name="search_engine",
+        display_name="Search-Engine",
+        year=1999,
+        disk_count=6,
+        base_rpm=10000.0,
+        disk_capacity_gb=19.07,
+        raid5=False,
+        shape=SHAPE,
+        kbpi=350.0,
+        ktpi=20.0,
+        platters=4,
+    )
+
+
+SPEC = _spec()

@@ -1,0 +1,175 @@
+"""Workload traces.
+
+A trace is an ordered sequence of timed block-level requests against a
+logical address space.  The paper replays vendor traces (HPL Openmail,
+UMass OLTP/Websearch, TPC-C/H); those are not redistributable, so this
+library generates synthetic equivalents (see the sibling modules) but uses
+the same trace abstraction, including a simple line-oriented text format
+for saving and sharing traces:
+
+    # comment
+    <time_ms> <lba> <sectors> <R|W>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request in a trace.
+
+    Attributes:
+        time_ms: arrival time (non-decreasing within a trace).
+        lba: starting logical block.
+        sectors: length in 512-byte sectors.
+        is_write: write flag.
+    """
+
+    time_ms: float
+    lba: int
+    sectors: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise TraceError(f"time cannot be negative, got {self.time_ms}")
+        if self.lba < 0:
+            raise TraceError(f"LBA cannot be negative, got {self.lba}")
+        if self.sectors <= 0:
+            raise TraceError(f"sectors must be positive, got {self.sectors}")
+
+
+@dataclass
+class Trace:
+    """An ordered request trace with a name.
+
+    Attributes:
+        name: workload label.
+        records: the requests, in non-decreasing time order.
+    """
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._validate_order()
+
+    def _validate_order(self) -> None:
+        previous = 0.0
+        for record in self.records:
+            if record.time_ms < previous - 1e-9:
+                raise TraceError(
+                    f"trace {self.name!r} not time-ordered at t={record.time_ms}"
+                )
+            previous = record.time_ms
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def duration_ms(self) -> float:
+        """Arrival span of the trace."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].time_ms - self.records[0].time_ms
+
+    def max_lba(self) -> int:
+        """Highest sector addressed (exclusive)."""
+        if not self.records:
+            return 0
+        return max(record.lba + record.sectors for record in self.records)
+
+    def write_fraction(self) -> float:
+        """Fraction of requests that are writes."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.is_write) / len(self.records)
+
+    def mean_request_sectors(self) -> float:
+        """Average request size in sectors."""
+        if not self.records:
+            return 0.0
+        return sum(r.sectors for r in self.records) / len(self.records)
+
+    def arrival_rate_per_s(self) -> float:
+        """Average arrival rate over the trace duration."""
+        if len(self.records) < 2 or self.duration_ms <= 0:
+            return 0.0
+        return (len(self.records) - 1) / (self.duration_ms / 1000.0)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace in the text format described in the module docs."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(f"# trace: {self.name}\n")
+            handle.write("# time_ms lba sectors R|W\n")
+            for record in self.records:
+                flag = "W" if record.is_write else "R"
+                handle.write(
+                    f"{record.time_ms:.3f} {record.lba} {record.sectors} {flag}\n"
+                )
+
+    @classmethod
+    def load(cls, path: Union[str, Path], name: str = "") -> "Trace":
+        """Parse a trace file.
+
+        Raises:
+            TraceError: on malformed lines or ordering violations.
+        """
+        path = Path(path)
+        records: List[TraceRecord] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in ("R", "W"):
+                    raise TraceError(
+                        f"{path}:{line_number}: malformed trace line {line!r}"
+                    )
+                try:
+                    record = TraceRecord(
+                        time_ms=float(parts[0]),
+                        lba=int(parts[1]),
+                        sectors=int(parts[2]),
+                        is_write=parts[3] == "W",
+                    )
+                except ValueError as exc:
+                    raise TraceError(f"{path}:{line_number}: {exc}") from exc
+                records.append(record)
+        return cls(name=name or path.stem, records=records)
+
+    @classmethod
+    def from_records(cls, name: str, records: Iterable[TraceRecord]) -> "Trace":
+        """Build a trace, sorting records by time."""
+        return cls(name=name, records=sorted(records, key=lambda r: r.time_ms))
+
+    def scaled_rate(self, factor: float) -> "Trace":
+        """A new trace with inter-arrival times divided by ``factor``
+        (factor > 1 intensifies the workload)."""
+        if factor <= 0:
+            raise TraceError(f"rate factor must be positive, got {factor}")
+        return Trace(
+            name=f"{self.name}-x{factor:g}",
+            records=[
+                TraceRecord(
+                    time_ms=record.time_ms / factor,
+                    lba=record.lba,
+                    sectors=record.sectors,
+                    is_write=record.is_write,
+                )
+                for record in self.records
+            ],
+        )

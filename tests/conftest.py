@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capacity.recording import RecordingTechnology
+from repro.capacity.zones import ZonedSurface
+from repro.geometry.platter import Platter
+from repro.simulation.disk import standard_disk
+from repro.simulation.events import EventQueue
+
+
+@pytest.fixture
+def tech_2002() -> RecordingTechnology:
+    """The paper's 2002 recording point (570 KBPI-class, Table 1 era)."""
+    return RecordingTechnology.from_kilo_units(593.19, 67.5)
+
+
+@pytest.fixture
+def platter_26() -> Platter:
+    """A 2.6-inch platter, the roadmap's starting size."""
+    return Platter(diameter_in=2.6)
+
+
+@pytest.fixture
+def surface_2002(platter_26, tech_2002) -> ZonedSurface:
+    """A 50-zone 2002-era surface (the roadmap configuration)."""
+    return ZonedSurface(platter=platter_26, technology=tech_2002, zone_count=50)
+
+
+@pytest.fixture
+def events() -> EventQueue:
+    """A fresh event queue."""
+    return EventQueue()
+
+
+@pytest.fixture
+def small_disk(events):
+    """A small, fast-to-simulate disk for simulator tests."""
+    return standard_disk(
+        name="t0",
+        events=events,
+        diameter_in=2.6,
+        platters=1,
+        kbpi=300.0,
+        ktpi=10.0,
+        rpm=10000.0,
+        zone_count=10,
+        cache_bytes=512 * 1024,
+    )

@@ -1,0 +1,93 @@
+"""Workload/run analysis tests, including the paper's Openmail
+characterization check."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import (
+    Trace,
+    TraceRecord,
+    compare_to_paper_openmail,
+    profile_trace,
+    replay_and_analyze,
+    seek_activity,
+    workload,
+)
+
+
+class TestProfileTrace:
+    def make(self):
+        return Trace(
+            name="p",
+            records=[
+                TraceRecord(0.0, 0, 8, False),
+                TraceRecord(2.0, 8, 8, False),  # sequential continuation
+                TraceRecord(4.0, 5000, 4, True),
+                TraceRecord(6.0, 9000, 4, False),
+            ],
+        )
+
+    def test_basic_fields(self):
+        profile = profile_trace(self.make())
+        assert profile.requests == 4
+        assert profile.read_fraction == pytest.approx(0.75)
+        assert profile.mean_size_kb == pytest.approx(3.0)
+        assert profile.mean_interarrival_ms == pytest.approx(2.0)
+
+    def test_sequential_detection(self):
+        profile = profile_trace(self.make())
+        assert profile.sequential_fraction == pytest.approx(0.25)
+
+    def test_constant_gaps_have_zero_cv2(self):
+        profile = profile_trace(self.make())
+        assert profile.cv2_interarrival == pytest.approx(0.0)
+
+    def test_needs_two_requests(self):
+        with pytest.raises(TraceError):
+            profile_trace(Trace(name="x", records=[TraceRecord(0, 0, 1, False)]))
+
+    def test_bursty_trace_high_cv2(self):
+        spec = workload("openmail")
+        trace = spec.generate(num_requests=3000, seed=2)
+        profile = profile_trace(trace)
+        assert profile.cv2_interarrival > 3.0  # burstiness 8 shape
+
+    def test_poissonish_trace_cv2_near_one(self):
+        spec = workload("tpch")  # burstiness 1.5
+        trace = spec.generate(num_requests=3000, seed=2)
+        profile = profile_trace(trace)
+        assert profile.cv2_interarrival < 4.0
+
+
+class TestSeekActivity:
+    def test_openmail_matches_paper_characterization(self):
+        """Paper §5.1: Openmail averages 1,952 cylinders of seek per
+        request, with >86% of requests moving the arm.  The synthetic
+        stand-in must land in the same regime (generous bands — the
+        statistics were never tuned for)."""
+        _, _, activity = replay_and_analyze(workload("openmail"), num_requests=4000)
+        comparison = compare_to_paper_openmail(activity)
+        assert 0.75 <= comparison["arm_movement_fraction"] <= 1.0
+        assert 1000 <= comparison["mean_seek_cylinders"] <= 3000
+
+    def test_sequential_workload_moves_arm_less(self):
+        _, _, seqish = replay_and_analyze(workload("tpch"), num_requests=2500)
+        _, _, randomish = replay_and_analyze(
+            workload("search_engine"), num_requests=2500
+        )
+        assert seqish.arm_movement_fraction < randomish.arm_movement_fraction
+
+    def test_locality_shortens_seeks(self):
+        _, _, tight = replay_and_analyze(workload("tpcc"), num_requests=2000)
+        _, _, spread = replay_and_analyze(workload("openmail"), num_requests=2000)
+        assert tight.mean_seek_cylinders < spread.mean_seek_cylinders
+
+    def test_requires_completed_run(self):
+        system = workload("oltp").build_system()
+        with pytest.raises(TraceError):
+            seek_activity(system)
+
+    def test_per_disk_list_length(self):
+        spec = workload("tpcc")
+        _, _, activity = replay_and_analyze(spec, num_requests=1000)
+        assert len(activity.per_disk_mean_seek) == spec.disk_count

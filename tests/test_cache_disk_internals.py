@@ -1,0 +1,90 @@
+"""Unit tests for the cache-disk pair's internals (region map, routing)."""
+
+import pytest
+
+from repro.dtm.cache_disk import CacheDiskPair, _RegionMap
+from repro.errors import DTMError
+from repro.simulation.request import Request
+
+
+class TestRegionMap:
+    def test_insert_then_contains(self):
+        region_map = _RegionMap(capacity_sectors=1024, region_sectors=128)
+        region_map.insert(0, 64)
+        assert region_map.contains(0, 64)
+        assert region_map.contains(32, 32)
+
+    def test_partial_region_counts_as_whole(self):
+        region_map = _RegionMap(capacity_sectors=1024, region_sectors=128)
+        region_map.insert(0, 1)  # touches region 0
+        assert region_map.contains(100, 20)  # same region
+
+    def test_spanning_requires_all_regions(self):
+        region_map = _RegionMap(capacity_sectors=1024, region_sectors=128)
+        region_map.insert(0, 128)  # region 0 only
+        assert not region_map.contains(100, 64)  # spans into region 1
+
+    def test_lru_eviction_order(self):
+        region_map = _RegionMap(capacity_sectors=256, region_sectors=128)  # 2 regions
+        region_map.insert(0, 1)      # region 0
+        region_map.insert(128, 1)    # region 1
+        region_map.contains(0, 1)    # touch region 0
+        region_map.insert(256, 1)    # region 2 -> evicts region 1
+        assert region_map.contains(0, 1)
+        assert not region_map.contains(128, 1)
+
+    def test_invalidate(self):
+        region_map = _RegionMap(capacity_sectors=1024, region_sectors=128)
+        region_map.insert(0, 256)
+        region_map.invalidate(128, 1)
+        assert region_map.contains(0, 128)
+        assert not region_map.contains(128, 128)
+
+    def test_zero_capacity_disables(self):
+        region_map = _RegionMap(capacity_sectors=128, region_sectors=128)
+        region_map.max_regions = 0
+        region_map.insert(0, 64)
+        assert not region_map.contains(0, 64)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(DTMError):
+            _RegionMap(capacity_sectors=64, region_sectors=128)
+        with pytest.raises(DTMError):
+            _RegionMap(capacity_sectors=128, region_sectors=0)
+
+
+class TestCacheDiskRouting:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return CacheDiskPair()
+
+    def test_write_goes_to_big_disk_and_invalidates(self, pair):
+        lba = 1000
+        # Prime the cache with a read.
+        pair.submit(Request(arrival_ms=pair.events.now_ms, lba=lba, sectors=8))
+        pair.events.run()
+        assert pair.map.contains(lba, 8)
+        pair.submit(
+            Request(arrival_ms=pair.events.now_ms, lba=lba, sectors=8, is_write=True)
+        )
+        pair.events.run()
+        assert not pair.map.contains(lba, 8)
+        assert pair.writes == 1
+
+    def test_second_read_hits(self, pair):
+        lba = 50_000
+        for _ in range(2):
+            pair.submit(Request(arrival_ms=pair.events.now_ms, lba=lba, sectors=8))
+            pair.events.run()
+        assert pair.hits >= 1
+
+    def test_out_of_range_rejected(self, pair):
+        with pytest.raises(DTMError):
+            pair.submit(
+                Request(arrival_ms=pair.events.now_ms, lba=pair.logical_sectors, sectors=1)
+            )
+
+    def test_cache_lba_fits_small_disk(self, pair):
+        for lba in (0, pair.logical_sectors // 2, pair.logical_sectors - 64):
+            mapped = pair._cache_lba(lba, 64)
+            assert 0 <= mapped + 64 <= pair.small.total_sectors

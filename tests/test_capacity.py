@@ -1,0 +1,219 @@
+"""Capacity-model tests: recording, servo, ECC, zones, derated capacity."""
+
+import math
+
+import pytest
+
+from repro.capacity import (
+    CapacityModel,
+    RecordingTechnology,
+    ZonedSurface,
+    ecc_bits_per_sector,
+    ecc_fraction,
+    gray_code,
+    gray_decode,
+    servo_bits_per_sector,
+    smooth_ecc_bits_per_sector,
+)
+from repro.constants import ECC_BITS_SUBTERABIT, ECC_BITS_TERABIT
+from repro.errors import RecordingError
+from repro.geometry.platter import Platter
+
+
+class TestRecordingTechnology:
+    def test_areal_density(self):
+        tech = RecordingTechnology.from_kilo_units(500, 40)
+        assert tech.areal_density == pytest.approx(2.0e10)
+
+    def test_bar(self):
+        tech = RecordingTechnology.from_kilo_units(480, 80)
+        assert tech.bit_aspect_ratio == pytest.approx(6.0)
+
+    def test_terabit_flag(self):
+        assert RecordingTechnology.from_kilo_units(1900, 540).is_terabit
+        assert not RecordingTechnology.from_kilo_units(570, 64).is_terabit
+
+    def test_scaled(self):
+        tech = RecordingTechnology.from_kilo_units(100, 10)
+        scaled = tech.scaled(1.3, 1.5)
+        assert scaled.bpi == pytest.approx(130_000)
+        assert scaled.tpi == pytest.approx(15_000)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RecordingError):
+            RecordingTechnology(bpi=0, tpi=1)
+        with pytest.raises(RecordingError):
+            RecordingTechnology(bpi=1, tpi=-5)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        tech = RecordingTechnology.from_kilo_units(100, 10)
+        with pytest.raises(RecordingError):
+            tech.scaled(0, 1)
+
+
+class TestServo:
+    def test_bits_for_power_of_two(self):
+        assert servo_bits_per_sector(1024) == 10
+
+    def test_bits_round_up(self):
+        assert servo_bits_per_sector(1025) == 11
+
+    def test_single_track(self):
+        assert servo_bits_per_sector(1) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(RecordingError):
+            servo_bits_per_sector(0)
+
+    def test_gray_code_adjacent_tracks_differ_by_one_bit(self):
+        for track in range(2048):
+            diff = gray_code(track) ^ gray_code(track + 1)
+            assert bin(diff).count("1") == 1
+
+    def test_gray_roundtrip(self):
+        for track in range(512):
+            assert gray_decode(gray_code(track)) == track
+
+    def test_gray_rejects_negative(self):
+        with pytest.raises(RecordingError):
+            gray_code(-1)
+
+
+class TestECC:
+    def test_subterabit(self):
+        assert ecc_bits_per_sector(5e11) == ECC_BITS_SUBTERABIT
+
+    def test_terabit(self):
+        assert ecc_bits_per_sector(1e12) == ECC_BITS_TERABIT
+
+    def test_fractions_match_paper(self):
+        # ~10% below the terabit point, ~35% above (Wood [49]).
+        assert ecc_fraction(5e11) == pytest.approx(0.10, abs=0.02)
+        assert ecc_fraction(2e12) == pytest.approx(0.35, abs=0.02)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(RecordingError):
+            ecc_bits_per_sector(0)
+
+    def test_smooth_matches_step_far_from_transition(self):
+        assert smooth_ecc_bits_per_sector(1e10) == ECC_BITS_SUBTERABIT
+        assert smooth_ecc_bits_per_sector(1e14) == ECC_BITS_TERABIT
+
+    def test_smooth_is_monotone_through_transition(self):
+        densities = [10 ** (11.5 + i * 0.05) for i in range(21)]
+        values = [smooth_ecc_bits_per_sector(d) for d in densities]
+        assert values == sorted(values)
+
+    def test_smooth_midpoint_between_extremes(self):
+        mid = smooth_ecc_bits_per_sector(1e12)
+        assert ECC_BITS_SUBTERABIT < mid <= ECC_BITS_TERABIT
+
+
+class TestZonedSurface:
+    def test_track_zero_is_outer_radius(self, surface_2002, platter_26):
+        assert surface_2002.track_radius_in(0) == pytest.approx(platter_26.outer_radius_in)
+
+    def test_innermost_track_is_inner_radius(self, surface_2002, platter_26):
+        last = surface_2002.cylinders - 1
+        assert surface_2002.track_radius_in(last) == pytest.approx(platter_26.inner_radius_in)
+
+    def test_radii_decrease_with_track(self, surface_2002):
+        step = surface_2002.cylinders // 7
+        radii = [surface_2002.track_radius_in(j) for j in range(0, surface_2002.cylinders, step)]
+        assert radii == sorted(radii, reverse=True)
+
+    def test_perimeter_formula(self, surface_2002):
+        j = 100
+        assert surface_2002.track_perimeter_in(j) == pytest.approx(
+            2 * math.pi * surface_2002.track_radius_in(j)
+        )
+
+    def test_cylinder_count_uses_stroke_efficiency(self, platter_26, tech_2002):
+        full = ZonedSurface(platter_26, tech_2002, zone_count=50, stroke_efficiency=1.0)
+        partial = ZonedSurface(platter_26, tech_2002, zone_count=50, stroke_efficiency=2 / 3)
+        assert partial.cylinders == pytest.approx(full.cylinders * 2 / 3, rel=0.01)
+
+    def test_zone_partition_covers_all_tracks(self, surface_2002):
+        total = sum(zone.track_count for zone in surface_2002.zones)
+        assert total == surface_2002.cylinders
+
+    def test_zones_are_contiguous(self, surface_2002):
+        position = 0
+        for zone in surface_2002.zones:
+            assert zone.first_track == position
+            position += zone.track_count
+
+    def test_outer_zones_hold_more_sectors(self, surface_2002):
+        sectors = [zone.sectors_per_track for zone in surface_2002.zones]
+        assert sectors == sorted(sectors, reverse=True)
+        assert sectors[0] > sectors[-1]
+
+    def test_zone_of_track(self, surface_2002):
+        for zone in (surface_2002.zones[0], surface_2002.zones[25], surface_2002.zones[-1]):
+            assert surface_2002.zone_of_track(zone.first_track).index == zone.index
+            last = zone.first_track + zone.track_count - 1
+            assert surface_2002.zone_of_track(last).index == zone.index
+
+    def test_overhead_fraction_near_11_percent(self, surface_2002):
+        # 416 ECC bits + ~15 servo bits over 4096.
+        assert 0.095 < surface_2002.overhead_fraction < 0.12
+
+    def test_rejects_more_zones_than_tracks(self, platter_26):
+        sparse = RecordingTechnology.from_kilo_units(100, 0.05)
+        with pytest.raises(RecordingError):
+            ZonedSurface(platter_26, sparse, zone_count=1000)
+
+    def test_rejects_bad_track_index(self, surface_2002):
+        with pytest.raises(RecordingError):
+            surface_2002.track_radius_in(-1)
+        with pytest.raises(RecordingError):
+            surface_2002.track_radius_in(surface_2002.cylinders)
+
+    def test_rejects_bad_stroke_efficiency(self, platter_26, tech_2002):
+        with pytest.raises(RecordingError):
+            ZonedSurface(platter_26, tech_2002, stroke_efficiency=0.0)
+        with pytest.raises(RecordingError):
+            ZonedSurface(platter_26, tech_2002, stroke_efficiency=1.5)
+
+
+class TestCapacityModel:
+    def test_capacity_doubles_with_platters(self, platter_26, tech_2002):
+        one = CapacityModel(platter_26, tech_2002, platter_count=1).usable_capacity_gb()
+        two = CapacityModel(platter_26, tech_2002, platter_count=2).usable_capacity_gb()
+        assert two == pytest.approx(2 * one)
+
+    def test_capacity_scales_with_area(self, tech_2002):
+        small = CapacityModel(Platter(diameter_in=1.6), tech_2002).usable_capacity_gb()
+        large = CapacityModel(Platter(diameter_in=3.2), tech_2002).usable_capacity_gb()
+        assert large / small == pytest.approx(4.0, rel=0.02)
+
+    def test_usable_below_raw(self, platter_26, tech_2002):
+        model = CapacityModel(platter_26, tech_2002)
+        assert model.usable_capacity_gb() < model.raw_capacity_gb()
+
+    def test_breakdown_accounts_for_losses(self, platter_26, tech_2002):
+        breakdown = CapacityModel(platter_26, tech_2002).breakdown()
+        assert breakdown.zbr_loss_gb >= 0
+        assert breakdown.overhead_loss_gb > 0
+        assert breakdown.usable_gb == pytest.approx(
+            breakdown.raw_gb - breakdown.zbr_loss_gb - breakdown.overhead_loss_gb
+        )
+
+    def test_gib_below_gb(self, platter_26, tech_2002):
+        model = CapacityModel(platter_26, tech_2002)
+        assert model.usable_capacity_gib() == pytest.approx(
+            model.usable_capacity_gb() * 1e9 / 2**30
+        )
+
+    def test_more_zones_recover_zbr_loss(self, platter_26, tech_2002):
+        few = CapacityModel(platter_26, tech_2002, zone_count=5).usable_capacity_gb()
+        many = CapacityModel(platter_26, tech_2002, zone_count=100).usable_capacity_gb()
+        assert many > few
+
+    def test_rejects_zero_platters(self, platter_26, tech_2002):
+        with pytest.raises(RecordingError):
+            CapacityModel(platter_26, tech_2002, platter_count=0)
+
+    def test_bytes_consistent_with_sectors(self, platter_26, tech_2002):
+        model = CapacityModel(platter_26, tech_2002)
+        assert model.usable_capacity_bytes() == model.usable_sectors * 512

@@ -1,0 +1,107 @@
+"""CLI tests: every subcommand produces its table and exits cleanly."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["defrag"])
+
+    def test_t_cool_list_parsing(self):
+        args = build_parser().parse_args(
+            ["throttle", "--rpm-high", "24534", "--t-cool", "0.5,1,2"]
+        )
+        assert args.t_cool == [0.5, 1.0, 2.0]
+
+    def test_t_cool_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["throttle", "--rpm-high", "24534", "--t-cool", "fast"]
+            )
+
+    def test_workload_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "exchange"])
+
+
+class TestCommands:
+    def test_validate(self, capsys):
+        code, out, err = run_cli(capsys, "validate")
+        assert code == 0
+        assert "Cheetah 15K.3" in out
+        assert "IDR ours" in out
+
+    def test_envelope(self, capsys):
+        code, out, _ = run_cli(capsys, "envelope", "-d", "2.6")
+        assert code == 0
+        # ~15,000 RPM for the 2.6" envelope design.
+        tokens = out.split()
+        assert any(t.startswith(("149", "150")) and len(t) == 5 for t in tokens)
+        assert "45.22" in out
+
+    def test_envelope_vcm_off(self, capsys):
+        code, out, _ = run_cli(capsys, "envelope", "-d", "2.6", "--vcm-off")
+        assert code == 0
+        assert "off" in out
+
+    def test_envelope_infeasible_design_reports_error(self, capsys):
+        code, out, err = run_cli(
+            capsys, "envelope", "-d", "2.6", "-p", "4", "--envelope", "30"
+        )
+        assert code == 1
+        assert "error:" in err
+
+    def test_transient(self, capsys):
+        code, out, _ = run_cli(capsys, "transient", "-m", "30")
+        assert code == 0
+        assert "steady state" in out
+
+    def test_roadmap(self, capsys):
+        code, out, _ = run_cli(capsys, "roadmap")
+        assert code == 0
+        assert "2012" in out
+        assert "*" in out  # some year meets the target
+
+    def test_roadmap_with_cooling(self, capsys):
+        code, out, _ = run_cli(capsys, "roadmap", "--cooling", "5")
+        assert code == 0
+
+    def test_workload(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "workload", "oltp", "-n", "400", "--steps", "2"
+        )
+        assert code == 0
+        assert "OLTP" in out
+        assert "15000" in out
+
+    def test_throttle(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "throttle", "--rpm-high", "24534", "--t-cool", "1,4"
+        )
+        assert code == 0
+        assert "ratio" in out
+
+    def test_throttle_infeasible(self, capsys):
+        code, out, err = run_cli(
+            capsys, "throttle", "--rpm-high", "12000", "--t-cool", "1"
+        )
+        assert code == 1
+        assert "error:" in err
+
+    def test_slack(self, capsys):
+        code, out, _ = run_cli(capsys, "slack")
+        assert code == 0
+        assert '2.6"' in out

@@ -1,0 +1,297 @@
+"""DTM tests: thermal slack, dynamic throttling, multi-speed profiles,
+and the reactive controller."""
+
+import pytest
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.dtm import (
+    DTMPolicy,
+    ThermallyManagedSystem,
+    ThrottlingScenario,
+    drpm_profile,
+    paper_scenario_vcm_and_rpm,
+    paper_scenario_vcm_only,
+    required_ratio_for_utilization,
+    slack_by_platter_size,
+    slack_roadmap,
+    throttle_cycle,
+    throttling_ratio_curve,
+    throttling_trace,
+    two_level_profile,
+)
+from repro.errors import DTMError
+from repro.thermal import DriveThermalModel
+
+
+class TestSlack:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return slack_by_platter_size()
+
+    def test_three_sizes(self, points):
+        assert [p.diameter_in for p in points] == [2.6, 2.1, 1.6]
+
+    def test_26_slack_rpm_near_paper(self, points):
+        # Paper Figure 5(a): 15,020 -> 26,750 RPM for the 2.6" size.
+        p26 = points[0]
+        assert p26.envelope_rpm == pytest.approx(15020, rel=0.02)
+        assert p26.vcm_off_rpm == pytest.approx(26750, rel=0.08)
+
+    def test_slack_fraction_shrinks_with_size(self, points):
+        fractions = [p.rpm_gain_fraction for p in points]
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_vcm_power_column(self, points):
+        assert points[0].vcm_power_w == pytest.approx(3.9)
+        assert points[2].vcm_power_w == pytest.approx(0.618)
+
+    def test_slack_always_positive(self, points):
+        assert all(p.rpm_gain > 0 for p in points)
+
+
+class TestSlackRoadmap:
+    @pytest.fixture(scope="class")
+    def roadmap(self):
+        return slack_roadmap(years=(2002, 2005, 2008), sizes=(2.6, 1.6))
+
+    def test_slack_roadmap_dominates_envelope_design(self, roadmap):
+        for base, slack in zip(roadmap.envelope_design, roadmap.vcm_off):
+            assert slack.max_idr_mb_s > base.max_idr_mb_s
+
+    def test_26_slack_beats_nonslack_21(self):
+        # Paper §5.2: the 2.6" slack design surpasses a non-slack 2.1".
+        roadmap = slack_roadmap(years=(2003,), sizes=(2.6, 2.1))
+        slack_26 = next(
+            p for p in roadmap.vcm_off if p.diameter_in == 2.6 and p.year == 2003
+        )
+        plain_21 = next(
+            p
+            for p in roadmap.envelope_design
+            if p.diameter_in == 2.1 and p.year == 2003
+        )
+        assert slack_26.max_idr_mb_s > plain_21.max_idr_mb_s
+        assert slack_26.capacity_gb > plain_21.capacity_gb
+
+    def test_16_late_gain_small(self, roadmap):
+        # Paper: ~5.6% extra for the small platter late in the roadmap.
+        gain = roadmap.idr_gain_fraction(2008, 1.6)
+        assert 0.02 < gain < 0.12
+
+    def test_gain_lookup_missing_raises(self, roadmap):
+        with pytest.raises(KeyError):
+            roadmap.idr_gain_fraction(1999, 2.6)
+
+
+class TestThrottlingScenario:
+    def test_paper_scenarios_validate(self):
+        paper_scenario_vcm_only().validate()
+        paper_scenario_vcm_and_rpm().validate()
+
+    def test_scenario_a_steady_states(self):
+        scenario = paper_scenario_vcm_only()
+        # Paper: 48.26 C with VCM on, 44.07 C with VCM off.
+        assert scenario.heating_steady_air_c() == pytest.approx(48.26, rel=0.03)
+        assert scenario.cooling_steady_air_c() < THERMAL_ENVELOPE_C
+
+    def test_scenario_b_needs_rpm_drop(self):
+        # At 37,001 RPM even VCM-off is above the envelope...
+        vcm_only = ThrottlingScenario(diameter_in=2.6, rpm_high=37001.0)
+        with pytest.raises(DTMError):
+            vcm_only.validate()
+        # ...but dropping to 22,001 RPM while cooling works.
+        paper_scenario_vcm_and_rpm().validate()
+
+    def test_in_envelope_design_rejected(self):
+        scenario = ThrottlingScenario(diameter_in=2.6, rpm_high=12000.0)
+        with pytest.raises(DTMError):
+            scenario.validate()
+
+    def test_rpm_low_must_be_below_high(self):
+        with pytest.raises(DTMError):
+            ThrottlingScenario(diameter_in=2.6, rpm_high=20000, rpm_low=25000)
+
+    def test_utilization_ratio_helper(self):
+        assert required_ratio_for_utilization(0.5) == pytest.approx(1.0)
+        assert required_ratio_for_utilization(0.75) == pytest.approx(3.0)
+        with pytest.raises(DTMError):
+            required_ratio_for_utilization(1.0)
+
+
+class TestThrottleCycle:
+    @pytest.fixture(scope="class")
+    def curve_a(self):
+        return throttling_ratio_curve(
+            paper_scenario_vcm_only(), (0.5, 2.0, 8.0), dt_s=0.02
+        )
+
+    def test_ratio_decreases_with_t_cool(self, curve_a):
+        ratios = [c.ratio for c in curve_a]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_cooling_goes_below_envelope(self, curve_a):
+        assert all(c.min_air_c < THERMAL_ENVELOPE_C for c in curve_a)
+
+    def test_longer_cooling_cools_deeper(self, curve_a):
+        depths = [c.min_air_c for c in curve_a]
+        assert depths[0] > depths[1] > depths[2]
+
+    def test_utilization_consistent_with_ratio(self, curve_a):
+        for cycle in curve_a:
+            assert cycle.utilization == pytest.approx(
+                cycle.ratio / (1 + cycle.ratio)
+            )
+
+    def test_scenario_b_also_decreasing(self):
+        curve = throttling_ratio_curve(
+            paper_scenario_vcm_and_rpm(), (0.5, 4.0), dt_s=0.02
+        )
+        assert curve[0].ratio > curve[1].ratio
+
+    def test_sustained_mode_bounded_by_energy_balance(self):
+        # Long-run duty cannot exceed the sustainable duty; with the
+        # paper's scenario (a) that bound is well below 50%.
+        cycle = throttle_cycle(
+            paper_scenario_vcm_only(), 1.0, dt_s=0.02, mode="sustained"
+        )
+        assert cycle.utilization < 0.5
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(DTMError):
+            throttle_cycle(paper_scenario_vcm_only(), 1.0, mode="magic")
+
+    def test_rejects_bad_t_cool(self):
+        with pytest.raises(DTMError):
+            throttle_cycle(paper_scenario_vcm_only(), 0.0)
+
+
+class TestThrottlingTrace:
+    def test_sawtooth_stays_near_envelope(self):
+        trace = throttling_trace(
+            paper_scenario_vcm_only(), t_cool_s=1.0, cycles=3, dt_s=0.02
+        )
+        assert max(trace.air_c) <= THERMAL_ENVELOPE_C + 0.1
+        assert min(trace.air_c) < THERMAL_ENVELOPE_C
+        assert any(trace.throttled) and not all(trace.throttled)
+
+    def test_lengths_consistent(self):
+        trace = throttling_trace(
+            paper_scenario_vcm_only(), t_cool_s=0.5, cycles=2, dt_s=0.02
+        )
+        assert len(trace.times_s) == len(trace.air_c) == len(trace.throttled)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(DTMError):
+            throttling_trace(paper_scenario_vcm_only(), t_cool_s=1.0, cycles=0)
+
+
+class TestMultiSpeed:
+    def test_two_level(self):
+        profile = two_level_profile(24534, 15000)
+        assert profile.top_rpm == 24534
+        assert profile.bottom_rpm == 15000
+        assert not profile.serves_at_lower_levels
+
+    def test_two_level_validation(self):
+        with pytest.raises(DTMError):
+            two_level_profile(10000, 20000)
+
+    def test_drpm_ladder(self):
+        profile = drpm_profile(15000, levels=4, step_rpm=3000)
+        assert profile.rpm_levels == (6000, 9000, 12000, 15000)
+        assert profile.serves_at_lower_levels
+
+    def test_transition_time_scales(self):
+        profile = two_level_profile(24534, 15000)
+        assert profile.transition_time_s(15000, 24534) == pytest.approx(
+            (24534 - 15000) / 1000 * 0.4
+        )
+
+    def test_transition_requires_known_levels(self):
+        profile = two_level_profile(24534, 15000)
+        with pytest.raises(DTMError):
+            profile.transition_time_s(15000, 20000)
+
+    def test_nearest_level(self):
+        profile = drpm_profile(15000, levels=4, step_rpm=3000)
+        assert profile.nearest_level_at_or_below(10000) == 9000
+        with pytest.raises(DTMError):
+            profile.nearest_level_at_or_below(1000)
+
+    def test_ladder_validation(self):
+        with pytest.raises(DTMError):
+            drpm_profile(5000, levels=4, step_rpm=2000)
+
+
+class TestController:
+    def make_managed(self, rpm=24500, profile=None, trigger=0.05):
+        from repro.workloads import workload
+
+        spec = workload("search_engine")
+        system = spec.build_system(rpm=rpm)
+        thermal = DriveThermalModel(
+            platter_diameter_in=2.6, rpm=rpm, vcm_active=False
+        )
+        thermal.settle()
+        thermal.set_operating_state(vcm_active=True)
+        policy = DTMPolicy(
+            trigger_margin_c=trigger,
+            resume_margin_c=trigger + 0.1,
+            check_interval_ms=20.0,
+            speed_profile=profile,
+        )
+        managed = ThermallyManagedSystem(system, thermal, policy)
+        trace = spec.generate(num_requests=600, seed=5)
+        return managed, trace
+
+    def test_policy_validation(self):
+        with pytest.raises(DTMError):
+            DTMPolicy(trigger_margin_c=0.2, resume_margin_c=0.1)
+        with pytest.raises(DTMError):
+            DTMPolicy(check_interval_ms=0)
+
+    def test_run_completes_all_requests(self):
+        managed, trace = self.make_managed()
+        report = managed.run_trace(trace)
+        assert report.stats.count == len(trace)
+        assert report.simulated_ms > 0
+
+    def test_temperature_tracked(self):
+        managed, trace = self.make_managed()
+        report = managed.run_trace(trace)
+        assert report.max_air_c > 0
+        assert 0.0 <= report.throttled_fraction <= 1.0
+
+    def test_throttling_engages_on_hot_design(self):
+        # Force throttling by an artificially low envelope.
+        from repro.workloads import workload
+
+        spec = workload("search_engine")
+        system = spec.build_system(rpm=24500)
+        thermal = DriveThermalModel(platter_diameter_in=2.6, rpm=24500, vcm_active=False)
+        thermal.settle()
+        thermal.set_operating_state(vcm_active=True)
+        envelope = thermal.air_c() + 0.05  # just above the idle temperature
+        policy = DTMPolicy(
+            envelope_c=envelope,
+            trigger_margin_c=0.01,
+            resume_margin_c=0.04,
+            check_interval_ms=20.0,
+        )
+        managed = ThermallyManagedSystem(system, thermal, policy)
+        report = managed.run_trace(spec.generate(num_requests=600, seed=5))
+        assert report.throttle_events > 0
+        assert report.stats.count == 600
+
+    def test_speed_profile_must_match_rpm(self):
+        from repro.workloads import workload
+
+        spec = workload("search_engine")
+        system = spec.build_system(rpm=24500)
+        thermal = DriveThermalModel(platter_diameter_in=2.6, rpm=24500)
+        profile = two_level_profile(20000, 12000)  # top != 26000
+        with pytest.raises(DTMError):
+            ThermallyManagedSystem(
+                system,
+                thermal,
+                DTMPolicy(speed_profile=profile),
+            )

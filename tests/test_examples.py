@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts run end to end and print their story."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "usable capacity" in out
+        assert "max RPM inside envelope" in out
+        assert "45.22" in out
+
+    def test_roadmap_explorer(self, capsys):
+        load_example("roadmap_explorer").main()
+        out = capsys.readouterr().out
+        assert "IDR roadmap" in out
+        assert "Cooling sensitivity" in out
+        assert "2012" in out
+
+    def test_workload_simulation(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["workload_simulation.py", "oltp", "800"])
+        load_example("workload_simulation").main()
+        out = capsys.readouterr().out
+        assert "OLTP" in out
+        assert "faster mean response" in out
+        assert "CDF" in out
+
+    def test_array_thermal(self, capsys):
+        load_example("array_thermal").main()
+        out = capsys.readouterr().out
+        assert "Serial airflow" in out
+        assert "reliability mechanism" in out
+        assert "MTBF" in out
+
+    @pytest.mark.slow
+    def test_dtm_demo(self, capsys):
+        load_example("dtm_demo").main()
+        out = capsys.readouterr().out
+        assert "Thermal slack" in out
+        assert "throttling ratios" in out
+        assert "Reactive DTM controller" in out

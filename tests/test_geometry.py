@@ -1,0 +1,152 @@
+"""Geometry tests: platters, stacks, enclosures, actuators."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    FORM_FACTOR_25,
+    FORM_FACTOR_35,
+    Actuator,
+    DiskStack,
+    Enclosure,
+    Platter,
+    actuator_for_platter,
+    form_factor,
+)
+
+
+class TestPlatter:
+    def test_inner_radius_is_half_outer(self):
+        platter = Platter(diameter_in=2.6)
+        assert platter.inner_radius_in == pytest.approx(platter.outer_radius_in / 2)
+
+    def test_radial_band(self):
+        platter = Platter(diameter_in=3.0)
+        assert platter.radial_band_in == pytest.approx(0.75)
+
+    def test_annulus_area(self):
+        platter = Platter(diameter_in=2.0)
+        # pi (1^2 - 0.5^2) = 0.75 pi
+        assert platter.annulus_area_in2() == pytest.approx(0.75 * math.pi)
+
+    def test_mass_scales_with_diameter_squared(self):
+        small = Platter(diameter_in=1.6)
+        large = Platter(diameter_in=3.2)
+        assert large.mass_kg() / small.mass_kg() == pytest.approx(4.0)
+
+    def test_mass_plausible(self):
+        # A 2.6-inch 1 mm aluminum platter weighs a handful of grams.
+        mass = Platter(diameter_in=2.6).mass_kg()
+        assert 0.002 < mass < 0.02
+
+    def test_rejects_nonpositive_diameter(self):
+        with pytest.raises(GeometryError):
+            Platter(diameter_in=0.0)
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(GeometryError):
+            Platter(diameter_in=2.6, thickness_m=-1e-3)
+
+    def test_metric_radii_consistent(self):
+        platter = Platter(diameter_in=2.6)
+        assert platter.outer_radius_m == pytest.approx(platter.outer_radius_in * 0.0254)
+
+
+class TestDiskStack:
+    def test_surfaces_twice_platters(self):
+        stack = DiskStack(platter=Platter(diameter_in=2.6), count=4)
+        assert stack.surfaces == 8
+
+    def test_heat_capacity_grows_with_count(self):
+        p = Platter(diameter_in=2.6)
+        one = DiskStack(platter=p, count=1).heat_capacity_j_per_k()
+        four = DiskStack(platter=p, count=4).heat_capacity_j_per_k()
+        assert four > one
+
+    def test_convective_area_grows_with_count(self):
+        p = Platter(diameter_in=2.6)
+        one = DiskStack(platter=p, count=1).convective_area_m2()
+        two = DiskStack(platter=p, count=2).convective_area_m2()
+        assert two > one
+
+    def test_mass_includes_hub(self):
+        p = Platter(diameter_in=2.6)
+        stack = DiskStack(platter=p, count=1)
+        assert stack.mass_kg() > p.mass_kg()
+
+    def test_rejects_zero_platters(self):
+        with pytest.raises(GeometryError):
+            DiskStack(platter=Platter(diameter_in=2.6), count=0)
+
+
+class TestEnclosure:
+    def test_35_houses_26_platter(self):
+        assert FORM_FACTOR_35.can_house_platter(2.6)
+
+    def test_35_houses_37_platter(self):
+        assert FORM_FACTOR_35.can_house_platter(3.7)
+
+    def test_25_houses_26_platter(self):
+        # The paper notes the 2.5-inch form factor (3.96 x 2.75) can still
+        # house a 2.6-inch platter.
+        assert FORM_FACTOR_25.can_house_platter(2.6)
+
+    def test_25_rejects_33_platter(self):
+        assert not FORM_FACTOR_25.can_house_platter(3.3)
+
+    def test_smaller_form_factor_has_less_external_area(self):
+        assert FORM_FACTOR_25.external_area_m2() < FORM_FACTOR_35.external_area_m2()
+
+    def test_air_volume_shrinks_with_displacement(self):
+        free = FORM_FACTOR_35.internal_air_volume_m3()
+        displaced = FORM_FACTOR_35.internal_air_volume_m3(1e-5)
+        assert displaced < free
+
+    def test_air_volume_never_nonpositive(self):
+        assert FORM_FACTOR_35.internal_air_volume_m3(1.0) > 0
+
+    def test_casting_mass_plausible(self):
+        # A 3.5-inch drive casting shell is a few hundred grams.
+        assert 0.1 < FORM_FACTOR_35.casting_mass_kg() < 1.0
+
+    def test_form_factor_lookup(self):
+        assert form_factor("3.5") is FORM_FACTOR_35
+        assert form_factor("2.5") is FORM_FACTOR_25
+
+    def test_form_factor_unknown(self):
+        with pytest.raises(GeometryError):
+            form_factor("5.25")
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(GeometryError):
+            Enclosure(name="bad", length_in=0, width_in=1, height_in=1)
+
+
+class TestActuator:
+    def test_arm_scales_with_platter(self):
+        small = actuator_for_platter(Platter(diameter_in=1.6))
+        large = actuator_for_platter(Platter(diameter_in=3.3))
+        assert large.arm_length_m > small.arm_length_m
+
+    def test_arm_count_tracks_surfaces(self):
+        actuator = actuator_for_platter(Platter(diameter_in=2.6), surfaces=8)
+        assert actuator.arm_count == 8
+
+    def test_heat_capacity_positive_and_small(self):
+        actuator = actuator_for_platter(Platter(diameter_in=2.6))
+        # Sub-second thermal time constant requires a small capacitance.
+        assert 0.1 < actuator.heat_capacity_j_per_k() < 10.0
+
+    def test_convective_area_positive(self):
+        actuator = actuator_for_platter(Platter(diameter_in=2.6))
+        assert actuator.convective_area_m2() > 0
+
+    def test_rejects_bad_arm_length(self):
+        with pytest.raises(GeometryError):
+            Actuator(arm_length_m=0.0)
+
+    def test_rejects_bad_arm_count(self):
+        with pytest.raises(GeometryError):
+            Actuator(arm_length_m=0.03, arm_count=0)

@@ -1,0 +1,59 @@
+"""Material property tests."""
+
+import pytest
+
+from repro.materials import AIR, ALUMINUM, STEEL, Fluid, Material
+
+
+class TestMaterial:
+    def test_aluminum_volumetric_heat_capacity(self):
+        assert ALUMINUM.volumetric_heat_capacity() == pytest.approx(2700 * 896)
+
+    def test_diffusivity_positive(self):
+        for material in (ALUMINUM, STEEL, AIR):
+            assert material.thermal_diffusivity() > 0
+
+    def test_aluminum_conducts_better_than_steel(self):
+        assert ALUMINUM.conductivity > STEEL.conductivity
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", density=0, specific_heat=1, conductivity=1)
+
+    def test_rejects_nonpositive_conductivity(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", density=1, specific_heat=1, conductivity=-2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ALUMINUM.density = 1.0  # type: ignore[misc]
+
+
+class TestFluid:
+    def test_air_prandtl_near_0_7(self):
+        assert 0.6 < AIR.prandtl < 0.8
+
+    def test_air_is_light(self):
+        assert AIR.density < 2.0
+
+    def test_fluid_requires_viscosity(self):
+        with pytest.raises(ValueError):
+            Fluid(
+                name="bad",
+                density=1,
+                specific_heat=1,
+                conductivity=1,
+                kinematic_viscosity=0,
+                prandtl=0.7,
+            )
+
+    def test_fluid_requires_prandtl(self):
+        with pytest.raises(ValueError):
+            Fluid(
+                name="bad",
+                density=1,
+                specific_heat=1,
+                conductivity=1,
+                kinematic_viscosity=1e-5,
+                prandtl=0,
+            )

@@ -1,0 +1,169 @@
+"""Cross-cutting tests: error hierarchy, package surface, controller
+guards, and paper-constant regressions."""
+
+import pytest
+
+import repro
+from repro import constants, errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GeometryError",
+            "RecordingError",
+            "ThermalError",
+            "EnvelopeError",
+            "RoadmapError",
+            "SimulationError",
+            "TraceError",
+            "DTMError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_envelope_is_thermal(self):
+        assert issubclass(errors.EnvelopeError, errors.ThermalError)
+
+    def test_catchable_as_base(self):
+        from repro.thermal import viscous_power_w
+
+        with pytest.raises(errors.ReproError):
+            viscous_power_w(-1, 2.6)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_subpackages_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None or name in (
+                "AMBIENT_TEMPERATURE_C",
+                "THERMAL_ENVELOPE_C",
+                "__version__",
+            )
+
+    def test_headline_constants(self):
+        assert repro.THERMAL_ENVELOPE_C == pytest.approx(45.22)
+        assert repro.AMBIENT_TEMPERATURE_C == pytest.approx(28.0)
+
+
+class TestPaperConstants:
+    def test_fd_step_is_600_per_minute(self):
+        assert constants.FD_STEPS_PER_MINUTE == 600
+        assert constants.FD_TIME_STEP_S == pytest.approx(0.1)
+
+    def test_stroke_efficiency_two_thirds(self):
+        assert constants.STROKE_EFFICIENCY == pytest.approx(2 / 3)
+
+    def test_ecc_constants(self):
+        assert constants.ECC_BITS_SUBTERABIT == 416
+        assert constants.ECC_BITS_TERABIT == 1440
+
+    def test_viscous_exponents(self):
+        assert constants.VISCOUS_RPM_EXPONENT == pytest.approx(2.8)
+        assert constants.VISCOUS_DIAMETER_EXPONENT == pytest.approx(4.8)
+
+    def test_roadmap_span(self):
+        assert constants.ROADMAP_FIRST_YEAR == 2002
+        assert constants.ROADMAP_LAST_YEAR == 2012
+        assert constants.ROADMAP_PLATTER_SIZES_IN == (2.6, 2.1, 1.6)
+        assert constants.ROADMAP_PLATTER_COUNTS == (1, 2, 4)
+
+
+class TestControllerGuards:
+    def test_unrecoverable_gate_raises_instead_of_hanging(self):
+        """A resume threshold below the cooling-mode steady temperature can
+        never be reached; the controller must fail loudly, not spin."""
+        from repro.dtm import DTMPolicy, ThermallyManagedSystem
+        from repro.errors import DTMError
+        from repro.thermal import DriveThermalModel
+        from repro.workloads import workload
+
+        spec = workload("search_engine")
+        # 26K RPM: the VCM-off steady state (~45.6 C) already exceeds the
+        # envelope, so a gate-only policy is unrecoverable by construction.
+        system = spec.build_system(rpm=26000)
+        thermal = DriveThermalModel(platter_diameter_in=2.6, rpm=26000, vcm_active=False)
+        thermal.settle()
+        thermal.set_operating_state(vcm_active=True)
+        managed = ThermallyManagedSystem(
+            system,
+            thermal,
+            DTMPolicy(trigger_margin_c=0.05, resume_margin_c=0.15, check_interval_ms=50.0),
+        )
+        trace = spec.generate(num_requests=300, seed=4)
+        with pytest.raises(DTMError):
+            managed.run_trace(trace, max_extra_ms=20_000)
+
+    def test_policy_guard_parallels(self):
+        from repro.dtm import PolicyManagedSystem, ReactiveGatePolicy
+        from repro.errors import DTMError
+        from repro.thermal import DriveThermalModel
+        from repro.workloads import workload
+
+        spec = workload("search_engine")
+        system = spec.build_system(rpm=26000)
+        thermal = DriveThermalModel(platter_diameter_in=2.6, rpm=26000, vcm_active=False)
+        thermal.settle()
+        thermal.set_operating_state(vcm_active=True)
+        managed = PolicyManagedSystem(
+            system,
+            thermal,
+            ReactiveGatePolicy(trigger_margin_c=0.05, resume_margin_c=0.15),
+            check_interval_ms=50.0,
+        )
+        trace = spec.generate(num_requests=300, seed=4)
+        with pytest.raises(DTMError):
+            managed.run_trace(trace, max_extra_ms=20_000)
+
+
+class TestRoadmapPaperDiscussion:
+    """Regressions for the quantitative claims in the paper's §4.1 prose."""
+
+    def test_idr_requirement_grows_29x(self):
+        from repro.scaling import PAPER_TRENDS
+
+        growth = PAPER_TRENDS.target_idr_mb_s(2012) / PAPER_TRENDS.target_idr_mb_s(2002)
+        assert growth == pytest.approx(29.0, rel=0.01)
+
+    def test_rpm_requirement_grows_9_5x(self):
+        from repro.scaling import required_rpm_table
+
+        cells = {
+            (c.year, c.diameter_in): c
+            for c in required_rpm_table(years=(2002, 2012), sizes=(2.6,))
+        }
+        ratio = cells[(2012, 2.6)].required_rpm / cells[(2002, 2.6)].required_rpm
+        assert ratio == pytest.approx(9.5, rel=0.02)
+
+    def test_viscous_2002_to_2003(self):
+        # Paper: windage grows from 0.91 W (2002) to 1.13 W (2003).
+        from repro.thermal import viscous_power_w
+
+        assert viscous_power_w(15098, 2.6) == pytest.approx(0.91, rel=0.01)
+        assert viscous_power_w(16263, 2.6) == pytest.approx(1.13, rel=0.02)
+
+    def test_2005_options_narrative(self):
+        """Paper §4.1: in 2005, the 2.1-inch size needs 30,367 RPM (1,543
+        over its envelope limit); shrinking to 1.6-inch achieves the rate
+        at 39,857 RPM but drops capacity 61.13 -> 35.48 GB; a second
+        platter buys it back to 70.97 GB."""
+        from repro.scaling import required_rpm_table, thermal_roadmap
+        from repro.thermal import max_rpm_within_envelope
+
+        cells = {
+            (c.year, c.diameter_in): c
+            for c in required_rpm_table(years=(2005,), sizes=(2.1, 1.6))
+        }
+        need_21 = cells[(2005, 2.1)].required_rpm
+        limit_21 = max_rpm_within_envelope(2.1)
+        assert need_21 > limit_21  # over the envelope limit
+        assert need_21 - limit_21 == pytest.approx(1543, abs=1000)
+        one = thermal_roadmap(platter_count=1, years=(2005,), sizes=(2.1, 1.6))
+        two = thermal_roadmap(platter_count=2, years=(2005,), sizes=(1.6,))
+        caps = {p.diameter_in: p.capacity_gb for p in one}
+        assert caps[2.1] == pytest.approx(61.13, rel=0.06)
+        assert caps[1.6] == pytest.approx(35.48, rel=0.06)
+        assert two[0].capacity_gb == pytest.approx(70.97, rel=0.06)

@@ -1,0 +1,166 @@
+"""Performance-model tests: seek curves, IDR, rotation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.performance import (
+    SeekModel,
+    SeekParameters,
+    angle_at,
+    average_rotational_latency_ms,
+    full_rotation_ms,
+    idr_mb_per_s,
+    media_rate_mb_per_s,
+    required_rpm_for_idr,
+    seek_model_for_platter,
+    seek_parameters_for_platter,
+    surface_idr_mb_per_s,
+    wait_for_angle_ms,
+)
+
+
+class TestSeekParameters:
+    def test_ordering_enforced(self):
+        with pytest.raises(ReproError):
+            SeekParameters(track_to_track_ms=5.0, average_ms=3.0, full_stroke_ms=8.0)
+
+    def test_positive_enforced(self):
+        with pytest.raises(ReproError):
+            SeekParameters(track_to_track_ms=0.0, average_ms=3.0, full_stroke_ms=8.0)
+
+    def test_anchors_shrink_with_platter(self):
+        small = seek_parameters_for_platter(1.6)
+        large = seek_parameters_for_platter(3.7)
+        assert small.average_ms < large.average_ms
+        assert small.full_stroke_ms < large.full_stroke_ms
+
+    def test_interpolation_between_table_points(self):
+        mid = seek_parameters_for_platter(2.35)
+        lo = seek_parameters_for_platter(2.1)
+        hi = seek_parameters_for_platter(2.6)
+        assert lo.average_ms < mid.average_ms < hi.average_ms
+
+    def test_clamped_below_table(self):
+        assert seek_parameters_for_platter(1.0) == seek_parameters_for_platter(1.6)
+
+    def test_clamped_above_table(self):
+        assert seek_parameters_for_platter(5.0) == seek_parameters_for_platter(3.7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            seek_parameters_for_platter(0)
+
+
+class TestSeekModel:
+    @pytest.fixture
+    def model(self):
+        return SeekModel(
+            SeekParameters(track_to_track_ms=0.4, average_ms=3.6, full_stroke_ms=7.5),
+            cylinders=30000,
+        )
+
+    def test_zero_distance_is_free(self, model):
+        assert model.seek_time_ms(0) == 0.0
+
+    def test_single_track(self, model):
+        assert model.seek_time_ms(1) == pytest.approx(0.4)
+
+    def test_full_stroke(self, model):
+        assert model.seek_time_ms(29999) == pytest.approx(7.5)
+
+    def test_average_at_third_of_stroke(self, model):
+        assert model.seek_time_ms(10000) == pytest.approx(3.6, rel=0.01)
+
+    def test_monotone_nondecreasing(self, model):
+        times = [model.seek_time_ms(d) for d in range(1, 29999, 500)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_beyond_full_stroke_clamped(self, model):
+        assert model.seek_time_ms(10**6) == pytest.approx(7.5)
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ReproError):
+            model.seek_time_ms(-1)
+
+    def test_requires_two_cylinders(self):
+        with pytest.raises(ReproError):
+            SeekModel(
+                SeekParameters(track_to_track_ms=0.4, average_ms=3.6, full_stroke_ms=7.5),
+                cylinders=1,
+            )
+
+    def test_factory(self):
+        model = seek_model_for_platter(2.6, cylinders=20000)
+        assert model.seek_time_ms(1) == pytest.approx(0.4)
+
+
+class TestIDR:
+    def test_eq4_value(self):
+        # IDR = (rpm/60) * ntz0 * 512 / 2^20
+        assert idr_mb_per_s(15000, 1024) == pytest.approx(250 * 1024 * 512 / 2**20)
+
+    def test_linear_in_rpm(self):
+        assert idr_mb_per_s(20000, 500) == pytest.approx(2 * idr_mb_per_s(10000, 500))
+
+    def test_inverse(self):
+        rpm = required_rpm_for_idr(idr_mb_per_s(12345, 777), 777)
+        assert rpm == pytest.approx(12345)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            idr_mb_per_s(0, 100)
+        with pytest.raises(ReproError):
+            idr_mb_per_s(10000, 0)
+        with pytest.raises(ReproError):
+            required_rpm_for_idr(0, 100)
+
+    def test_surface_idr_uses_zone0(self, surface_2002):
+        direct = idr_mb_per_s(15000, surface_2002.sectors_per_track_zone0)
+        assert surface_idr_mb_per_s(surface_2002, 15000) == pytest.approx(direct)
+
+    def test_inner_zones_slower(self, surface_2002):
+        outer = media_rate_mb_per_s(surface_2002, 15000, 0)
+        inner = media_rate_mb_per_s(surface_2002, 15000, surface_2002.cylinders - 1)
+        assert inner < outer
+
+    def test_2002_idr_density_matches_table3(self, surface_2002):
+        # Paper Table 3: 128.14 MB/s at the 15K reference for 2.6" in 2002
+        # (50 zones).
+        assert surface_idr_mb_per_s(surface_2002, 15000) == pytest.approx(128.14, rel=0.01)
+
+
+class TestRotation:
+    def test_full_rotation(self):
+        assert full_rotation_ms(10000) == pytest.approx(6.0)
+
+    def test_average_latency_is_half(self):
+        assert average_rotational_latency_ms(10000) == pytest.approx(3.0)
+
+    def test_angle_wraps(self):
+        assert angle_at(6.0, 10000) == pytest.approx(0.0)
+        assert angle_at(9.0, 10000) == pytest.approx(0.5)
+
+    def test_angle_with_phase(self):
+        assert angle_at(0.0, 10000, phase=0.25) == pytest.approx(0.25)
+
+    def test_wait_for_angle_zero_when_aligned(self):
+        assert wait_for_angle_ms(6.0, 0.0, 10000) == pytest.approx(0.0)
+
+    def test_wait_for_angle_less_than_period(self):
+        for target in (0.1, 0.5, 0.9):
+            wait = wait_for_angle_ms(1.234, target, 10000)
+            assert 0 <= wait < 6.0
+
+    def test_wait_reaches_target(self):
+        now = 2.345
+        target = 0.7
+        wait = wait_for_angle_ms(now, target, 10000)
+        assert angle_at(now + wait, 10000) == pytest.approx(target)
+
+    def test_rejects_bad_angle(self):
+        with pytest.raises(ReproError):
+            wait_for_angle_ms(0.0, 1.5, 10000)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ReproError):
+            angle_at(-1.0, 10000)

@@ -1,0 +1,75 @@
+"""Reporting helper tests."""
+
+import pytest
+
+from repro.reporting import ascii_plot, format_cell, format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header_rule(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].strip()) == {"-", " "}
+        # Columns aligned: every row the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_precision(self):
+        table = format_table(["x"], [[3.14159]], precision=3)
+        assert "3.142" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_cells(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_cells(self):
+        assert format_cell("2.6\"") == '2.6"'
+
+    def test_indent(self):
+        table = format_table(["a"], [[1]], indent="  ")
+        assert all(line.startswith("  ") for line in table.splitlines())
+
+
+class TestFormatComparison:
+    def test_deviation(self):
+        line = format_comparison("idr", 110.0, 100.0)
+        assert "+10.0%" in line
+
+    def test_zero_paper_value(self):
+        line = format_comparison("x", 1.0, 0.0)
+        assert "paper=0.00" in line
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_points(self):
+        plot = ascii_plot([("s", [0, 1, 2], [1.0, 2.0, 3.0])], width=30, height=8)
+        assert "*" in plot
+        assert "s" in plot
+
+    def test_log_scale(self):
+        plot = ascii_plot(
+            [("s", [0, 1], [1.0, 1000.0])], width=30, height=8, logy=True
+        )
+        assert "1000" in plot
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot([("s", [0], [0.0])], logy=True)
+
+    def test_multiple_series_glyphs(self):
+        plot = ascii_plot(
+            [("a", [0, 1], [1, 2]), ("b", [0, 1], [2, 1])], width=20, height=6
+        )
+        assert "*" in plot and "+" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+
+    def test_title(self):
+        plot = ascii_plot([("s", [0, 1], [1, 2])], title="Figure X")
+        assert plot.splitlines()[0] == "Figure X"

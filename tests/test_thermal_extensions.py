@@ -1,0 +1,138 @@
+"""Tests for the reliability model and the array-level thermal coupling."""
+
+import pytest
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.errors import EnvelopeError, ThermalError
+from repro.thermal import (
+    ReliabilityComparison,
+    airflow_temperature_rise_c,
+    array_envelope_rpm,
+    drive_heat_w,
+    dtm_reliability_gain,
+    failure_acceleration,
+    fleet_failure_rate,
+    max_rpm_within_envelope,
+    relative_mtbf,
+    serial_array_profile,
+)
+
+
+class TestReliability:
+    def test_fifteen_degrees_doubles(self):
+        # The Anderson et al. rule the paper quotes.
+        assert failure_acceleration(AMBIENT_TEMPERATURE_C + 15.0) == pytest.approx(2.0)
+
+    def test_reference_is_unity(self):
+        assert failure_acceleration(AMBIENT_TEMPERATURE_C) == pytest.approx(1.0)
+
+    def test_cooler_is_better(self):
+        assert failure_acceleration(AMBIENT_TEMPERATURE_C - 15.0) == pytest.approx(0.5)
+
+    def test_thirty_degrees_quadruples(self):
+        assert failure_acceleration(AMBIENT_TEMPERATURE_C + 30.0) == pytest.approx(4.0)
+
+    def test_mtbf_is_inverse(self):
+        for temp in (30.0, 45.22, 60.0):
+            assert relative_mtbf(temp) == pytest.approx(1.0 / failure_acceleration(temp))
+
+    def test_rejects_bad_doubling_delta(self):
+        with pytest.raises(ThermalError):
+            failure_acceleration(40.0, doubling_delta_c=0)
+
+    def test_comparison_ratio(self):
+        comparison = ReliabilityComparison(hot_c=45.22, cool_c=30.22)
+        assert comparison.failure_ratio == pytest.approx(2.0)
+        assert comparison.mtbf_gain_fraction == pytest.approx(1.0)
+
+    def test_dtm_gain_positive_at_partial_duty(self):
+        gain = dtm_reliability_gain(duty=0.3)
+        assert gain.cool_c < gain.hot_c
+        assert gain.failure_ratio > 1.0
+
+    def test_dtm_gain_with_explicit_temperature(self):
+        gain = dtm_reliability_gain(managed_mean_c=40.22)
+        assert gain.hot_c == THERMAL_ENVELOPE_C
+        assert gain.failure_ratio == pytest.approx(2 ** (5.0 / 15.0))
+
+    def test_dtm_gain_rejects_bad_duty(self):
+        with pytest.raises(ThermalError):
+            dtm_reliability_gain(duty=1.5)
+
+    def test_fleet_rate_sums(self):
+        rate = fleet_failure_rate([AMBIENT_TEMPERATURE_C, AMBIENT_TEMPERATURE_C + 15])
+        assert rate == pytest.approx(3.0)
+
+    def test_fleet_rejects_empty(self):
+        with pytest.raises(ThermalError):
+            fleet_failure_rate([])
+
+
+class TestArrayThermal:
+    def test_heat_components(self):
+        idle = drive_heat_w(15000, 2.6, vcm_duty=0.0)
+        busy = drive_heat_w(15000, 2.6, vcm_duty=1.0)
+        assert busy - idle == pytest.approx(3.9)  # the VCM power
+
+    def test_airflow_rise_physical(self):
+        # 15 W into 0.01 m^3/s of air: dT = Q / (rho c V) ~ 1.3 C.
+        rise = airflow_temperature_rise_c(15.0, 0.01)
+        assert 1.0 < rise < 1.7
+
+    def test_rise_rejects_bad_airflow(self):
+        with pytest.raises(ThermalError):
+            airflow_temperature_rise_c(10.0, 0.0)
+
+    def test_profile_monotone_downstream(self):
+        profile = serial_array_profile(6, 12000)
+        ambients = [p.local_ambient_c for p in profile]
+        internals = [p.internal_air_c for p in profile]
+        limits = [p.max_rpm for p in profile]
+        assert ambients == sorted(ambients)
+        assert internals == sorted(internals)
+        assert limits == sorted(limits, reverse=True)
+
+    def test_first_slot_matches_single_drive(self):
+        profile = serial_array_profile(4, 12000)
+        single = max_rpm_within_envelope(2.6)
+        assert profile[0].max_rpm == pytest.approx(single, rel=0.01)
+
+    def test_more_airflow_cools_downstream(self):
+        weak = serial_array_profile(6, 12000, airflow_m3_per_s=0.01)
+        strong = serial_array_profile(6, 12000, airflow_m3_per_s=0.05)
+        assert strong[-1].local_ambient_c < weak[-1].local_ambient_c
+
+    def test_duty_scales_heat_and_temperature(self):
+        busy = serial_array_profile(4, 12000, vcm_duty=1.0)
+        idle = serial_array_profile(4, 12000, vcm_duty=0.0)
+        half = serial_array_profile(4, 12000, vcm_duty=0.5)
+        assert idle[-1].internal_air_c < half[-1].internal_air_c < busy[-1].internal_air_c
+
+    def test_rejects_zero_disks(self):
+        with pytest.raises(ThermalError):
+            serial_array_profile(0, 12000)
+
+    def test_array_envelope_below_single_drive(self):
+        array_limit = array_envelope_rpm(4, airflow_m3_per_s=0.05)
+        single_limit = max_rpm_within_envelope(2.6)
+        assert array_limit < single_limit
+
+    def test_deeper_arrays_bind_tighter(self):
+        # The fixed-loss margin is under a watt (~0.9 C of ambient), so the
+        # deep chain needs a torrent of airflow before it is feasible at all.
+        shallow = array_envelope_rpm(2, airflow_m3_per_s=0.2)
+        deep = array_envelope_rpm(8, airflow_m3_per_s=0.2)
+        assert deep < shallow
+
+    def test_weak_airflow_infeasible(self):
+        # The paper's point: ambient control is hard — an 8-deep chain on a
+        # single weak fan cannot hold the envelope at any speed.
+        with pytest.raises(EnvelopeError):
+            array_envelope_rpm(8, airflow_m3_per_s=0.01)
+
+    def test_envelope_rpm_profile_consistent(self):
+        rpm = array_envelope_rpm(4, airflow_m3_per_s=0.05)
+        profile = serial_array_profile(4, rpm, airflow_m3_per_s=0.05)
+        assert all(p.within_envelope for p in profile)
+        hotter = serial_array_profile(4, rpm + 500, airflow_m3_per_s=0.05)
+        assert not all(p.within_envelope for p in hotter)

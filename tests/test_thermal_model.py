@@ -1,0 +1,222 @@
+"""Drive thermal model tests: calibration anchors, Figure 1, Table 3
+temperatures, the envelope search, and thermal slack."""
+
+import pytest
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.drives import cheetah15k3
+from repro.errors import EnvelopeError, ThermalError
+from repro.thermal import (
+    DEFAULT_CALIBRATION,
+    DriveThermalModel,
+    calibrated,
+    max_rpm_within_envelope,
+    steady_air_temperature_c,
+    thermal_slack_c,
+)
+from repro.thermal.model import NODE_AIR, NODE_BASE, NODE_STACK, NODE_VCM
+
+
+class TestCalibration:
+    def test_pinned_constant_matches_fit(self):
+        assert calibrated().spm_power_w == pytest.approx(
+            DEFAULT_CALIBRATION.spm_power_w, rel=1e-9
+        )
+
+    def test_reference_drive_hits_envelope(self):
+        model = cheetah15k3.thermal_model()
+        assert model.steady_air_c() == pytest.approx(THERMAL_ENVELOPE_C, abs=0.01)
+
+    def test_spm_power_physically_plausible(self):
+        assert 5.0 < DEFAULT_CALIBRATION.spm_power_w < 20.0
+
+    def test_with_helpers(self):
+        cal = DEFAULT_CALIBRATION.with_spm_power(8.0)
+        assert cal.spm_power_w == 8.0
+        cal2 = DEFAULT_CALIBRATION.with_airflow_quality(1.5)
+        assert cal2.airflow_quality == 1.5
+
+
+class TestFigure1Transient:
+    """The Cheetah warm-up of Figure 1: 28 C -> ~33 C in a minute ->
+    45.22 C steady after ~48 minutes."""
+
+    @pytest.fixture(scope="class")
+    def transient(self):
+        model = cheetah15k3.thermal_model()
+        return model.transient(150 * 60, dt_s=0.5, record_every=120, from_ambient=True)
+
+    def test_starts_at_ambient(self, transient):
+        assert transient.series("air")[0] == pytest.approx(AMBIENT_TEMPERATURE_C)
+
+    def test_first_minute_rise(self, transient):
+        at_1min = transient.series("air")[1]
+        assert 32.0 <= at_1min <= 36.0
+
+    def test_steady_state_value(self, transient):
+        assert transient.final("air") == pytest.approx(THERMAL_ENVELOPE_C, abs=0.05)
+
+    def test_convergence_time_about_48_minutes(self, transient):
+        final = transient.final("air")
+        for t, temp in zip(transient.times_s, transient.series("air")):
+            if abs(temp - final) < 0.05:
+                assert 30 * 60 <= t <= 70 * 60
+                return
+        pytest.fail("never converged")
+
+    def test_monotone_rise(self, transient):
+        series = transient.series("air")
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+
+    def test_electronics_margin_matches_rating(self, transient):
+        # 45.22 C + ~10 C of electronics ~= the drive's rated 55 C max.
+        assert transient.final("air") + 10.0 == pytest.approx(
+            cheetah15k3.RATED_MAX_OPERATING_C, abs=0.5
+        )
+
+
+class TestSteadyStateAnchors:
+    """Spot checks against the paper's Table 3 temperature column."""
+
+    ANCHORS = [
+        (2.6, 15098, 45.24),
+        (2.6, 24534, 48.26),
+        (2.6, 37001, 57.18),
+        (2.6, 55819, 85.04),
+        (2.6, 143470, 602.98),
+        (2.1, 30367, 45.61),
+        (1.6, 48947, 44.29),
+        (1.6, 154527, 117.61),
+    ]
+
+    @pytest.mark.parametrize("diameter,rpm,paper_c", ANCHORS)
+    def test_anchor(self, diameter, rpm, paper_c):
+        ours = steady_air_temperature_c(diameter, rpm)
+        assert ours == pytest.approx(paper_c, rel=0.08)
+
+    def test_temperature_monotone_in_rpm(self):
+        temps = [steady_air_temperature_c(2.6, rpm) for rpm in range(10000, 60000, 5000)]
+        assert temps == sorted(temps)
+
+    def test_smaller_platters_run_cooler_at_same_rpm(self):
+        assert steady_air_temperature_c(1.6, 24533) < steady_air_temperature_c(2.6, 24533)
+
+    def test_more_platters_run_hotter(self):
+        one = steady_air_temperature_c(2.6, 15000, platter_count=1)
+        four = steady_air_temperature_c(2.6, 15000, platter_count=4)
+        assert four > one
+
+    def test_ambient_unit_gain(self):
+        base = steady_air_temperature_c(2.6, 15000)
+        cooler = steady_air_temperature_c(2.6, 15000, ambient_c=23.0)
+        assert base - cooler == pytest.approx(5.0, abs=0.01)
+
+    def test_vcm_off_is_cooler(self):
+        on = steady_air_temperature_c(2.6, 24534, vcm_active=True)
+        off = steady_air_temperature_c(2.6, 24534, vcm_active=False)
+        assert on - off > 2.0
+
+
+class TestDriveThermalModel:
+    def test_node_ordering_hot_to_cold(self):
+        model = cheetah15k3.thermal_model()
+        steady = model.steady_state()
+        # The motor-heated stack is the hottest part; the externally cooled
+        # base is the coolest.
+        assert steady[NODE_STACK] > steady[NODE_AIR] > steady[NODE_BASE]
+        assert steady[NODE_VCM] > steady[NODE_BASE]
+
+    def test_settle_matches_steady(self):
+        model = cheetah15k3.thermal_model()
+        model.settle()
+        assert model.air_c() == pytest.approx(model.steady_air_c())
+
+    def test_spin_down_removes_heat(self):
+        model = cheetah15k3.thermal_model()
+        model.set_operating_state(spinning=False, vcm_active=False)
+        assert model.total_power_w() == pytest.approx(0.0)
+        assert model.steady_air_c() == pytest.approx(AMBIENT_TEMPERATURE_C, abs=0.01)
+
+    def test_set_vcm_duty_interpolates(self):
+        model = cheetah15k3.thermal_model()
+        full = model.steady_air_c()
+        model.set_vcm_duty(0.5)
+        half = model.steady_air_c()
+        model.set_vcm_duty(0.0)
+        zero = model.steady_air_c()
+        assert zero < half < full
+
+    def test_set_vcm_duty_rejects_out_of_range(self):
+        model = cheetah15k3.thermal_model()
+        with pytest.raises(ThermalError):
+            model.set_vcm_duty(1.5)
+
+    def test_enclosure_must_fit_platter(self):
+        from repro.geometry import FORM_FACTOR_25
+
+        with pytest.raises(ThermalError):
+            DriveThermalModel(platter_diameter_in=3.3, enclosure=FORM_FACTOR_25)
+
+    def test_small_enclosure_runs_hotter(self):
+        from repro.geometry import FORM_FACTOR_25, FORM_FACTOR_35
+
+        large = DriveThermalModel(2.6, rpm=15000, enclosure=FORM_FACTOR_35).steady_air_c()
+        small = DriveThermalModel(2.6, rpm=15000, enclosure=FORM_FACTOR_25).steady_air_c()
+        assert small > large + 3.0
+
+    def test_rejects_negative_rpm(self):
+        with pytest.raises(ThermalError):
+            DriveThermalModel(2.6, rpm=-1)
+
+    def test_set_ambient(self):
+        model = cheetah15k3.thermal_model()
+        model.set_ambient(23.0)
+        assert model.ambient_c == 23.0
+
+
+class TestEnvelope:
+    def test_26_inch_envelope_rpm_near_paper(self):
+        # Paper: ~15,020 RPM for 2.6" single platter.
+        rpm = max_rpm_within_envelope(2.6)
+        assert rpm == pytest.approx(15020, rel=0.02)
+
+    def test_smaller_platters_allow_higher_rpm(self):
+        assert max_rpm_within_envelope(1.6) > max_rpm_within_envelope(2.1) > max_rpm_within_envelope(2.6)
+
+    def test_vcm_off_unlocks_slack_rpm(self):
+        # Paper Figure 5(a): 2.6" goes from ~15,020 to ~26,750 RPM.
+        off = max_rpm_within_envelope(2.6, vcm_active=False)
+        on = max_rpm_within_envelope(2.6, vcm_active=True)
+        assert off / on == pytest.approx(26750 / 15020, rel=0.10)
+
+    def test_result_sits_on_envelope(self):
+        rpm = max_rpm_within_envelope(2.6)
+        temp = steady_air_temperature_c(2.6, rpm)
+        assert temp <= THERMAL_ENVELOPE_C
+        assert steady_air_temperature_c(2.6, rpm + 50) > THERMAL_ENVELOPE_C
+
+    def test_cooler_ambient_raises_limit(self):
+        base = max_rpm_within_envelope(2.6)
+        cooled = max_rpm_within_envelope(2.6, ambient_c=23.0)
+        assert cooled > base
+
+    def test_infeasible_design_raises(self):
+        with pytest.raises(EnvelopeError):
+            max_rpm_within_envelope(2.6, platter_count=4, envelope_c=30.0)
+
+    def test_slack_positive_when_vcm_off(self):
+        rpm = max_rpm_within_envelope(2.6)
+        assert thermal_slack_c(2.6, rpm, vcm_active=False) > 0
+
+    def test_slack_zero_at_envelope_with_vcm(self):
+        rpm = max_rpm_within_envelope(2.6)
+        assert thermal_slack_c(2.6, rpm, vcm_active=True) == pytest.approx(0.0, abs=0.05)
+
+    def test_slack_shrinks_with_platter_size(self):
+        # Paper §5.2: less slack for smaller platters (lower VCM power).
+        def slack_rpm_gain(d):
+            on = max_rpm_within_envelope(d)
+            off = max_rpm_within_envelope(d, vcm_active=False)
+            return (off - on) / on
+
+        assert slack_rpm_gain(2.6) > slack_rpm_gain(2.1) > slack_rpm_gain(1.6)

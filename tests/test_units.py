@@ -1,0 +1,79 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestLength:
+    def test_inch_roundtrip(self):
+        assert units.meters_to_inches(units.inches_to_meters(3.5)) == pytest.approx(3.5)
+
+    def test_inch_to_meters_value(self):
+        assert units.inches_to_meters(1.0) == pytest.approx(0.0254)
+
+    def test_inch_to_mm(self):
+        assert units.inches_to_mm(2.0) == pytest.approx(50.8)
+
+    def test_mm_roundtrip(self):
+        assert units.mm_to_inches(units.inches_to_mm(2.6)) == pytest.approx(2.6)
+
+
+class TestAngular:
+    def test_rpm_to_rad(self):
+        assert units.rpm_to_rad_per_sec(60.0) == pytest.approx(2.0 * math.pi)
+
+    def test_rad_roundtrip(self):
+        assert units.rad_per_sec_to_rpm(units.rpm_to_rad_per_sec(15000)) == pytest.approx(15000)
+
+    def test_rev_per_sec(self):
+        assert units.rpm_to_rev_per_sec(7200) == pytest.approx(120.0)
+
+    def test_rotation_time_10k(self):
+        assert units.rotation_time_ms(10000) == pytest.approx(6.0)
+
+    def test_rotation_time_15k(self):
+        assert units.rotation_time_ms(15000) == pytest.approx(4.0)
+
+    def test_rotation_time_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.rotation_time_ms(0)
+
+    def test_rotation_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.rotation_time_ms(-7200)
+
+
+class TestStorage:
+    def test_bits_per_sector(self):
+        assert units.BITS_PER_SECTOR == 4096
+
+    def test_bits_to_sectors_floors(self):
+        assert units.bits_to_sectors(4095) == 0
+        assert units.bits_to_sectors(4096) == 1
+        assert units.bits_to_sectors(8191) == 1
+
+    def test_sectors_to_gb_marketing(self):
+        # 2e9 sectors * 512 B = 1.024e12 B = 1024 decimal GB.
+        assert units.sectors_to_gb(2_000_000_000) == pytest.approx(1024.0)
+
+    def test_bytes_to_mb_per_sec(self):
+        assert units.bytes_to_mb_per_sec(2 * 1024 * 1024) == pytest.approx(2.0)
+
+
+class TestTemperature:
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(45.22)) == pytest.approx(45.22)
+
+    def test_absolute_zero(self):
+        assert units.celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+
+class TestTime:
+    def test_minutes(self):
+        assert units.minutes_to_seconds(48) == pytest.approx(2880.0)
+
+    def test_ms_roundtrip(self):
+        assert units.seconds_to_ms(units.ms_to_seconds(123.4)) == pytest.approx(123.4)
