@@ -1,0 +1,20 @@
+# Convenience entry points; everything works with plain pytest too.
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench bench-smoke sweep reproduce
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## full paper benchmark harness (slow)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:     ## miniature sweep benchmark + BENCH_PR1.json schema check (<60 s)
+	$(PYTHON) -m pytest tests/test_bench_smoke.py -q -m "not slow"
+
+sweep:           ## regenerate BENCH_PR1.json at full scale
+	$(PYTHON) benchmarks/bench_sweep.py
+
+reproduce:       ## tests + benchmarks + sweep, tee'd to *_output.txt
+	$(PYTHON) reproduce.py

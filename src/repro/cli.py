@@ -9,6 +9,8 @@ Exposes the library's main queries without writing Python::
     python -m repro workload tpcc -n 4000    # Figure 4 RPM sweep
     python -m repro throttle --rpm-high 24534 --t-cool 0.5,1,2,4
     python -m repro slack                    # Figure 5a
+    python -m repro sweep roadmap -p 1,2,4   # parallel Figure 2 sweep
+    python -m repro sweep workload tpcc,oltp # parallel Figure 4 sweep
 
 Every command prints an aligned plain-text table.
 """
@@ -181,6 +183,68 @@ def _cmd_throttle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scaling import PAPER_TRENDS
+    from repro.simulation.sweep import sweep_roadmap, sweep_workloads
+
+    if args.axis == "roadmap":
+        by_count = sweep_roadmap(
+            platter_counts=args.platters, workers=args.workers
+        )
+        for count, points in by_count.items():
+            years = sorted({p.year for p in points})
+            rows = []
+            for year in years:
+                row: List = [year, f"{PAPER_TRENDS.target_idr_mb_s(year):.0f}"]
+                for diameter in (2.6, 2.1, 1.6):
+                    point = next(
+                        p
+                        for p in points
+                        if p.year == year and p.diameter_in == diameter
+                    )
+                    marker = "*" if point.meets_target else " "
+                    row.append(f"{point.max_idr_mb_s:.0f}{marker}")
+                    row.append(f"{point.capacity_gb:.1f}")
+                rows.append(row)
+            print(f"{count}-platter roadmap:")
+            print(
+                format_table(
+                    ["year", "target", '2.6"', "cap", '2.1"', "cap", '1.6"', "cap"],
+                    rows,
+                )
+            )
+            print()
+        print("(* = meets the 40% IDR growth target)")
+        return 0
+
+    results = sweep_workloads(
+        names=args.names,
+        rpm_steps=args.steps,
+        requests=args.requests,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    rows = [
+        [
+            r.workload,
+            f"{r.rpm:.0f}",
+            f"{r.mean_ms:.2f}",
+            f"{r.median_ms:.2f}",
+            f"{r.p95_ms:.2f}",
+            f"{r.max_utilization:.2f}",
+            f"{r.cache_hit_ratio:.2f}",
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["workload", "RPM", "mean ms", "median ms", "p95 ms", "util", "hit"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_slack(args: argparse.Namespace) -> int:
     from repro.dtm import slack_by_platter_size
 
@@ -203,6 +267,17 @@ def _float_list(text: str) -> List[float]:
         return [float(part) for part in text.split(",") if part]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _name_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -252,6 +327,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=["paper", "sustained"], default="paper")
 
     sub.add_parser("slack", help="Figure 5a thermal slack by platter size")
+
+    p = sub.add_parser(
+        "sweep", help="parallel sweep over roadmap or workload configurations"
+    )
+    sweep_sub = p.add_subparsers(dest="axis", required=True)
+    ps = sweep_sub.add_parser("roadmap", help="Figure 2 sweep over platter counts")
+    ps.add_argument(
+        "-p",
+        "--platters",
+        type=_int_list,
+        default=[1, 2, 4],
+        help="comma-separated platter counts",
+    )
+    ps.add_argument("-w", "--workers", type=int, default=None, help="process count")
+    ps = sweep_sub.add_parser(
+        "workload", help="Figure 4 sweep over (workload, RPM) points"
+    )
+    ps.add_argument(
+        "names",
+        type=_name_list,
+        help="comma-separated workload names (e.g. tpcc,oltp)",
+    )
+    ps.add_argument("-n", "--requests", type=int, default=4000)
+    ps.add_argument("--seed", type=int, default=1)
+    ps.add_argument("--steps", type=int, default=4, help="RPM ladder length")
+    ps.add_argument("-w", "--workers", type=int, default=None, help="process count")
     return parser
 
 
@@ -263,6 +364,7 @@ _HANDLERS = {
     "workload": _cmd_workload,
     "throttle": _cmd_throttle,
     "slack": _cmd_slack,
+    "sweep": _cmd_sweep,
 }
 
 

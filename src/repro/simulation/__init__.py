@@ -24,6 +24,15 @@ from repro.simulation.scheduler import (
     make_scheduler,
 )
 from repro.simulation.statistics import PAPER_CDF_BINS_MS, ResponseTimeStats
+from repro.simulation.sweep import (
+    RoadmapTask,
+    WorkloadSweepResult,
+    WorkloadTask,
+    resolve_workers,
+    run_sweep,
+    sweep_roadmap,
+    sweep_workloads,
+)
 from repro.simulation.system import SimulationReport, StorageSystem, build_system
 
 __all__ = [
@@ -59,4 +68,11 @@ __all__ = [
     "StorageSystem",
     "SimulationReport",
     "build_system",
+    "RoadmapTask",
+    "WorkloadTask",
+    "WorkloadSweepResult",
+    "resolve_workers",
+    "run_sweep",
+    "sweep_roadmap",
+    "sweep_workloads",
 ]

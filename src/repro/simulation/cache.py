@@ -6,13 +6,21 @@ inside a segment are cache hits (served at electronic speed); misses fetch
 the requested range plus a read-ahead tail into a recycled segment.  Writes
 are write-through — they always reach the media — but update any overlapping
 cached segments so subsequent reads stay coherent.
+
+Lookups go through a start-sorted segment index rather than a linear scan
+of every segment: bisection finds the window of segments that could contain
+the queried LBA (bounded by the longest cached run), so the read path stays
+cheap even with large segment counts.  Capacity is enforced both ways — by
+segment count and by total cached bytes — so oversized requests cannot
+inflate the cache past its configured size.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.units import BYTES_PER_SECTOR
@@ -56,12 +64,21 @@ class DiskCache:
             raise SimulationError(f"segment count must be >= 1, got {segments}")
         if read_ahead_sectors < 0:
             raise SimulationError("read-ahead cannot be negative")
+        self.capacity_sectors = max(size_bytes // BYTES_PER_SECTOR, 1)
         self.segment_sectors = max(size_bytes // BYTES_PER_SECTOR // segments, 1)
         self.max_segments = segments
         self.read_ahead_sectors = read_ahead_sectors
         #: segment id -> (start_lba, length); OrderedDict gives LRU order.
         self._segments: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        #: start-sorted (start_lba, segment id) pairs for bisect lookups.
+        self._index: List[Tuple[int, int]] = []
+        #: longest cached run, bounding the lookup window; None = recompute.
+        self._max_length: Optional[int] = 0
+        self._cached_sectors = 0
         self._next_id = 0
+        #: segment id -> monotonically increasing last-use stamp (LRU order).
+        self._use_stamps: dict = {}
+        self._stamp_counter = 0
         self.stats = CacheStats()
 
     # -- queries -------------------------------------------------------------------
@@ -69,24 +86,61 @@ class DiskCache:
     def __len__(self) -> int:
         return len(self._segments)
 
+    @property
+    def cached_sectors(self) -> int:
+        """Total sectors currently held across all segments."""
+        return self._cached_sectors
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total bytes currently held across all segments."""
+        return self._cached_sectors * BYTES_PER_SECTOR
+
+    def _containing_segment(self, lba: int, sectors: int) -> Optional[int]:
+        """Id of the least-recently-used segment containing the range.
+
+        Only segments whose start lies in ``(lba - max_length, lba]`` can
+        contain ``lba``, so the scan walks backwards from the bisection
+        point through that bounded window.  Among multiple containing
+        segments (overlapping fills) the least recently used one is
+        returned — the same segment the original front-to-back LRU scan
+        found — so hit accounting and eviction order are unchanged.
+        """
+        if not self._index:
+            return None
+        if self._max_length is None:
+            self._max_length = max(length for _, length in self._segments.values())
+        end = lba + sectors
+        best_id: Optional[int] = None
+        position = bisect.bisect_right(self._index, (lba, float("inf")))
+        floor = lba - self._max_length
+        for k in range(position - 1, -1, -1):
+            start, seg_id = self._index[k]
+            if start <= floor:
+                break
+            length = self._segments[seg_id][1]
+            if start <= lba and end <= start + length:
+                if best_id is None or self._lru_rank(seg_id) < self._lru_rank(best_id):
+                    best_id = seg_id
+        return best_id
+
+    def _lru_rank(self, seg_id: int) -> int:
+        return self._use_stamps[seg_id]
+
     def contains(self, lba: int, sectors: int) -> bool:
         """Whether [lba, lba+sectors) lies entirely inside one segment."""
-        end = lba + sectors
-        for start, length in self._segments.values():
-            if start <= lba and end <= start + length:
-                return True
-        return False
+        return self._containing_segment(lba, sectors) is not None
 
     def lookup_read(self, lba: int, sectors: int) -> bool:
         """Read-path lookup: records a hit or miss and refreshes LRU."""
         if sectors <= 0:
             raise SimulationError(f"sectors must be positive, got {sectors}")
-        end = lba + sectors
-        for seg_id, (start, length) in self._segments.items():
-            if start <= lba and end <= start + length:
-                self._segments.move_to_end(seg_id)
-                self.stats.read_hits += 1
-                return True
+        seg_id = self._containing_segment(lba, sectors)
+        if seg_id is not None:
+            self._segments.move_to_end(seg_id)
+            self._use_stamps[seg_id] = self._next_stamp()
+            self.stats.read_hits += 1
+            return True
         self.stats.read_misses += 1
         return False
 
@@ -96,20 +150,38 @@ class DiskCache:
         """Install the segment fetched on a read miss.
 
         Args:
-            lba: requested start.
-            sectors: requested length.
+            lba: requested start; must lie on the disk.
+            sectors: requested length; must be positive.
             disk_sectors: total disk size (read-ahead is clipped to it).
 
         Returns:
             The (start, length) actually fetched — request plus read-ahead,
-            truncated to the segment size and to the end of the disk.
+            truncated to the segment size, the end of the disk, and the
+            total cache capacity.
+
+        Raises:
+            SimulationError: if the request starts off the end of the disk
+                (which would previously install a zero/negative-length
+                segment) or ``sectors`` is not positive.
         """
+        if sectors <= 0:
+            raise SimulationError(f"sectors must be positive, got {sectors}")
+        if disk_sectors <= 0:
+            raise SimulationError(f"disk size must be positive, got {disk_sectors}")
+        if not 0 <= lba < disk_sectors:
+            raise SimulationError(
+                f"fill at LBA {lba} lies outside the disk ({disk_sectors} sectors)"
+            )
         length = min(
             sectors + self.read_ahead_sectors,
             self.segment_sectors,
             disk_sectors - lba,
         )
+        # A request larger than one segment is still cached whole (the
+        # drive streamed it through the buffer) — but never beyond the
+        # total capacity or the end of the disk.
         length = max(length, min(sectors, disk_sectors - lba))
+        length = min(length, self.capacity_sectors)
         self._install(lba, length)
         return lba, length
 
@@ -133,14 +205,42 @@ class DiskCache:
             if start < end and lba < seg_end:
                 doomed.append(seg_id)
         for seg_id in doomed:
-            del self._segments[seg_id]
+            self._evict(seg_id)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _next_stamp(self) -> int:
+        self._stamp_counter += 1
+        return self._stamp_counter
+
+    def _evict(self, seg_id: int) -> None:
+        start, length = self._segments.pop(seg_id)
+        self._index.remove((start, seg_id))
+        self._use_stamps.pop(seg_id, None)
+        self._cached_sectors -= length
+        if self._max_length is not None and length >= self._max_length:
+            self._max_length = None  # recompute lazily on next lookup
 
     def _install(self, start: int, length: int) -> None:
-        while len(self._segments) >= self.max_segments:
-            self._segments.popitem(last=False)
-        self._segments[self._next_id] = (start, length)
+        while self._segments and (
+            len(self._segments) >= self.max_segments
+            or self._cached_sectors + length > self.capacity_sectors
+        ):
+            oldest_id = next(iter(self._segments))
+            self._evict(oldest_id)
+        seg_id = self._next_id
         self._next_id += 1
+        self._segments[seg_id] = (start, length)
+        bisect.insort(self._index, (start, seg_id))
+        self._use_stamps[seg_id] = self._next_stamp()
+        self._cached_sectors += length
+        if self._max_length is not None and length > self._max_length:
+            self._max_length = length
 
     def clear(self) -> None:
         """Drop all cached segments (stats are kept)."""
         self._segments.clear()
+        self._index.clear()
+        self._use_stamps.clear()
+        self._cached_sectors = 0
+        self._max_length = 0

@@ -3,6 +3,13 @@
 Figure 4 reports response-time CDFs over the bins (5, 10, 20, 40, 60, 90,
 120, 150, 200, 200+) milliseconds plus the mean; this module reproduces
 those quantities from the simulator's completed requests.
+
+Percentile and CDF queries are served from an incrementally maintained
+sorted view: samples accumulate in arrival order, and a query merges only
+the unsorted tail into the cached sorted prefix (two sorted runs, which
+timsort merges in linear time).  Interleaving ``add()`` and queries is
+therefore cheap — the per-request reporting loops of the DTM policies and
+the closed-loop workloads no longer pay an O(n log n) re-sort per query.
 """
 
 from __future__ import annotations
@@ -22,9 +29,12 @@ class ResponseTimeStats:
     """Accumulates response times and derives summary statistics."""
 
     samples_ms: List[float] = field(default_factory=list)
+    #: sorted copy of ``samples_ms[:_sorted_len]``; lazily extended on query.
+    _sorted: List[float] = field(default_factory=list, repr=False, compare=False)
+    _sorted_len: int = field(default=0, repr=False, compare=False)
 
     def add(self, response_ms: float) -> None:
-        """Record one response time."""
+        """Record one response time (invalidates the sorted view's tail)."""
         if response_ms < 0:
             raise SimulationError(f"response time cannot be negative, got {response_ms}")
         self.samples_ms.append(response_ms)
@@ -35,6 +45,26 @@ class ResponseTimeStats:
     @property
     def count(self) -> int:
         return len(self.samples_ms)
+
+    def _sorted_view(self) -> List[float]:
+        """The samples in sorted order, refreshed incrementally.
+
+        Only the samples added since the last query are sorted; they are
+        then merged with the cached sorted prefix.  If ``samples_ms`` was
+        mutated out from under us (shrunk or replaced), fall back to a full
+        re-sort so external list surgery stays correct.
+        """
+        n = len(self.samples_ms)
+        if self._sorted_len > n:
+            self._sorted = sorted(self.samples_ms)
+            self._sorted_len = n
+        elif self._sorted_len < n:
+            tail = sorted(self.samples_ms[self._sorted_len :])
+            merged = self._sorted + tail
+            merged.sort()  # two sorted runs: timsort merges in O(n)
+            self._sorted = merged
+            self._sorted_len = n
+        return self._sorted
 
     def mean_ms(self) -> float:
         """Average response time."""
@@ -48,7 +78,7 @@ class ResponseTimeStats:
             raise SimulationError("no samples recorded")
         if not 0 <= q <= 100:
             raise SimulationError(f"percentile must be in [0, 100], got {q}")
-        data = sorted(self.samples_ms)
+        data = self._sorted_view()
         if len(data) == 1:
             return data[0]
         rank = q / 100 * (len(data) - 1)
@@ -67,7 +97,7 @@ class ResponseTimeStats:
         """Worst response time."""
         if not self.samples_ms:
             raise SimulationError("no samples recorded")
-        return max(self.samples_ms)
+        return self._sorted_view()[-1]
 
     def cdf(self, bins_ms: Sequence[float] = PAPER_CDF_BINS_MS) -> List[Tuple[float, float]]:
         """Cumulative fraction of responses at or below each bin edge.
@@ -79,7 +109,7 @@ class ResponseTimeStats:
         if not self.samples_ms:
             raise SimulationError("no samples recorded")
         edges = sorted(bins_ms)
-        data = sorted(self.samples_ms)
+        data = self._sorted_view()
         result: List[Tuple[float, float]] = []
         index = 0
         for edge in edges:

@@ -1,0 +1,247 @@
+"""Parallel sweep runner for roadmap and workload experiments.
+
+The paper's headline experiments are embarrassingly parallel sweeps:
+Figure 2 evaluates the thermally constrained roadmap for three platter
+counts over eleven years, and Figure 4 replays five trace-driven workloads
+at four spindle speeds each.  This module fans those configurations out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while guaranteeing
+that the results are *byte-identical* to the serial path:
+
+* **Pure tasks.** Each sweep point is described by a small frozen
+  dataclass holding every input (including the RNG seed for synthetic
+  traces); the worker rebuilds its world from that description alone, so
+  no mutable state crosses process boundaries.
+* **Deterministic seeding.** Trace generation derives from the explicit
+  ``seed`` carried by the task — never from global RNG state — so a point
+  computes the same trace in any process, in any order.
+* **Deterministic ordering.** Tasks are dispatched with
+  ``executor.map``, which yields results in task order regardless of
+  completion order; the serial path iterates the identical task list with
+  the identical worker function.
+
+Adding a sweep axis is mechanical: add a field to the task dataclass (or a
+new task type), include it in the task list built by the ``sweep_*``
+front-end, and consume it in the module-level worker function (workers
+must stay module-level so they pickle under any start method).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.constants import (
+    ROADMAP_FIRST_YEAR,
+    ROADMAP_LAST_YEAR,
+    ROADMAP_PLATTER_COUNTS,
+    ROADMAP_PLATTER_SIZES_IN,
+)
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.scaling.roadmap import RoadmapPoint
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+#: Default span of the Figure 2 roadmap sweep.
+ROADMAP_YEARS: Tuple[int, ...] = tuple(range(ROADMAP_FIRST_YEAR, ROADMAP_LAST_YEAR + 1))
+
+
+def resolve_workers(workers: Optional[int], task_count: int) -> int:
+    """Actual worker-process count for a sweep.
+
+    ``None`` asks for one worker per available core, capped at the task
+    count; anything below 2 (including single-core hosts) selects the
+    in-process serial path, which produces identical results.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise SimulationError(f"worker count must be >= 1, got {workers}")
+    return max(1, min(workers, task_count))
+
+
+def run_sweep(
+    tasks: Sequence[TaskT],
+    worker: Callable[[TaskT], ResultT],
+    workers: Optional[int] = None,
+) -> List[ResultT]:
+    """Run ``worker`` over every task, serially or across processes.
+
+    Results are returned in task order in both modes; with a pure worker
+    function the two modes are indistinguishable output-wise.
+    """
+    if not tasks:
+        return []
+    resolved = resolve_workers(workers, len(tasks))
+    if resolved <= 1:
+        return [worker(task) for task in tasks]
+    chunksize = max(1, len(tasks) // (resolved * 4))
+    with ProcessPoolExecutor(max_workers=resolved) as executor:
+        return list(executor.map(worker, tasks, chunksize=chunksize))
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: roadmap sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoadmapTask:
+    """One roadmap evaluation: a platter count over a span of years.
+
+    A task covers *all* years for one platter count (rather than one
+    (year, count) cell) so the per-diameter envelope search inside
+    :func:`repro.scaling.thermal_roadmap` is computed once per task, as the
+    serial implementation does.
+    """
+
+    platter_count: int
+    years: Tuple[int, ...] = ROADMAP_YEARS
+    sizes: Tuple[float, ...] = ROADMAP_PLATTER_SIZES_IN
+
+
+def _run_roadmap_task(task: RoadmapTask) -> List["RoadmapPoint"]:
+    from repro.scaling.roadmap import thermal_roadmap
+
+    return thermal_roadmap(
+        platter_count=task.platter_count, years=task.years, sizes=task.sizes
+    )
+
+
+def sweep_roadmap(
+    platter_counts: Sequence[int] = ROADMAP_PLATTER_COUNTS,
+    years: Sequence[int] = ROADMAP_YEARS,
+    sizes: Sequence[float] = ROADMAP_PLATTER_SIZES_IN,
+    workers: Optional[int] = None,
+) -> Dict[int, List["RoadmapPoint"]]:
+    """Fan the Figure 2 roadmap out over platter counts.
+
+    Returns:
+        {platter_count: [RoadmapPoint, ...]} with points ordered exactly as
+        :func:`repro.scaling.thermal_roadmap` orders them (year-major).
+    """
+    tasks = [
+        RoadmapTask(platter_count=count, years=tuple(years), sizes=tuple(sizes))
+        for count in platter_counts
+    ]
+    results = run_sweep(tasks, _run_roadmap_task, workers=workers)
+    return {task.platter_count: points for task, points in zip(tasks, results)}
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: workload RPM sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadTask:
+    """One trace replay: a catalog workload at one spindle speed."""
+
+    workload: str
+    rpm: float
+    requests: int = 6000
+    seed: int = 1
+    keep_samples: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadSweepResult:
+    """Summary of one replay, cheap to pickle back from a worker.
+
+    ``samples_ms`` is populated only when the task asked for it
+    (``keep_samples=True``) — the full sample vector is what makes the
+    parallel path byte-identical checkable, but it is megabytes at paper
+    scale, so summaries travel by default.
+    """
+
+    workload: str
+    rpm: float
+    requests: int
+    seed: int
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    max_ms: float
+    simulated_ms: float
+    max_utilization: float
+    cache_hit_ratio: float
+    cdf: Tuple[Tuple[float, float], ...]
+    samples_ms: Tuple[float, ...] = field(default=(), repr=False)
+
+
+def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
+    from repro.workloads import workload as lookup
+
+    spec = lookup(task.workload)
+    trace = spec.generate(num_requests=task.requests, seed=task.seed)
+    report = spec.build_system(task.rpm).run_trace(trace)
+    return WorkloadSweepResult(
+        workload=task.workload,
+        rpm=task.rpm,
+        requests=report.requests,
+        seed=task.seed,
+        mean_ms=report.stats.mean_ms(),
+        median_ms=report.stats.median_ms(),
+        p95_ms=report.stats.percentile_ms(95),
+        max_ms=report.stats.max_ms(),
+        simulated_ms=report.simulated_ms,
+        max_utilization=max(report.disk_utilizations),
+        cache_hit_ratio=report.cache_hit_ratio,
+        cdf=tuple(report.stats.cdf()),
+        samples_ms=tuple(report.stats.samples_ms) if task.keep_samples else (),
+    )
+
+
+def sweep_workloads(
+    names: Sequence[str],
+    rpms: Optional[Sequence[float]] = None,
+    rpm_steps: int = 4,
+    requests: int = 6000,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    keep_samples: bool = False,
+) -> List[WorkloadSweepResult]:
+    """Fan Figure 4 replays out over (workload, RPM) points.
+
+    Args:
+        names: catalog workload names.
+        rpms: explicit RPM ladder; by default each workload's own
+            ``rpm_sweep(rpm_steps)`` ladder (base, +5K, ...).
+        requests / seed: synthetic-trace shape, forwarded to every task.
+        workers: process count (None = all cores; 1 = serial in-process).
+        keep_samples: carry the full response-time sample vector back.
+
+    Returns:
+        One result per (workload, RPM) point, ordered workload-major in the
+        order given, then by ascending ladder position.
+    """
+    from repro.workloads import workload as lookup
+
+    tasks: List[WorkloadTask] = []
+    for name in names:
+        spec = lookup(name)  # validates the name before any fork
+        ladder = tuple(rpms) if rpms is not None else spec.rpm_sweep(rpm_steps)
+        for rpm in ladder:
+            tasks.append(
+                WorkloadTask(
+                    workload=name,
+                    rpm=rpm,
+                    requests=requests,
+                    seed=seed,
+                    keep_samples=keep_samples,
+                )
+            )
+    return run_sweep(tasks, _run_workload_task, workers=workers)

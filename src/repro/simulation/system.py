@@ -88,6 +88,7 @@ class StorageSystem:
                 f"trace {trace.name!r} addresses {trace.max_lba()} sectors but the "
                 f"array holds {capacity}"
             )
+        arrivals = []
         for record in trace:
             request = Request(
                 arrival_ms=record.time_ms,
@@ -95,9 +96,10 @@ class StorageSystem:
                 sectors=record.sectors,
                 is_write=record.is_write,
             )
-            self.events.schedule(
-                record.time_ms, lambda t, r=request: self.array.submit(r)
+            arrivals.append(
+                (record.time_ms, lambda t, r=request: self.array.submit(r))
             )
+        self.events.schedule_batch(arrivals)
         self.events.run(max_events=max_events)
         if self.array.in_flight():
             raise SimulationError(

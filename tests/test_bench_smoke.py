@@ -1,0 +1,80 @@
+"""Benchmark smoke target: miniature sweep + BENCH_PR1.json schema check.
+
+Wired into the tier-1 suite so every run validates that the sweep
+benchmark harness still executes end-to-end (in well under a minute) and
+produces a well-formed perf-trajectory artifact.  ``make bench-smoke``
+runs exactly this file.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_sweep", ROOT / "benchmarks" / "bench_sweep.py"
+)
+bench_sweep = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_sweep)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    output = tmp_path_factory.mktemp("bench") / "BENCH_PR1.json"
+    # workers=2 forces the real process-pool path even on single-core hosts.
+    result = bench_sweep.run_bench(quick=True, workers=2, output=output)
+    return result, output
+
+
+def test_artifact_is_valid_json(report):
+    _, output = report
+    loaded = json.loads(output.read_text(encoding="utf-8"))
+    assert loaded["schema"] == bench_sweep.SCHEMA
+
+
+def test_schema_shape(report):
+    result, _ = report
+    assert result["schema"] == "repro.bench_sweep/1"
+    assert result["quick"] is True
+    assert isinstance(result["host"]["cpu_count"], int)
+    for section in ("figure2_roadmap", "figure4_replay", "stats_hot_path"):
+        assert section in result
+    fig2 = result["figure2_roadmap"]
+    assert fig2["platter_counts"] == [1, 2, 4]
+    assert fig2["points"] == fig2["years"] * 3 * 3  # years x counts x sizes
+    for key in ("serial_s", "parallel_s", "speedup"):
+        assert isinstance(fig2[key], float) and fig2[key] > 0
+    fig4 = result["figure4_replay"]
+    assert fig4["workload"] == "tpcc"
+    assert fig4["rpm_steps"] == len(fig4["mean_ms"]) == 4
+    stats = result["stats_hot_path"]
+    assert stats["queries"] == stats["samples"] // 10
+
+
+def test_parallel_paths_byte_identical(report):
+    result, _ = report
+    assert result["figure2_roadmap"]["parallel_identical"] is True
+    assert result["figure4_replay"]["parallel_identical"] is True
+
+
+def test_stats_hot_path_speedup(report):
+    result, _ = report
+    stats = result["stats_hot_path"]
+    assert stats["identical"] is True
+    # The cached sorted view must beat re-sort-per-query by a wide margin
+    # even at smoke scale (full scale records >10x).
+    assert stats["speedup"] > 1.5
+
+
+def test_checked_in_artifact_well_formed():
+    """The committed BENCH_PR1.json matches the schema too."""
+    path = ROOT / "BENCH_PR1.json"
+    assert path.exists(), "BENCH_PR1.json missing; run benchmarks/bench_sweep.py"
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded["schema"] == "repro.bench_sweep/1"
+    assert loaded["figure2_roadmap"]["parallel_identical"] is True
+    assert loaded["figure4_replay"]["parallel_identical"] is True
+    assert loaded["stats_hot_path"]["speedup"] > 3.0

@@ -36,6 +36,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["workload", "exchange"])
 
+    def test_sweep_requires_axis(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_platter_list_parsing(self):
+        args = build_parser().parse_args(["sweep", "roadmap", "-p", "1,4"])
+        assert args.platters == [1, 4]
+
+    def test_sweep_name_list_parsing(self):
+        args = build_parser().parse_args(["sweep", "workload", "tpcc, oltp"])
+        assert args.names == ["tpcc", "oltp"]
+
 
 class TestCommands:
     def test_validate(self, capsys):
@@ -105,3 +117,25 @@ class TestCommands:
         code, out, _ = run_cli(capsys, "slack")
         assert code == 0
         assert '2.6"' in out
+
+    def test_sweep_workload(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "workload", "tpcc", "-n", "300", "--steps", "2", "-w", "1",
+        )
+        assert code == 0
+        assert "tpcc" in out
+        assert "mean ms" in out
+
+    def test_sweep_workload_unknown_name_reports_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "workload", "exchange", "-n", "100"
+        )
+        assert code == 1
+        assert "error:" in err
+
+    def test_sweep_roadmap(self, capsys):
+        code, out, _ = run_cli(capsys, "sweep", "roadmap", "-p", "1", "-w", "1")
+        assert code == 0
+        assert "1-platter roadmap:" in out
+        assert "meets the 40% IDR growth target" in out

@@ -1,0 +1,180 @@
+"""Regression tests for the simulation-layer bugfix cluster (PR 1).
+
+Each class pins one bug that existed in the seed implementation:
+
+* ``DiskCache.fill_after_read`` installed a zero/negative-length segment
+  when the fill started at or past the end of the disk, and enforced
+  capacity only by segment count, so oversized requests could inflate the
+  cache past its configured byte size.
+* ``EventQueue.run(until_ms=...)`` left ``now_ms`` at the last event time
+  when the heap drained before the horizon, so code scheduling relative to
+  ``now_ms`` after ``run()`` saw a different clock depending on whether
+  events happened to fill the span.
+* ``ResponseTimeStats`` re-sorted every sample on every percentile/CDF
+  query; the cached sorted view must stay correct when ``add()`` and
+  queries interleave.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import DiskCache, EventQueue, ResponseTimeStats
+
+
+class TestCacheFillBounds:
+    def test_fill_at_disk_end_raises(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4)
+        # Seed behaviour: length = disk_sectors - lba = 0, installed anyway.
+        with pytest.raises(SimulationError):
+            cache.fill_after_read(1000, 8, disk_sectors=1000)
+        assert len(cache) == 0
+
+    def test_fill_past_disk_end_raises(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4)
+        with pytest.raises(SimulationError):
+            cache.fill_after_read(5000, 8, disk_sectors=1000)
+        assert len(cache) == 0
+
+    def test_fill_on_last_sector_is_positive(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4)
+        start, length = cache.fill_after_read(999, 8, disk_sectors=1000)
+        assert start == 999
+        assert length == 1
+        assert cache.contains(999, 1)
+
+    def test_degenerate_disk_raises(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4)
+        with pytest.raises(SimulationError):
+            cache.fill_after_read(0, 8, disk_sectors=0)
+
+    def test_nonpositive_request_raises(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4)
+        with pytest.raises(SimulationError):
+            cache.fill_after_read(0, 0, disk_sectors=1000)
+
+
+class TestCacheByteCapacity:
+    def test_oversized_requests_cannot_exceed_capacity(self):
+        # 64 KB = 128 sectors total, 32-sector segments.  Requests three
+        # times the segment size are cached whole (seed behaviour), but the
+        # total must stay within the configured byte capacity — the seed
+        # only bounded the segment *count*, allowing 4 x 100 = 400 sectors.
+        cache = DiskCache(size_bytes=64 * 1024, segments=4, read_ahead_sectors=0)
+        for i in range(4):
+            cache.fill_after_read(i * 10_000, 100, disk_sectors=1_000_000)
+        assert cache.cached_sectors <= 128
+        assert cache.cached_bytes <= 64 * 1024
+
+    def test_eviction_by_bytes_drops_lru_first(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4, read_ahead_sectors=0)
+        cache.fill_after_read(0, 100, disk_sectors=1_000_000)
+        cache.fill_after_read(10_000, 100, disk_sectors=1_000_000)
+        # The second fill forces the first out (100 + 100 > 128 sectors).
+        assert not cache.contains(0, 1)
+        assert cache.contains(10_000, 100)
+
+    def test_single_fill_clipped_to_capacity(self):
+        cache = DiskCache(size_bytes=64 * 1024, segments=4, read_ahead_sectors=0)
+        _, length = cache.fill_after_read(0, 1000, disk_sectors=1_000_000)
+        assert length <= 128
+        assert cache.cached_sectors <= 128
+
+    def test_segment_count_cap_still_enforced(self):
+        # Small fills never hit the byte cap; the count cap must still evict.
+        cache = DiskCache(size_bytes=64 * 1024, segments=4, read_ahead_sectors=0)
+        for i in range(6):
+            cache.fill_after_read(i * 1000, 8, disk_sectors=1_000_000)
+        assert len(cache) == 4
+
+
+class TestEventQueueDrainClock:
+    def test_clock_advances_to_horizon_when_heap_drains(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        queue.run(until_ms=100.0)
+        # Seed behaviour: now_ms stuck at 5.0 because no event remained.
+        assert queue.now_ms == 100.0
+
+    def test_clock_advances_to_horizon_with_future_event_left(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        queue.schedule(200.0, lambda t: None)
+        queue.run(until_ms=100.0)
+        assert queue.now_ms == 100.0
+        assert len(queue) == 1  # the 200 ms event is still queued
+
+    def test_empty_queue_run_advances_clock(self):
+        queue = EventQueue()
+        queue.run(until_ms=50.0)
+        assert queue.now_ms == 50.0
+
+    def test_relative_scheduling_consistent_after_drain(self):
+        # The caller pattern the bug broke: run to a horizon, then schedule
+        # "1 ms from now" — both paths must agree on what "now" is.
+        fired = []
+        drained = EventQueue()
+        drained.schedule(5.0, lambda t: None)
+        drained.run(until_ms=100.0)
+        drained.schedule_after(1.0, lambda t: fired.append(t))
+        drained.run()
+        assert fired == [101.0]
+
+    def test_run_without_horizon_keeps_last_event_time(self):
+        queue = EventQueue()
+        queue.schedule(7.5, lambda t: None)
+        queue.run()
+        assert queue.now_ms == 7.5
+
+
+class TestStatsCacheInvalidation:
+    def test_add_after_query_invalidates_cache(self):
+        stats = ResponseTimeStats()
+        for v in (30.0, 10.0, 20.0):
+            stats.add(v)
+        assert stats.percentile_ms(100) == 30.0
+        stats.add(5.0)  # must invalidate the cached sorted view
+        assert stats.percentile_ms(0) == 5.0
+        assert stats.percentile_ms(100) == 30.0
+        stats.add(40.0)
+        assert stats.max_ms() == 40.0
+
+    def test_interleaved_adds_and_queries_match_full_sort(self):
+        import random
+
+        rng = random.Random(3)
+        stats = ResponseTimeStats()
+        reference = []
+        for i in range(500):
+            v = rng.expovariate(0.05)
+            stats.add(v)
+            reference.append(v)
+            if i % 7 == 0:
+                expected = sorted(reference)
+                assert stats.percentile_ms(0) == expected[0]
+                assert stats.percentile_ms(100) == expected[-1]
+        assert stats.median_ms() == pytest.approx(
+            ResponseTimeStats(samples_ms=sorted(reference)).median_ms()
+        )
+
+    def test_cdf_after_incremental_adds(self):
+        stats = ResponseTimeStats()
+        stats.add(4.0)
+        assert dict(stats.cdf(bins_ms=(5.0,)))[5.0] == 1.0
+        stats.add(50.0)
+        assert dict(stats.cdf(bins_ms=(5.0,)))[5.0] == 0.5
+
+    def test_mean_tracks_adds_between_queries(self):
+        stats = ResponseTimeStats()
+        stats.add(10.0)
+        assert stats.mean_ms() == 10.0
+        stats.add(30.0)
+        assert stats.mean_ms() == 20.0
+
+    def test_external_list_mutation_falls_back_to_resort(self):
+        stats = ResponseTimeStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.add(v)
+        assert stats.max_ms() == 3.0
+        stats.samples_ms = [9.0, 4.0]  # external surgery: shrunk + replaced
+        assert stats.max_ms() == 9.0
+        assert stats.mean_ms() == pytest.approx(6.5)

@@ -1,0 +1,176 @@
+"""Scheduler edge cases and drain-exactly-once properties (PR 1).
+
+Covers the corners the seed suite missed: LOOK direction reversal when the
+head sits beyond every queued request, requests exactly at the head
+cylinder (ahead in *both* sweep directions), SSTF tie-breaking between
+equidistant cylinders, and a property test that every scheduler serves
+each enqueued request exactly once.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.request import Request
+from repro.simulation.scheduler import (
+    FCFSScheduler,
+    LookScheduler,
+    SSTFScheduler,
+    make_scheduler,
+)
+
+
+def _request(lba, arrival=0.0):
+    return Request(arrival_ms=arrival, lba=lba, sectors=4)
+
+
+IDENTITY = lambda lba: lba  # noqa: E731 - cylinder_of for direct-lba tests
+
+
+class TestLookExtremes:
+    def test_head_above_all_requests_reverses_immediately(self):
+        scheduler = LookScheduler(cylinder_of=IDENTITY)
+        for lba in (10, 30, 5):
+            scheduler.add(_request(lba))
+        # Head at 100 sweeping up: nothing ahead, reverse, serve downward.
+        assert scheduler.next(100).lba == 30
+        assert scheduler.next(30).lba == 10
+        assert scheduler.next(10).lba == 5
+
+    def test_head_below_all_requests_sweeps_up(self):
+        scheduler = LookScheduler(cylinder_of=IDENTITY)
+        for lba in (10, 30, 5):
+            scheduler.add(_request(lba))
+        assert scheduler.next(0).lba == 5
+        assert scheduler.next(5).lba == 10
+        assert scheduler.next(10).lba == 30
+
+    def test_reversal_at_both_extremes_round_trip(self):
+        scheduler = LookScheduler(cylinder_of=IDENTITY)
+        for lba in (1, 50):
+            scheduler.add(_request(lba))
+        assert scheduler.next(20).lba == 50  # up
+        scheduler.add(_request(2))
+        scheduler.add(_request(60))
+        assert scheduler.next(50).lba == 60  # still up
+        assert scheduler.next(60).lba == 2  # reverse at top
+        assert scheduler.next(2).lba == 1
+
+    def test_request_at_head_served_while_sweeping_up(self):
+        scheduler = LookScheduler(cylinder_of=IDENTITY)
+        scheduler.add(_request(20))
+        scheduler.add(_request(40))
+        assert scheduler.next(20).lba == 20  # distance 0 is "ahead"
+
+    def test_request_at_head_served_while_sweeping_down(self):
+        scheduler = LookScheduler(cylinder_of=IDENTITY)
+        scheduler.add(_request(100))
+        assert scheduler.next(200).lba == 100  # forces direction down
+        scheduler.add(_request(50))
+        scheduler.add(_request(30))
+        assert scheduler.next(50).lba == 50  # at-head match going down
+        assert scheduler.next(50).lba == 30
+
+    def test_same_cylinder_served_in_insertion_order(self):
+        scheduler = LookScheduler(cylinder_of=IDENTITY)
+        first = _request(10, arrival=0.0)
+        second = _request(10, arrival=1.0)
+        scheduler.add(first)
+        scheduler.add(second)
+        assert scheduler.next(10) is first
+        assert scheduler.next(10) is second
+
+
+class TestSSTFTies:
+    def test_equidistant_cylinders_break_by_arrival(self):
+        scheduler = SSTFScheduler(cylinder_of=IDENTITY)
+        scheduler.add(_request(10, arrival=2.0))  # distance 5 below
+        scheduler.add(_request(20, arrival=1.0))  # distance 5 above
+        assert scheduler.next(15).lba == 20  # earlier arrival wins
+        assert scheduler.next(15).lba == 10
+
+    def test_equidistant_equal_arrival_break_by_insertion(self):
+        scheduler = SSTFScheduler(cylinder_of=IDENTITY)
+        below = _request(10, arrival=1.0)
+        above = _request(20, arrival=1.0)
+        scheduler.add(above)
+        scheduler.add(below)
+        assert scheduler.next(15) is above  # added first
+        assert scheduler.next(15) is below
+
+    def test_request_at_head_beats_everything(self):
+        scheduler = SSTFScheduler(cylinder_of=IDENTITY)
+        scheduler.add(_request(14, arrival=0.0))
+        scheduler.add(_request(15, arrival=9.0))
+        assert scheduler.next(15).lba == 15
+
+    def test_same_cylinder_ordered_by_arrival_then_insertion(self):
+        scheduler = SSTFScheduler(cylinder_of=IDENTITY)
+        late = _request(7, arrival=5.0)
+        early_b = _request(7, arrival=1.0)
+        early_a = _request(7, arrival=1.0)
+        scheduler.add(late)
+        scheduler.add(early_a)
+        scheduler.add(early_b)
+        assert scheduler.next(7) is early_a
+        assert scheduler.next(7) is early_b
+        assert scheduler.next(7) is late
+
+
+class TestDrainExactlyOnce:
+    """Every scheduler must serve each enqueued request exactly once."""
+
+    @given(
+        lbas=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=40),
+        head=st.integers(min_value=0, max_value=500),
+    )
+    def test_all_schedulers_drain_every_request_once(self, lbas, head):
+        for name in ("fcfs", "sstf", "look"):
+            scheduler = make_scheduler(name, lambda lba: lba // 10)
+            requests = [
+                _request(lba, arrival=float(i)) for i, lba in enumerate(lbas)
+            ]
+            for request in requests:
+                scheduler.add(request)
+            served = []
+            position = head
+            while len(scheduler):
+                request = scheduler.next(position)
+                assert request is not None
+                position = request.lba // 10  # head follows the served request
+                served.append(request.request_id)
+            assert scheduler.next(position) is None
+            assert sorted(served) == sorted(r.request_id for r in requests)
+            assert len(set(served)) == len(requests)
+
+    @given(
+        adds=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=300),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_interleaved_add_and_dispatch(self, adds):
+        """Requests added between dispatches are neither lost nor duplicated."""
+        for name in ("fcfs", "sstf", "look"):
+            scheduler = make_scheduler(name, lambda lba: lba)
+            expected = []
+            served = []
+            position = 0
+            for i, (lba, dispatches) in enumerate(adds):
+                request = _request(lba, arrival=float(i))
+                scheduler.add(request)
+                expected.append(request.request_id)
+                for _ in range(dispatches):
+                    picked = scheduler.next(position)
+                    if picked is None:
+                        break
+                    position = picked.lba
+                    served.append(picked.request_id)
+            while len(scheduler):
+                picked = scheduler.next(position)
+                position = picked.lba
+                served.append(picked.request_id)
+            assert sorted(served) == sorted(expected)
