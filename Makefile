@@ -2,10 +2,25 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke sweep reproduce
+.PHONY: test bench bench-smoke sweep reproduce lint typecheck
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
+
+lint:            ## thermolint (always) + ruff (when installed)
+	$(PYTHON) -m repro lint src/repro --statistics
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools benchmarks; \
+	else \
+		echo "lint: ruff not installed; pycodestyle/pyflakes/isort groups skipped"; \
+	fi
+
+typecheck:       ## mypy strict gate (skipped when mypy is not installed)
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file mypy.ini; \
+	else \
+		echo "typecheck: mypy not installed; skipped (config in mypy.ini)"; \
+	fi
 
 bench:           ## full paper benchmark harness (slow)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -7,7 +7,6 @@ from conftest import run_once
 from repro.reporting import ascii_plot, format_table
 from repro.scaling import (
     PAPER_TRENDS,
-    capacity_series,
     first_shortfall_year,
     idr_series,
     thermal_roadmap,

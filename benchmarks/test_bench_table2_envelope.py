@@ -15,7 +15,13 @@ from repro.reporting import format_table
 
 def _build():
     rows = [
-        [d.model, d.year, f"{d.rpm:.0f}", f"{d.wet_bulb_temp_c:.1f}", f"{d.max_operating_temp_c:.0f}"]
+        [
+            d.model,
+            d.year,
+            f"{d.rpm:.0f}",
+            f"{d.wet_bulb_temp_c:.1f}",
+            f"{d.max_operating_temp_c:.0f}",
+        ]
         for d in TABLE2_DRIVES
     ]
     modeled = cheetah15k3.thermal_model().steady_air_c()

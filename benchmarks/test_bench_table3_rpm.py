@@ -5,7 +5,6 @@ designs from 2002 to 2012.
 
 from conftest import run_once
 
-from repro.constants import THERMAL_ENVELOPE_C
 from repro.reporting import format_table
 from repro.scaling import required_rpm_table
 

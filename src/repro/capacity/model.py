@@ -14,7 +14,7 @@ from repro.capacity.zones import ZonedSurface
 from repro.constants import STROKE_EFFICIENCY
 from repro.errors import RecordingError
 from repro.geometry.platter import Platter
-from repro.units import BYTES_PER_SECTOR, GB_MARKETING, sectors_to_gb
+from repro.units import BYTES_PER_SECTOR, GB_MARKETING, GIB, sectors_to_gb
 
 
 @dataclass(frozen=True)
@@ -105,7 +105,7 @@ class CapacityModel:
         values are a constant 0.9313 ratio below the decimal computation);
         use this accessor when comparing against the paper's own numbers.
         """
-        return self.usable_sectors * BYTES_PER_SECTOR / (1024**3)
+        return self.usable_sectors * BYTES_PER_SECTOR / GIB
 
     def breakdown(self) -> CapacityBreakdown:
         """Account for every raw bit: ZBR rounding vs servo/ECC overhead."""

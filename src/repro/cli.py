@@ -11,6 +11,7 @@ Exposes the library's main queries without writing Python::
     python -m repro slack                    # Figure 5a
     python -m repro sweep roadmap -p 1,2,4   # parallel Figure 2 sweep
     python -m repro sweep workload tpcc,oltp # parallel Figure 4 sweep
+    python -m repro lint src/repro           # thermolint static analysis
 
 Every command prints an aligned plain-text table.
 """
@@ -19,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from types import ModuleType
 from typing import List, Optional, Sequence
 
 from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
@@ -97,7 +99,7 @@ def _cmd_transient(args: argparse.Namespace) -> int:
     rows = []
     for t, air in zip(result.times_s, result.series("air")):
         minute = t / 60.0
-        if minute == int(minute) and int(minute) % max(args.minutes // 15, 1) == 0:
+        if minute.is_integer() and int(minute) % max(args.minutes // 15, 1) == 0:
             rows.append([f"{minute:.0f}", f"{air:.2f}"])
     print(format_table(["minute", "air C"], rows))
     print(f"steady state: {result.final('air'):.2f} C")
@@ -262,6 +264,44 @@ def _cmd_slack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_thermolint() -> "ModuleType":
+    """Import the thermolint package, falling back to the in-repo tools/ dir.
+
+    thermolint ships in ``tools/`` (it is a development gate, not a runtime
+    dependency), so an installed ``repro`` won't have it on the path; when
+    running from a checkout we add ``tools/`` ourselves.
+    """
+    try:
+        import thermolint
+    except ImportError:
+        from pathlib import Path
+
+        tools_dir = Path(__file__).resolve().parents[2] / "tools"
+        if not (tools_dir / "thermolint").is_dir():
+            raise ReproError(
+                "thermolint is not importable and no tools/thermolint directory "
+                "was found next to this checkout"
+            ) from None
+        sys.path.insert(0, str(tools_dir))
+        import thermolint
+    return thermolint
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    thermolint = _load_thermolint()
+    from thermolint.cli import main as thermolint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", ",".join(args.select)]
+    if args.ignore:
+        argv += ["--ignore", ",".join(args.ignore)]
+    if args.statistics:
+        argv.append("--statistics")
+    return thermolint_main(argv)
+
+
 def _float_list(text: str) -> List[float]:
     try:
         return [float(part) for part in text.split(",") if part]
@@ -328,6 +368,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("slack", help="Figure 5a thermal slack by platter size")
 
+    p = sub.add_parser("lint", help="thermolint unit-safety static analysis")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--select", type=_name_list, default=None, help="comma-separated rule ids"
+    )
+    p.add_argument(
+        "--ignore", type=_name_list, default=None, help="comma-separated rule ids"
+    )
+    p.add_argument("--statistics", action="store_true")
+
     p = sub.add_parser(
         "sweep", help="parallel sweep over roadmap or workload configurations"
     )
@@ -365,6 +421,7 @@ _HANDLERS = {
     "throttle": _cmd_throttle,
     "slack": _cmd_slack,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 

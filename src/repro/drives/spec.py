@@ -8,7 +8,7 @@ library's capacity/performance models for itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.capacity.model import CapacityModel
 from repro.capacity.recording import RecordingTechnology
@@ -17,6 +17,11 @@ from repro.constants import VALIDATION_ZONES
 from repro.errors import ReproError
 from repro.geometry.platter import Platter
 from repro.performance.idr import surface_idr_mb_per_s
+from repro.units import MIB
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a drives<->simulation cycle
+    from repro.simulation.disk import SimulatedDisk
+    from repro.simulation.events import EventQueue
 
 
 @dataclass(frozen=True)
@@ -103,11 +108,11 @@ class DriveSpec:
 
     def simulated_disk(
         self,
-        events,
+        events: "EventQueue",
         name: Optional[str] = None,
         zone_count: int = VALIDATION_ZONES,
-        cache_bytes: int = 4 * 1024 * 1024,
-    ):
+        cache_bytes: int = 4 * MIB,
+    ) -> "SimulatedDisk":
         """A :class:`repro.simulation.disk.SimulatedDisk` of this drive.
 
         Bridges the drive database into the storage simulator: the ZBR

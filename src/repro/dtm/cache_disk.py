@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
 from repro.errors import DTMError
@@ -234,7 +234,12 @@ class CacheDiskPair:
 
         self._submit_to(self.big, child, miss_done)
 
-    def _submit_to(self, disk: SimulatedDisk, request: Request, callback) -> None:
+    def _submit_to(
+        self,
+        disk: SimulatedDisk,
+        request: Request,
+        callback: Callable[[Request, float], None],
+    ) -> None:
         self._callbacks[request.request_id] = callback
         disk.submit(request)
 

@@ -20,14 +20,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.constants import THERMAL_ENVELOPE_C
 from repro.dtm.multispeed import MultiSpeedProfile
 from repro.errors import DTMError
+from repro.simulation.events import EventQueue
 from repro.simulation.request import Request
 from repro.simulation.statistics import ResponseTimeStats
 from repro.simulation.system import StorageSystem
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.dtm.policies import ThermalPolicy
 from repro.thermal.model import DriveThermalModel
 from repro.workloads.trace import Trace
 
@@ -241,7 +245,7 @@ class ThermallyManagedSystem:
             self.system.array.submit(self._gated.popleft())
 
 
-def events_only_checks(events) -> bool:
+def events_only_checks(events: EventQueue) -> bool:
     """Heuristic terminal condition: nothing left but controller checks.
 
     The controller's periodic check is the only self-rescheduling event, so
@@ -268,7 +272,7 @@ class PolicyManagedSystem:
         self,
         system: StorageSystem,
         thermal: DriveThermalModel,
-        policy,
+        policy: "ThermalPolicy",
         check_interval_ms: float = 50.0,
     ) -> None:
         from repro.dtm.policies import ThermalPolicy

@@ -15,11 +15,14 @@ above 50%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
 from repro.errors import DTMError
 from repro.thermal.model import DriveThermalModel, ThermalCalibration
+
+if TYPE_CHECKING:  # pragma: no cover - numpy imported lazily at runtime
+    import numpy as np
 
 
 @dataclass(frozen=True)
@@ -192,7 +195,7 @@ def _run_heat_leg(
 _WARMUP_CACHE: dict = {}
 
 
-def _warmup_crossing_temps(scenario: ThrottlingScenario, dt_s: float = 0.05):
+def _warmup_crossing_temps(scenario: ThrottlingScenario, dt_s: float = 0.05) -> "np.ndarray":
     """Node temperatures when the air first touches the envelope.
 
     The paper's throttling experiment "sets the initial temperature to the

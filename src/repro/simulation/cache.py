@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.units import BYTES_PER_SECTOR
+from repro.units import BYTES_PER_SECTOR, MIB
 
 
 @dataclass
@@ -54,7 +54,7 @@ class DiskCache:
 
     def __init__(
         self,
-        size_bytes: int = 4 * 1024 * 1024,
+        size_bytes: int = 4 * MIB,
         segments: int = 16,
         read_ahead_sectors: int = 64,
     ) -> None:

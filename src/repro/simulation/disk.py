@@ -18,10 +18,15 @@ from repro.performance.seek import SeekModel, seek_parameters_for_platter
 from repro.simulation.cache import DiskCache
 from repro.simulation.events import EventQueue
 from repro.simulation.layout import DiskLayout
-from repro.simulation.mechanics import DiskMechanics
+from repro.simulation.mechanics import DiskMechanics, ServiceBreakdown
 from repro.simulation.request import Request
 from repro.simulation.scheduler import FCFSScheduler, Scheduler
-from repro.units import BYTES_PER_SECTOR
+from repro.units import (
+    BYTES_PER_SECTOR,
+    MIB,
+    interface_mb_per_s_to_bytes_per_s,
+    seconds_to_ms,
+)
 
 CompletionCallback = Callable[[Request, float], None]
 
@@ -141,7 +146,8 @@ class SimulatedDisk:
     # -- service -------------------------------------------------------------------
 
     def _bus_ms(self, sectors: int) -> float:
-        return sectors * BYTES_PER_SECTOR / (self.bus_mb_per_s * 1e6) * 1e3
+        bytes_per_s = interface_mb_per_s_to_bytes_per_s(self.bus_mb_per_s)
+        return seconds_to_ms(sectors * BYTES_PER_SECTOR / bytes_per_s)
 
     def _service_time(self, request: Request, now: float) -> float:
         """Service time for a request starting now, updating cache/head."""
@@ -166,7 +172,7 @@ class SimulatedDisk:
             self.cache.fill_after_read(request.lba, request.sectors, self.total_sectors)
         return breakdown.total_ms + bus
 
-    def _account(self, breakdown, request: Request) -> None:
+    def _account(self, breakdown: ServiceBreakdown, request: Request) -> None:
         self.stats.seek_ms += breakdown.seek_ms
         self.stats.rotational_ms += breakdown.rotational_ms
         self.stats.transfer_ms += breakdown.transfer_ms
@@ -208,7 +214,7 @@ def standard_disk(
     ktpi: float = 30.0,
     rpm: float = 10000.0,
     zone_count: int = 30,
-    cache_bytes: int = 4 * 1024 * 1024,
+    cache_bytes: int = 4 * MIB,
     scheduler: Optional[Scheduler] = None,
     on_complete: Optional[CompletionCallback] = None,
 ) -> SimulatedDisk:

@@ -125,7 +125,9 @@ class Raid0Geometry(ArrayGeometry):
         for unit, offset, length in self._units(request):
             disk, start = self.locate_unit(unit)
             children.append(
-                ChildAccess(disk=disk, lba=start + offset, sectors=length, is_write=request.is_write)
+                ChildAccess(
+                    disk=disk, lba=start + offset, sectors=length, is_write=request.is_write
+                )
             )
         return AccessPlan(phases=[_coalesce(children)])
 

@@ -17,7 +17,7 @@ from repro.simulation.events import EventQueue
 from repro.simulation.raid import ArrayGeometry, Raid0Geometry, Raid5Geometry
 from repro.simulation.request import Request
 from repro.simulation.statistics import ResponseTimeStats
-from repro.units import GB_MARKETING
+from repro.units import GB_MARKETING, MIB
 from repro.workloads.trace import Trace
 
 
@@ -131,7 +131,7 @@ def build_system(
     kbpi: float = 480.0,
     ktpi: float = 30.0,
     zone_count: int = 30,
-    cache_bytes: int = 4 * 1024 * 1024,
+    cache_bytes: int = 4 * MIB,
     scheduler_name: str = "fcfs",
 ) -> StorageSystem:
     """Build a storage system from workload-table parameters (Fig. 4a).

@@ -76,6 +76,7 @@ BITS_PER_SECTOR = BYTES_PER_SECTOR * 8  # 4096 data bits per 512-byte sector
 MIB = 1024 * 1024
 GIB = 1024 * 1024 * 1024
 GB_MARKETING = 1_000_000_000  # drive datasheets use decimal gigabytes
+MB_DECIMAL = 1_000_000  # interface/bus datasheets (Ultra160 = 160e6 B/s)
 
 
 def bits_to_sectors(bits: float) -> int:
@@ -91,6 +92,16 @@ def sectors_to_gb(sectors: float) -> float:
 def bytes_to_mb_per_sec(bytes_per_sec: float) -> float:
     """Convert bytes/second to the MB/s (2**20) used in IDR datasheets."""
     return bytes_per_sec / MIB
+
+
+def interface_mb_per_s_to_bytes_per_s(mb_per_s: float) -> float:
+    """Convert a bus/interface rate in decimal MB/s (1e6) to bytes/second.
+
+    Interface datasheets (Ultra160/Ultra320 SCSI) quote decimal megabytes,
+    unlike internal data rates which use 2**20; keeping both factors here is
+    what stops the two conventions from being mixed silently.
+    """
+    return mb_per_s * MB_DECIMAL
 
 
 # ---------------------------------------------------------------------------

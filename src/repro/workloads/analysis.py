@@ -17,6 +17,7 @@ from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
     from repro.simulation.system import StorageSystem
+    from repro.workloads.catalog import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -117,7 +118,7 @@ def seek_activity(system: "StorageSystem") -> SeekActivity:
 
 
 def replay_and_analyze(
-    spec,
+    spec: "WorkloadSpec",
     num_requests: int = 4000,
     seed: int = 1,
     rpm: Optional[float] = None,

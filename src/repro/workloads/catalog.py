@@ -88,6 +88,8 @@ class WorkloadSpec:
         """Generate the synthetic trace, sized to the system's capacity."""
         system = self.build_system()
         capacity = system.array.logical_sectors
+        # Exact sentinel check: 1.0 means "caller passed the default", not a
+        # computed rate.  # thermolint: disable=TL002
         shape = self.shape if rate_scale == 1.0 else self.shape.scaled_rate(rate_scale)
         return generate_trace(
             shape=shape,

@@ -9,7 +9,12 @@ large share of its short service times).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.workloads.synthetic import WorkloadShape
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.workloads.catalog import WorkloadSpec
 
 SHAPE = WorkloadShape(
     name="oltp",
@@ -24,7 +29,7 @@ SHAPE = WorkloadShape(
 )
 
 
-def _spec():
+def _spec() -> WorkloadSpec:
     from repro.workloads.catalog import WorkloadSpec
 
     return WorkloadSpec(

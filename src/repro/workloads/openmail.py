@@ -12,7 +12,12 @@ the base RPM.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.workloads.synthetic import WorkloadShape
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.workloads.catalog import WorkloadSpec
 
 SHAPE = WorkloadShape(
     name="openmail",
@@ -27,7 +32,7 @@ SHAPE = WorkloadShape(
 )
 
 
-def _spec():
+def _spec() -> WorkloadSpec:
     from repro.workloads.catalog import WorkloadSpec
 
     return WorkloadSpec(

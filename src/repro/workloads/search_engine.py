@@ -8,7 +8,12 @@ with +5K RPM in the paper.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.workloads.synthetic import WorkloadShape
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.workloads.catalog import WorkloadSpec
 
 SHAPE = WorkloadShape(
     name="search_engine",
@@ -23,7 +28,7 @@ SHAPE = WorkloadShape(
 )
 
 
-def _spec():
+def _spec() -> WorkloadSpec:
     from repro.workloads.catalog import WorkloadSpec
 
     return WorkloadSpec(

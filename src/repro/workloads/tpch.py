@@ -9,7 +9,12 @@ the traffic; the paper's baseline 4.9 ms mean improves ~34% with +5K RPM
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.workloads.synthetic import WorkloadShape
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.workloads.catalog import WorkloadSpec
 
 SHAPE = WorkloadShape(
     name="tpch",
@@ -24,7 +29,7 @@ SHAPE = WorkloadShape(
 )
 
 
-def _spec():
+def _spec() -> WorkloadSpec:
     from repro.workloads.catalog import WorkloadSpec
 
     return WorkloadSpec(

@@ -4,7 +4,6 @@ sensitivity study."""
 
 import pytest
 
-from repro.constants import THERMAL_ENVELOPE_C
 from repro.dtm import (
     AlternatingMirror,
     CacheDiskPair,

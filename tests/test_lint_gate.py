@@ -1,0 +1,33 @@
+"""Fast smoke test wiring the lint gate into plain ``pytest``.
+
+``make lint`` and CI run the same gate; this test keeps a bare ``pytest``
+invocation sufficient to catch a dirty tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_REPRO = str(REPO_ROOT / "src" / "repro")
+
+
+def test_repro_lint_gate_is_green(capsys):
+    assert repro_main(["lint", SRC_REPRO]) == 0
+
+
+def test_repro_lint_json_output(capsys):
+    assert repro_main(["lint", SRC_REPRO, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "thermolint"
+    assert payload["total"] == 0
+
+
+def test_repro_lint_flags_known_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("t_k = t_c + 273.15\n")
+    assert repro_main(["lint", str(bad)]) == 1
+    assert "TL001" in capsys.readouterr().out

@@ -10,7 +10,7 @@ from repro.capacity.ecc import smooth_ecc_bits_per_sector
 from repro.geometry.platter import Platter
 from repro.performance.idr import idr_mb_per_s, required_rpm_for_idr
 from repro.performance.rotation import angle_at, wait_for_angle_ms
-from repro.performance.seek import SeekModel, SeekParameters, seek_parameters_for_platter
+from repro.performance.seek import SeekModel, seek_parameters_for_platter
 from repro.simulation.layout import DiskLayout
 from repro.simulation.raid import Raid0Geometry, Raid5Geometry
 from repro.simulation.request import Request

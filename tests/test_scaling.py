@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.constants import THERMAL_ENVELOPE_C
 from repro.errors import RoadmapError
 from repro.scaling import (
     PAPER_TRENDS,

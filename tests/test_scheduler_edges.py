@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.simulation.request import Request
 from repro.simulation.scheduler import (
-    FCFSScheduler,
     LookScheduler,
     SSTFScheduler,
     make_scheduler,

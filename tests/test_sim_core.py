@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation import EventQueue, Request
+from repro.simulation import Request
 from repro.simulation.layout import DiskLayout
 from repro.simulation.mechanics import DiskMechanics
 from repro.performance.seek import SeekModel, SeekParameters

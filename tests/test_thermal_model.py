@@ -181,7 +181,8 @@ class TestEnvelope:
         assert rpm == pytest.approx(15020, rel=0.02)
 
     def test_smaller_platters_allow_higher_rpm(self):
-        assert max_rpm_within_envelope(1.6) > max_rpm_within_envelope(2.1) > max_rpm_within_envelope(2.6)
+        small, mid, large = (max_rpm_within_envelope(d) for d in (1.6, 2.1, 2.6))
+        assert small > mid > large
 
     def test_vcm_off_unlocks_slack_rpm(self):
         # Paper Figure 5(a): 2.6" goes from ~15,020 to ~26,750 RPM.

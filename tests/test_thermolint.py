@@ -1,0 +1,378 @@
+"""Tests for the thermolint static-analysis pass (tools/thermolint).
+
+Each TL rule gets a known-bad fixture it must fire on and a clean fixture it
+must stay silent on; suppression comments and reporters are covered, and a
+self-check asserts the shipped ``src/repro`` tree is thermolint-clean.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+from thermolint import lint_source, render_json, render_text, rule_by_id, run_paths
+from thermolint.cli import main as thermolint_main
+from thermolint.engine import PARSE_ERROR_RULE
+
+MODEL_PATH = "src/repro/thermal/model.py"
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# TL001 — magic unit constants
+# ---------------------------------------------------------------------------
+
+
+class TestTL001MagicUnitConstants:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "radius_m = radius_in * 0.0254\n",
+            "width_mm = width_in * 25.4\n",
+            "t_k = t_c + 273.15\n",
+            "cap_b = cap_gb * 1e9\n",
+            "cap_b = cap_gb * 1_000_000_000\n",
+            "rate = raw / 1048576\n",
+            "size = 4 * 1024 * 1024\n",
+            "size = 1024 * 1024 * 1024\n",
+            "ms = 60000.0 / rpm\n",
+        ],
+    )
+    def test_fires_on_magic_literals(self, snippet):
+        findings = lint_source(snippet, path=MODEL_PATH)
+        assert "TL001" in rule_ids(findings)
+
+    def test_fires_on_rpm_to_rad_chain(self):
+        snippet = "import math\nomega = rpm * 2.0 * math.pi / 60.0\n"
+        findings = lint_source(snippet, path=MODEL_PATH)
+        assert "TL001" in rule_ids(findings)
+
+    def test_fires_on_decimal_mb_chain(self):
+        snippet = "bus_s = nbytes / (bus_mb_per_s * 1e6)\n"
+        findings = lint_source(snippet, path=MODEL_PATH)
+        assert "TL001" in rule_ids(findings)
+
+    def test_one_finding_per_expression(self):
+        findings = lint_source("size = 4 * 1024 * 1024\n", path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL001"]
+
+    def test_silent_on_units_py(self):
+        snippet = "METERS_PER_INCH = 0.0254\nKELVIN_OFFSET = 273.15\n"
+        assert lint_source(snippet, path="src/repro/units.py") == []
+
+    def test_silent_on_constants_py(self):
+        snippet = "TERABIT = 1e9 * 1000\n"
+        assert lint_source(snippet, path="src/repro/constants.py") == []
+
+    def test_silent_on_clean_code(self):
+        snippet = (
+            "from repro import units\n"
+            "radius_m = units.inches_to_meters(radius_in)\n"
+            "size = 4 * units.MIB\n"
+        )
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+    def test_silent_on_unrelated_numbers(self):
+        snippet = "x = 2 * area * 0.5\ny = count * 60\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# TL002 — float equality
+# ---------------------------------------------------------------------------
+
+
+class TestTL002FloatEquality:
+    def test_fires_on_float_literal_eq(self):
+        findings = lint_source("if ratio == 1.0:\n    pass\n", path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL002"]
+
+    def test_fires_on_float_literal_ne(self):
+        findings = lint_source("ok = temp != 45.22\n", path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL002"]
+
+    def test_fires_on_int_truncation_idiom(self):
+        findings = lint_source("hit = minute == int(minute)\n", path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL002"]
+        assert "is_integer" in findings[0].message
+
+    def test_silent_on_int_literal_comparison(self):
+        assert lint_source("if count == 4:\n    pass\n", path=MODEL_PATH) == []
+
+    def test_silent_on_inequalities(self):
+        assert lint_source("if temp <= 45.22:\n    pass\n", path=MODEL_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# TL003 — Kelvin/Celsius mixing
+# ---------------------------------------------------------------------------
+
+
+class TestTL003KelvinCelsiusMix:
+    def test_fires_on_c_plus_k(self):
+        findings = lint_source("delta = air_c + ambient_k\n", path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL003"]
+
+    def test_fires_on_celsius_minus_kelvin_attributes(self):
+        findings = lint_source(
+            "delta = model.air_celsius - spec.ambient_kelvin\n", path=MODEL_PATH
+        )
+        assert rule_ids(findings) == ["TL003"]
+
+    def test_fires_on_comparison(self):
+        findings = lint_source("hot = air_c > limit_k\n", path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL003"]
+
+    def test_silent_on_same_scale(self):
+        assert lint_source("delta = air_c - ambient_c\n", path=MODEL_PATH) == []
+
+    def test_silent_after_explicit_conversion_to_name(self):
+        snippet = "air_k = celsius_to_kelvin(air_c)\ndelta_k = air_k - ambient_k\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# TL004 — unseeded randomness in simulation code
+# ---------------------------------------------------------------------------
+
+SIM_PATH = "src/repro/simulation/disk.py"
+
+
+class TestTL004UnseededRandom:
+    def test_fires_on_global_random(self):
+        snippet = "import random\nx = random.random()\n"
+        findings = lint_source(snippet, path=SIM_PATH)
+        assert rule_ids(findings) == ["TL004"]
+
+    def test_fires_on_unseeded_random_instance(self):
+        snippet = "import random\nrng = random.Random()\n"
+        findings = lint_source(snippet, path=SIM_PATH)
+        assert rule_ids(findings) == ["TL004"]
+
+    def test_fires_on_numpy_global(self):
+        snippet = "import numpy as np\nx = np.random.random(10)\n"
+        findings = lint_source(snippet, path=SIM_PATH)
+        assert rule_ids(findings) == ["TL004"]
+
+    def test_fires_on_unseeded_default_rng(self):
+        snippet = "import numpy as np\nrng = np.random.default_rng()\n"
+        findings = lint_source(snippet, path=SIM_PATH)
+        assert rule_ids(findings) == ["TL004"]
+
+    def test_silent_on_seeded_instances(self):
+        snippet = (
+            "import random\nimport numpy as np\n"
+            "rng = random.Random(42)\n"
+            "nprng = np.random.default_rng(seed=7)\n"
+        )
+        assert lint_source(snippet, path=SIM_PATH) == []
+
+    def test_out_of_scope_outside_simulation(self):
+        snippet = "import random\nx = random.random()\n"
+        assert lint_source(snippet, path="src/repro/workloads/synthetic.py") == []
+
+
+# ---------------------------------------------------------------------------
+# TL005 — mutable defaults
+# ---------------------------------------------------------------------------
+
+
+class TestTL005MutableDefaults:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(xs=[]):\n    return xs\n",
+            "def f(m={}):\n    return m\n",
+            "def f(s=set()):\n    return s\n",
+            "def f(xs=list()):\n    return xs\n",
+            "def f(*, xs=[]):\n    return xs\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        findings = lint_source(snippet, path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL005"]
+
+    def test_silent_on_none_default(self):
+        snippet = "def f(xs=None):\n    return xs or []\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+    def test_silent_on_tuple_default(self):
+        assert lint_source("def f(xs=()):\n    return xs\n", path=MODEL_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# TL006 — missing __all__
+# ---------------------------------------------------------------------------
+
+
+class TestTL006MissingAll:
+    def test_fires_on_reexporting_init_without_all(self):
+        snippet = "from repro.thermal.model import DriveThermalModel\n"
+        findings = lint_source(snippet, path="src/repro/thermal/__init__.py")
+        assert rule_ids(findings) == ["TL006"]
+
+    def test_silent_with_all(self):
+        snippet = (
+            "from repro.thermal.model import DriveThermalModel\n"
+            '__all__ = ["DriveThermalModel"]\n'
+        )
+        assert lint_source(snippet, path="src/repro/thermal/__init__.py") == []
+
+    def test_silent_on_docstring_only_init(self):
+        assert lint_source('"""pkg."""\n', path="src/repro/thermal/__init__.py") == []
+
+    def test_silent_on_private_package(self):
+        snippet = "from x import y\n"
+        assert lint_source(snippet, path="src/repro/_internal/__init__.py") == []
+
+    def test_silent_on_regular_module(self):
+        snippet = "from x import y\n"
+        assert lint_source(snippet, path="src/repro/thermal/model.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_same_line_disable(self):
+        snippet = "t_k = t_c + 273.15  # thermolint: disable=TL001\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+    def test_preceding_comment_disable(self):
+        snippet = "# thermolint: disable=TL002\nok = ratio == 1.0\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+    def test_disable_all_on_line(self):
+        snippet = "t_k = t_c + 273.15  # thermolint: disable=all\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+    def test_disable_wrong_rule_keeps_finding(self):
+        snippet = "t_k = t_c + 273.15  # thermolint: disable=TL005\n"
+        assert rule_ids(lint_source(snippet, path=MODEL_PATH)) == ["TL001"]
+
+    def test_file_level_disable(self):
+        snippet = (
+            "# thermolint: disable-file=TL001\n"
+            "a = t_c + 273.15\n"
+            "b = x * 25.4\n"
+            "bad = ratio == 1.0\n"
+        )
+        assert rule_ids(lint_source(snippet, path=MODEL_PATH)) == ["TL002"]
+
+    def test_multiple_ids_one_pragma(self):
+        snippet = "x = (t_c + 273.15) == 1.0  # thermolint: disable=TL001,TL002\n"
+        assert lint_source(snippet, path=MODEL_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine / reporters / CLI
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", path=MODEL_PATH)
+        assert rule_ids(findings) == [PARSE_ERROR_RULE]
+
+    def test_rule_by_id_round_trip(self):
+        for rule_id in ["TL001", "TL002", "TL003", "TL004", "TL005", "TL006"]:
+            assert rule_by_id(rule_id).rule_id == rule_id
+        with pytest.raises(KeyError):
+            rule_by_id("TL999")
+
+    def test_findings_sorted_and_located(self):
+        snippet = "b = ratio == 1.0\na = t_c + 273.15\n"
+        findings = lint_source(snippet, path=MODEL_PATH)
+        assert rule_ids(findings) == ["TL002", "TL001"]  # sorted by line
+        assert [finding.line for finding in findings] == [1, 2]
+
+    def test_run_paths_select_and_ignore(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("a = t_c + 273.15\nb = ratio == 1.0\n")
+        only_tl002 = run_paths([str(tmp_path)], select=["TL002"])
+        assert rule_ids(only_tl002) == ["TL002"]
+        without_tl002 = run_paths([str(tmp_path)], ignore=["TL002"])
+        assert rule_ids(without_tl002) == ["TL001"]
+
+
+class TestReporters:
+    def test_text_report_format(self):
+        findings = lint_source("a = t_c + 273.15\n", path=MODEL_PATH)
+        text = render_text(findings)
+        assert f"{MODEL_PATH}:1:" in text
+        assert "TL001" in text
+        assert "found 1 issue" in text
+
+    def test_json_report_schema(self):
+        findings = lint_source("a = t_c + 273.15\nb = ratio == 1.0\n", path=MODEL_PATH)
+        payload = json.loads(render_json(findings))
+        assert payload["tool"] == "thermolint"
+        assert payload["schema_version"] == 1
+        assert payload["total"] == 2
+        assert payload["counts"] == {"TL001": 1, "TL002": 1}
+        first = payload["findings"][0]
+        assert set(first) == {"rule", "message", "path", "line", "col"}
+
+    def test_empty_report(self):
+        assert render_text([]) == ""
+        assert json.loads(render_json([]))["total"] == 0
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("t_k = t_c + 273.15\n")
+        assert thermolint_main([str(bad)]) == 1
+        assert "TL001" in capsys.readouterr().out
+
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert thermolint_main([str(good)]) == 0
+
+    def test_exit_two_on_missing_path(self, tmp_path):
+        assert thermolint_main([str(tmp_path / "nope")]) == 2
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        assert thermolint_main([str(tmp_path), "--select", "TL042"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert thermolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ["TL001", "TL002", "TL003", "TL004", "TL005", "TL006"]:
+            assert rule_id in out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("t_k = t_c + 273.15\n")
+        assert thermolint_main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the shipped tree stays clean
+# ---------------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_src_repro_is_thermolint_clean(self):
+        findings = run_paths([str(REPO_ROOT / "src" / "repro")])
+        assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+    def test_thermolint_itself_is_clean(self):
+        findings = run_paths([str(TOOLS_DIR / "thermolint")])
+        assert findings == [], "\n" + "\n".join(f.render() for f in findings)

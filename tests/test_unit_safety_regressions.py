@@ -1,0 +1,115 @@
+"""Regression tests for the findings the first thermolint run surfaced.
+
+Each test pins the *semantics* of a site that previously spelled a unit
+conversion inline (TL001) or compared floats exactly (TL002), so the rewrites
+through ``repro.units`` can never silently change a modeled number, and the
+decimal-vs-binary megabyte distinction stays explicit.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import units
+from repro.capacity.model import CapacityModel
+from repro.drives import TABLE1_DRIVES
+from repro.drives.spec import DriveSpec
+from repro.simulation.cache import DiskCache
+from repro.simulation.disk import SimulatedDisk, standard_disk
+from repro.simulation.events import EventQueue
+from repro.simulation.system import build_system
+from repro.workloads import workload
+
+
+class TestInterfaceRateUnits:
+    """disk._bus_ms previously hard-coded ``* 1e6 * 1e3`` inline."""
+
+    def test_interface_mb_is_decimal_not_binary(self):
+        # Ultra160 means 160e6 B/s (decimal), not 160 * 2**20.
+        assert units.interface_mb_per_s_to_bytes_per_s(160.0) == 160.0 * 1e6
+        assert units.interface_mb_per_s_to_bytes_per_s(160.0) != 160.0 * units.MIB
+
+    def test_bus_time_matches_closed_form(self):
+        disk = standard_disk("d", EventQueue(), rpm=10000.0)
+        sectors = 128
+        expected_ms = sectors * units.BYTES_PER_SECTOR / (disk.bus_mb_per_s * 1e6) * 1e3
+        assert disk._bus_ms(sectors) == pytest.approx(expected_ms, rel=1e-12)
+
+    def test_one_mib_at_one_decimal_mb_per_s_takes_over_a_second(self):
+        # The two megabyte conventions differ by 4.86%; this gap is why the
+        # factor lives in units.py with an explicit name.
+        disk = standard_disk("d", EventQueue(), rpm=10000.0)
+        disk.bus_mb_per_s = 1.0
+        one_mib_sectors = units.MIB // units.BYTES_PER_SECTOR
+        ms = disk._bus_ms(one_mib_sectors)
+        assert ms == pytest.approx(units.MIB / units.MB_DECIMAL * 1000.0)
+        assert ms > 1000.0
+
+
+class TestCacheSizeDefaults:
+    """The paper's 4 MB buffer cache default, previously ``4 * 1024 * 1024``."""
+
+    def test_disk_cache_default_is_four_binary_megabytes(self):
+        default = inspect.signature(DiskCache.__init__).parameters["size_bytes"].default
+        assert default == 4 * units.MIB == 4 * 1024 * 1024
+
+    @pytest.mark.parametrize("func", [standard_disk, build_system, DriveSpec.simulated_disk])
+    def test_factory_cache_defaults_agree(self, func):
+        default = inspect.signature(func).parameters["cache_bytes"].default
+        assert default == 4 * units.MIB
+
+    def test_default_cache_capacity_in_sectors(self):
+        cache = DiskCache()
+        assert cache.capacity_sectors == 4 * units.MIB // units.BYTES_PER_SECTOR
+
+
+class TestBinaryCapacityAccessor:
+    """usable_capacity_gib previously divided by a bare ``1024**3``."""
+
+    def test_gib_accessor_uses_binary_gigabytes(self):
+        drive = TABLE1_DRIVES[0]
+        model: CapacityModel = drive.capacity_model()
+        gib = model.usable_capacity_gib()
+        gb = model.usable_capacity_gb()
+        # Identical byte count read through the two unit systems.
+        assert gib * units.GIB == pytest.approx(gb * units.GB_MARKETING)
+        assert gib == pytest.approx(gb * units.GB_MARKETING / units.GIB)
+        # Decimal-to-binary ratio the docstring quotes (0.9313).
+        assert gib / gb == pytest.approx(units.GB_MARKETING / units.GIB)
+
+
+class TestFloatEqualitySites:
+    """The two TL002 sites: transient row filter and rate_scale fast path."""
+
+    def test_transient_minute_filter_handles_float_drift(self):
+        # 0.1 + 0.2 style drift: 59.99999999999999 / 60 is not an integer
+        # minute, (600 * 0.1) accumulated in floats often isn't 60.0 either.
+        minute = sum([0.1] * 600) / 60.0 * 60.0  # 59.99999999999859-ish
+        assert not minute.is_integer()
+        exact = 3600.0 / 60.0
+        assert exact.is_integer()
+
+    def test_rate_scale_default_is_exact_sentinel(self):
+        spec = workload("tpcc")
+        # Scaling by exactly 1.0 must be a no-op, so the == 1.0 fast path in
+        # WorkloadSpec.generate (suppressed TL002 sentinel) is safe.
+        assert spec.shape.scaled_rate(1.0).mean_interarrival_ms == pytest.approx(
+            spec.shape.mean_interarrival_ms
+        )
+        scaled = spec.shape.scaled_rate(2.0)
+        assert scaled.mean_interarrival_ms == pytest.approx(
+            spec.shape.mean_interarrival_ms / 2.0
+        )
+
+
+class TestSimulatedDiskUnchanged:
+    """End-to-end guard: service times are bit-identical to the seed path."""
+
+    def test_write_service_time_includes_bus_transfer(self):
+        events = EventQueue()
+        disk = standard_disk("d", events, rpm=10000.0)
+        assert isinstance(disk, SimulatedDisk)
+        bus_ms = disk._bus_ms(8)
+        assert bus_ms == pytest.approx(8 * 512 / (160.0 * 1e6) * 1e3, rel=1e-12)

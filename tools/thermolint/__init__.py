@@ -1,0 +1,41 @@
+"""thermolint — a domain-aware static-analysis pass for the repro codebase.
+
+The paper's integrated model mixes imperial recording units (BPI/TPI,
+inches), SI thermal units (W, K, m) and storage marketing units (decimal GB,
+binary MB/s).  ``repro/units.py`` centralizes every conversion; thermolint
+*enforces* that centralization plus a handful of determinism and API-hygiene
+invariants the simulator depends on.
+
+Rules
+-----
+TL001  bare unit-conversion magic number outside ``units.py``/``constants.py``
+TL002  float ``==``/``!=`` comparison in model code
+TL003  Kelvin/Celsius arithmetic mixing heuristic
+TL004  unseeded ``random``/``numpy.random`` use in simulation code
+TL005  mutable default argument
+TL006  missing ``__all__`` in a public package ``__init__``
+
+Suppress a finding on one line with ``# thermolint: disable=TL001`` (comma
+separated ids, or ``all``); suppress for a whole file with
+``# thermolint: disable-file=TL004``.
+"""
+
+from thermolint.engine import Finding, LintContext, ParsedModule, Rule, lint_source, run_paths
+from thermolint.reporters import render_json, render_text
+from thermolint.rules import ALL_RULES, rule_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "ParsedModule",
+    "Rule",
+    "__version__",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "rule_by_id",
+    "run_paths",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m thermolint`` when ``tools/`` is on the path."""
+
+import sys
+
+from thermolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

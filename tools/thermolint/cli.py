@@ -1,0 +1,96 @@
+"""thermolint command line: ``python -m thermolint [paths...]``.
+
+Exit status is 0 when clean, 1 when findings were reported, 2 on usage
+errors (missing paths, unknown rules) — mirroring grep-style conventions so
+``make lint`` and CI can distinguish "dirty tree" from "broken invocation".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from thermolint.engine import run_paths
+from thermolint.reporters import render_json, render_text
+from thermolint.rules import ALL_RULES
+
+
+def _id_list(text: str) -> List[str]:
+    return [part.strip().upper() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the thermolint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="thermolint",
+        description="domain-aware unit-safety linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_id_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_id_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule violation counts to the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    known = {rule.rule_id for rule in ALL_RULES}
+    for requested in (args.select or []) + (args.ignore or []):
+        if requested not in known:
+            print(f"thermolint: unknown rule id {requested}", file=sys.stderr)
+            return 2
+    try:
+        findings = run_paths(args.paths, select=args.select, ignore=args.ignore)
+    except FileNotFoundError as exc:
+        print(f"thermolint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        report = render_text(findings, statistics=args.statistics)
+        if report:
+            print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""Rule engine: findings, suppression comments, path scoping, file runner.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``re``) so it
+can run anywhere the test suite runs, including the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Inline suppression: ``# thermolint: disable=TL001,TL002`` or ``disable=all``.
+_SUPPRESS_RE = re.compile(r"#\s*thermolint:\s*disable=([A-Za-z0-9,\s]+|all)")
+#: Whole-file suppression: ``# thermolint: disable-file=TL004`` (or ``all``).
+_SUPPRESS_FILE_RE = re.compile(r"#\s*thermolint:\s*disable-file=([A-Za-z0-9,\s]+|all)")
+
+#: Rule id used for files the engine cannot parse.
+PARSE_ERROR_RULE = "TL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file handed to each rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def is_package_init(self) -> bool:
+        return Path(self.path).name == "__init__.py"
+
+
+class LintContext:
+    """Per-file helpers shared by rules (import aliases, path predicates)."""
+
+    def __init__(self, module: ParsedModule) -> None:
+        self.module = module
+        #: local alias -> fully qualified module name, for plain imports
+        #: (``import numpy as np`` -> {"np": "numpy"}).
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> "module.attr" for from-imports
+        #: (``from random import Random`` -> {"Random": "random.Random"}).
+        self.from_imports: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.from_imports[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+
+    def dotted_name(self, node: ast.expr) -> Optional[str]:
+        """Resolve ``np.random.random`` to ``numpy.random.random`` if possible."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.module_aliases:
+            parts.append(self.module_aliases[root])
+        elif root in self.from_imports:
+            parts.append(self.from_imports[root])
+        else:
+            parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``summary`` and implement :meth:`check`.
+    ``exempt_paths`` are glob patterns (matched against a ``/``-normalized
+    path) where the rule never applies; ``scope_paths``, when non-empty,
+    restricts the rule to matching paths only.
+    """
+
+    rule_id: str = "TL999"
+    summary: str = ""
+    exempt_paths: Tuple[str, ...] = ()
+    scope_paths: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        if any(fnmatch.fnmatch(norm, pat) for pat in self.exempt_paths):
+            return False
+        if self.scope_paths:
+            return any(fnmatch.fnmatch(norm, pat) for pat in self.scope_paths)
+        return True
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Return (line -> suppressed ids, file-wide suppressed ids).
+
+    ``{"all"}`` in a set means every rule is suppressed there.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        file_match = _SUPPRESS_FILE_RE.search(text)
+        if file_match:
+            whole_file.update(_split_ids(file_match.group(1)))
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            ids = _split_ids(match.group(1))
+            per_line.setdefault(lineno, set()).update(ids)
+            if text.lstrip().startswith("#"):
+                # A comment-only suppression also covers the next line, so
+                # long statements can carry the pragma above themselves.
+                per_line.setdefault(lineno + 1, set()).update(ids)
+    return per_line, whole_file
+
+
+def _split_ids(blob: str) -> Set[str]:
+    return {part.strip().upper() for part in blob.split(",") if part.strip()}
+
+
+def _is_suppressed(
+    finding: Finding, per_line: Dict[int, Set[str]], whole_file: Set[str]
+) -> bool:
+    if "ALL" in whole_file or finding.rule_id in whole_file:
+        return True
+    at_line = per_line.get(finding.line, set())
+    return "ALL" in at_line or finding.rule_id in at_line
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source blob as if it lived at ``path``."""
+    if rules is None:
+        from thermolint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse file: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+            )
+        ]
+    module = ParsedModule(path=path, source=source, tree=tree)
+    ctx = LintContext(module)
+    per_line, whole_file = _parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(module, ctx):
+            if not _is_suppressed(finding, per_line, whole_file):
+                findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in {"__pycache__", ".git"} for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def run_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint files/directories; ``select``/``ignore`` filter by rule id."""
+    from thermolint.rules import ALL_RULES
+
+    selected = {rule_id.upper() for rule_id in select} if select else None
+    ignored = {rule_id.upper() for rule_id in ignore} if ignore else set()
+    rules = [
+        rule
+        for rule in ALL_RULES
+        if (selected is None or rule.rule_id in selected) and rule.rule_id not in ignored
+    ]
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=str(file_path), rules=rules))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,35 @@
+"""Finding reporters: aligned text for humans, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from thermolint.engine import Finding
+
+
+def render_text(findings: Sequence[Finding], statistics: bool = False) -> str:
+    """ruff/flake8-style ``path:line:col: RULE message`` lines."""
+    lines: List[str] = [finding.render() for finding in findings]
+    if statistics:
+        counts = Counter(finding.rule_id for finding in findings)
+        for rule_id in sorted(counts):
+            lines.append(f"{counts[rule_id]:>5}  {rule_id}")
+        lines.append(f"{len(findings):>5}  total")
+    elif findings:
+        lines.append(f"found {len(findings)} issue{'s' if len(findings) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable machine-readable report (schema documented in docs/static_analysis.md)."""
+    counts = Counter(finding.rule_id for finding in findings)
+    payload = {
+        "tool": "thermolint",
+        "schema_version": 1,
+        "findings": [finding.as_dict() for finding in findings],
+        "counts": {rule_id: counts[rule_id] for rule_id in sorted(counts)},
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

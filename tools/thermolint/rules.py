@@ -1,0 +1,467 @@
+"""The TL001–TL006 rule set.
+
+Each rule encodes a failure mode this codebase (and the paper's model) is
+actually exposed to; ``docs/static_analysis.md`` carries the full rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from thermolint.engine import Finding, LintContext, ParsedModule, Rule
+
+Number = Union[int, float]
+
+# ---------------------------------------------------------------------------
+# TL001 — bare unit-conversion magic numbers
+# ---------------------------------------------------------------------------
+
+#: Magic value -> the ``repro.units``/``repro.constants`` symbol to use instead.
+#: Integer literals hash/compare equal to their float forms, so one table
+#: covers ``1e9`` and ``1_000_000_000`` alike.  This table is the one place
+#: outside units.py allowed to spell these numbers:
+# thermolint: disable-file=TL001
+MAGIC_UNIT_CONSTANTS: Dict[float, str] = {
+    0.0254: "units.METERS_PER_INCH",
+    25.4: "units.MM_PER_INCH",
+    273.15: "units.KELVIN_OFFSET",
+    1_000_000: "units.MB_DECIMAL (decimal interface megabytes)",
+    1_000_000_000: "units.GB_MARKETING (decimal datasheet gigabytes)",
+    1_048_576: "units.MIB (binary 2**20 megabytes)",
+    1_073_741_824: "units.GIB (binary 2**30 gigabytes)",
+    60000.0: "units.rotation_time_ms / units.seconds_to_ms",
+    2.0 * math.pi / 60.0: "units.rpm_to_rad_per_sec",
+    60.0 / (2.0 * math.pi): "units.rad_per_sec_to_rpm",
+}
+
+
+def _fold_constant(node: ast.expr) -> Optional[Number]:
+    """Constant-fold +,-,*,/,** expressions over numeric literals and pi."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+        return None
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "pi"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in {"math", "np", "numpy"}
+    ):
+        return math.pi
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        inner = _fold_constant(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.BinOp):
+        left = _fold_constant(node.left)
+        right = _fold_constant(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            if isinstance(node.op, ast.Pow):
+                return left**right
+        except (ZeroDivisionError, OverflowError):
+            return None
+    return None
+
+
+def _mult_chain_factors(node: ast.expr) -> List[Number]:
+    """Constant leaf factors of a pure-multiplication chain (else [])."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return _mult_chain_factors(node.left) + _mult_chain_factors(node.right)
+    value = _fold_constant(node)
+    return [value] if value is not None else []
+
+
+def _chain_constant_product(node: ast.expr) -> Tuple[Optional[float], bool]:
+    """(product of the constant factors of a ``*``/``/`` chain, saw-nonconst).
+
+    ``rpm * 2.0 * math.pi / 60.0`` -> (2*pi/60, True): the constant part of
+    the chain is exactly the rpm->rad/s factor even though ``rpm`` itself is
+    not a constant.  Returns ``(None, ...)`` when there is no constant part.
+    """
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Div)):
+        left, left_nonconst = _chain_constant_product(node.left)
+        right, right_nonconst = _chain_constant_product(node.right)
+        nonconst = left_nonconst or right_nonconst
+        if left is None and right is None:
+            return None, nonconst
+        left = 1.0 if left is None else left
+        right = 1.0 if right is None else right
+        try:
+            product = left * right if isinstance(node.op, ast.Mult) else left / right
+        except ZeroDivisionError:
+            return None, nonconst
+        return product, nonconst
+    value = _fold_constant(node)
+    if value is None:
+        return None, True
+    return float(value), False
+
+
+class MagicUnitConstantRule(Rule):
+    """TL001: a unit conversion spelled as a bare number.
+
+    Fires on literals (or constant-foldable expressions) equal to a known
+    conversion factor, and on multiplication chains that spell a binary byte
+    factor inline (``4 * 1024 * 1024``).  ``units.py``/``constants.py`` are
+    exempt — they are where these numbers are *allowed* to live.
+    """
+
+    rule_id = "TL001"
+    summary = "bare unit-conversion magic number outside units.py/constants.py"
+    exempt_paths = ("*/units.py", "*/constants.py", "units.py", "constants.py")
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        reported: set = set()
+
+        def report(node: ast.AST, message: str) -> Iterator[Finding]:
+            key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if key not in reported:
+                reported.add(key)
+                # One finding per expression: a flagged chain claims its own
+                # literals so they do not re-fire at a different column.
+                for child in ast.walk(node):  # type: ignore[arg-type]
+                    reported.add(
+                        (getattr(child, "lineno", 0), getattr(child, "col_offset", 0))
+                    )
+                yield self.finding(module, node, message)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp):
+                folded = _fold_constant(node)
+                if folded is not None and folded in MAGIC_UNIT_CONSTANTS:
+                    yield from report(
+                        node,
+                        f"expression folds to unit factor {folded!r}; "
+                        f"use {MAGIC_UNIT_CONSTANTS[folded]}",
+                    )
+                    continue
+                factors = _mult_chain_factors(node)
+                if factors.count(1024) >= 2:
+                    yield from report(
+                        node,
+                        "binary byte factor spelled inline; use units.MIB/units.GIB",
+                    )
+                    continue
+                if isinstance(node.op, (ast.Mult, ast.Div)):
+                    product, saw_nonconst = _chain_constant_product(node)
+                    if (
+                        product is not None
+                        and saw_nonconst
+                        and product in MAGIC_UNIT_CONSTANTS
+                    ):
+                        yield from report(
+                            node,
+                            f"constant part of this expression is the unit "
+                            f"factor {product!r}; use "
+                            f"{MAGIC_UNIT_CONSTANTS[product]}",
+                        )
+            elif isinstance(node, ast.Constant):
+                value = node.value
+                if (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and value in MAGIC_UNIT_CONSTANTS
+                ):
+                    yield from report(
+                        node,
+                        f"magic unit constant {value!r}; "
+                        f"use {MAGIC_UNIT_CONSTANTS[value]}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# TL002 — float equality
+# ---------------------------------------------------------------------------
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _is_int_truncation_call(node: ast.expr) -> bool:
+    """``int(x)`` / ``round(x)`` — the classic float-integrality idiom."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"int", "round"}
+        and len(node.args) == 1
+    )
+
+
+class FloatEqualityRule(Rule):
+    """TL002: ``==``/``!=`` against a float literal, or ``x == int(x)``.
+
+    Exact float comparison silently breaks when a value arrives via
+    arithmetic instead of assignment; use ``math.isclose``, a tolerance, or
+    ``float.is_integer()``.
+    """
+
+    rule_id = "TL002"
+    summary = "exact float ==/!= comparison in model code"
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact float comparison; use math.isclose or an "
+                        "explicit tolerance",
+                    )
+                    break
+                if _is_int_truncation_call(left) or _is_int_truncation_call(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "float integrality check via int()/round(); use "
+                        "float.is_integer()",
+                    )
+                    break
+
+
+# ---------------------------------------------------------------------------
+# TL003 — Kelvin/Celsius mixing
+# ---------------------------------------------------------------------------
+
+_CELSIUS_SUFFIXES = ("_c", "_celsius", "_degc")
+_KELVIN_SUFFIXES = ("_k", "_kelvin")
+
+
+def _identifier(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _temperature_flavor(node: ast.expr) -> Optional[str]:
+    name = _identifier(node)
+    if name is None:
+        return None
+    lowered = name.lower()
+    if lowered.endswith(_CELSIUS_SUFFIXES):
+        return "celsius"
+    if lowered.endswith(_KELVIN_SUFFIXES):
+        return "kelvin"
+    return None
+
+
+class KelvinCelsiusMixRule(Rule):
+    """TL003: arithmetic or comparison between ``*_c`` and ``*_k`` names.
+
+    A Celsius/Kelvin slip is invisible at runtime — both are plain floats —
+    but shifts every temperature by 273.15.  Convert explicitly through
+    ``units.celsius_to_kelvin``/``units.kelvin_to_celsius`` first.
+    """
+
+    rule_id = "TL003"
+    summary = "Kelvin/Celsius mixing heuristic (*_c vs *_k arithmetic)"
+
+    def _pairs(self, node: ast.AST) -> Iterator[Tuple[ast.expr, ast.expr]]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            yield node.left, node.right
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for left, right in zip(operands, operands[1:]):
+                yield left, right
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            for left, right in self._pairs(node):
+                flavors = {_temperature_flavor(left), _temperature_flavor(right)}
+                if flavors == {"celsius", "kelvin"}:
+                    yield self.finding(
+                        module,
+                        node,
+                        "arithmetic mixes Celsius- and Kelvin-suffixed values; "
+                        "convert via units.celsius_to_kelvin/kelvin_to_celsius",
+                    )
+                    break
+
+
+# ---------------------------------------------------------------------------
+# TL004 — unseeded randomness in simulation code
+# ---------------------------------------------------------------------------
+
+#: Constructors that are fine *when called with a seed argument*.
+_SEEDABLE_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+}
+
+
+class UnseededRandomRule(Rule):
+    """TL004: global/unseeded RNG use inside the simulator.
+
+    PR 1's sweep runner guarantees serial == parallel results; any draw from
+    the process-global RNG (or an unseeded generator) silently breaks that
+    determinism across worker processes.
+    """
+
+    rule_id = "TL004"
+    summary = "unseeded random/numpy.random use in simulation code"
+    scope_paths = ("*/simulation/*", "*/simulation.py")
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _SEEDABLE_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}() constructed without a seed; pass an "
+                        "explicit seed for reproducible sweeps",
+                    )
+                continue
+            if dotted.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() draws from the process-global RNG; use a "
+                    "seeded random.Random instance",
+                )
+            elif dotted.startswith("numpy.random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() uses numpy's global RNG; use a seeded "
+                    "numpy.random.default_rng generator",
+                )
+
+
+# ---------------------------------------------------------------------------
+# TL005 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+        and not node.args
+        and not node.keywords
+    )
+
+
+class MutableDefaultRule(Rule):
+    """TL005: ``def f(x=[])`` — the default is shared across calls."""
+
+    rule_id = "TL005"
+    summary = "mutable default argument"
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); default "
+                        "to None and create the object inside the function",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# TL006 — missing __all__ in public packages
+# ---------------------------------------------------------------------------
+
+
+class MissingAllRule(Rule):
+    """TL006: a non-trivial public ``__init__.py`` without ``__all__``.
+
+    Without ``__all__`` the package's re-export surface is implicit, and
+    strict-typing's ``no_implicit_reexport`` (plus ``from pkg import *``)
+    behaves unpredictably.
+    """
+
+    rule_id = "TL006"
+    summary = "missing __all__ in a public package __init__.py"
+
+    def check(self, module: ParsedModule, ctx: LintContext) -> Iterator[Finding]:
+        if not module.is_package_init:
+            return
+        norm = module.path.replace("\\", "/")
+        package_name = norm.rsplit("/", 2)[-2] if "/" in norm else ""
+        if package_name.startswith("_"):
+            return
+        has_content = False
+        for node in module.tree.body:
+            if isinstance(
+                node,
+                (ast.Import, ast.ImportFrom, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                has_content = True
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return
+        if has_content:
+            yield self.finding(
+                module,
+                module.tree.body[0] if module.tree.body else module.tree,
+                "public package __init__.py has re-exports but no __all__",
+            )
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    MagicUnitConstantRule(),
+    FloatEqualityRule(),
+    KelvinCelsiusMixRule(),
+    UnseededRandomRule(),
+    MutableDefaultRule(),
+    MissingAllRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look up a rule instance by its ``TLxxx`` id."""
+    for rule in ALL_RULES:
+        if rule.rule_id == rule_id.upper():
+            return rule
+    raise KeyError(f"unknown rule id: {rule_id}")
