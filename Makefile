@@ -1,11 +1,24 @@
 # Convenience entry points; everything works with plain pytest too.
 PYTHON ?= python
-export PYTHONPATH := src:$(PYTHONPATH)
+# tools/ carries thermolint (a dev gate, not a runtime dep); exporting it
+# here keeps every target — including coverage over both packages — on one
+# consistent path, with src first so the in-repo package always wins.
+export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke sweep reproduce lint typecheck
+.PHONY: test bench bench-smoke sweep reproduce lint typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
+
+coverage:        ## tier-1 suite under coverage; floor from pyproject.toml
+	$(PYTHON) -m pytest -q --cov=repro --cov=thermolint \
+		--cov-report=term --cov-report=xml
+
+check:           ## aggregate local gate: tests + lint + typecheck + bench smoke
+	$(MAKE) test
+	$(MAKE) lint
+	$(MAKE) typecheck
+	$(MAKE) bench-smoke
 
 lint:            ## thermolint (always) + ruff (when installed)
 	$(PYTHON) -m repro lint src/repro --statistics
@@ -23,13 +36,13 @@ typecheck:       ## mypy strict gate (skipped when mypy is not installed)
 	fi
 
 bench:           ## full paper benchmark harness (slow)
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src:tools $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-smoke:     ## miniature sweep benchmark + BENCH_PR1.json schema check (<60 s)
 	$(PYTHON) -m pytest tests/test_bench_smoke.py -q -m "not slow"
 
 sweep:           ## regenerate BENCH_PR1.json at full scale
-	$(PYTHON) benchmarks/bench_sweep.py
+	PYTHONPATH=src:tools $(PYTHON) benchmarks/bench_sweep.py
 
 reproduce:       ## tests + benchmarks + sweep, tee'd to *_output.txt
-	$(PYTHON) reproduce.py
+	PYTHONPATH=src:tools $(PYTHON) reproduce.py

@@ -11,6 +11,8 @@ Exposes the library's main queries without writing Python::
     python -m repro slack                    # Figure 5a
     python -m repro sweep roadmap -p 1,2,4   # parallel Figure 2 sweep
     python -m repro sweep workload tpcc,oltp # parallel Figure 4 sweep
+    python -m repro sweep workload tpcc --telemetry --telemetry-out tel.json
+    python -m repro trace tpcc -n 2000       # instrumented replay + sparklines
     python -m repro lint src/repro           # thermolint static analysis
 
 Every command prints an aligned plain-text table.
@@ -185,6 +187,84 @@ def _cmd_throttle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One instrumented replay: metrics, event trace, probe sparklines."""
+    import json
+
+    from repro.reporting import (
+        probes_to_csv,
+        registry_to_prometheus,
+        render_probe_sparklines,
+        to_json,
+    )
+    from repro.telemetry import Telemetry
+    from repro.workloads import workload
+
+    spec = workload(args.name)
+    tel = Telemetry(
+        trace_capacity=args.trace_capacity, probe_interval_ms=args.interval
+    )
+    trace = spec.generate(num_requests=args.requests, seed=args.seed)
+    report = spec.build_system(args.rpm, telemetry=tel).run_trace(trace)
+
+    if args.output:
+        if args.format == "json":
+            payload = to_json(tel)
+        elif args.format == "csv":
+            payload = probes_to_csv(tel.probes)
+        else:
+            payload = registry_to_prometheus(tel.registry)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            if not payload.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {args.format} telemetry to {args.output}")
+
+    print(
+        f"{spec.display_name}: {report.requests} requests over "
+        f"{report.simulated_ms / 1000.0:.1f} s simulated, "
+        f"mean {report.stats.mean_ms():.2f} ms"
+    )
+    print()
+    print(render_probe_sparklines(tel.probes, ascii_only=args.ascii))
+    print()
+    rows = []
+    for name, snap in sorted(tel.registry.as_dict().items()):
+        if snap["kind"] == "counter" or snap["kind"] == "gauge":
+            rows.append([name, snap["kind"], f"{snap['value']:g}"])
+        elif snap["kind"] == "histogram":
+            mean = snap["mean"]
+            rows.append(
+                [
+                    name,
+                    "histogram",
+                    f"n={snap['count']} mean={mean:.3f}" if mean is not None else "n=0",
+                ]
+            )
+        else:
+            rows.append(
+                [name, "timer", f"{snap['elapsed_s']:.4f}s/{snap['starts']}"]
+            )
+    print(format_table(["metric", "kind", "value"], rows))
+    print()
+    recorded, dropped = tel.trace.recorded, tel.trace.dropped
+    print(
+        f"event trace: {recorded} recorded, {dropped} dropped "
+        f"(capacity {args.trace_capacity}); last {args.limit}:"
+    )
+    tail = tel.trace.events(kind=args.kind, limit=args.limit)
+    for event in tail:
+        fields = " ".join(
+            f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(event.fields.items())
+        )
+        print(f"  {event.time_ms:10.2f}ms {event.kind:16s} {event.subject:8s} {fields}")
+    if args.format == "json" and not args.output:
+        print()
+        print(json.dumps(tel.trace.counts_by_kind(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.scaling import PAPER_TRENDS
     from repro.simulation.sweep import sweep_roadmap, sweep_workloads
@@ -219,13 +299,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("(* = meets the 40% IDR growth target)")
         return 0
 
+    telemetry = bool(args.telemetry or args.telemetry_out)
     results = sweep_workloads(
         names=args.names,
         rpm_steps=args.steps,
         requests=args.requests,
         seed=args.seed,
         workers=args.workers,
+        telemetry=telemetry,
+        probe_interval_ms=args.probe_interval,
     )
+    if telemetry:
+        import json
+
+        payload = {
+            "schema": "repro.sweep_telemetry/1",
+            "points": [
+                {
+                    "workload": r.workload,
+                    "rpm": r.rpm,
+                    "requests": r.requests,
+                    "seed": r.seed,
+                    "mean_ms": r.mean_ms,
+                    "telemetry": r.telemetry,
+                }
+                for r in results
+            ],
+        }
+        out = args.telemetry_out or "sweep_telemetry.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote telemetry for {len(results)} sweep points to {out}")
     rows = [
         [
             r.workload,
@@ -409,6 +514,65 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=1)
     ps.add_argument("--steps", type=int, default=4, help="RPM ladder length")
     ps.add_argument("-w", "--workers", type=int, default=None, help="process count")
+    ps.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument every replay and write per-point telemetry JSON",
+    )
+    ps.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="telemetry JSON path (implies --telemetry; "
+        "default sweep_telemetry.json)",
+    )
+    ps.add_argument(
+        "--probe-interval",
+        type=float,
+        default=100.0,
+        help="time-series sampling interval in simulated ms",
+    )
+
+    p = sub.add_parser(
+        "trace", help="instrumented single replay: metrics, trace, sparklines"
+    )
+    p.add_argument(
+        "name",
+        choices=["openmail", "oltp", "search_engine", "tpcc", "tpch"],
+    )
+    p.add_argument("-n", "--requests", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rpm", type=float, default=None, help="override spindle speed")
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=100.0,
+        help="probe sampling interval in simulated ms",
+    )
+    p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        help="event-trace ring-buffer capacity",
+    )
+    p.add_argument(
+        "--limit", type=int, default=10, help="trace-tail events to print"
+    )
+    p.add_argument(
+        "--kind", default=None, help="only show trace events of this kind"
+    )
+    p.add_argument(
+        "--format",
+        choices=["json", "csv", "prom"],
+        default="json",
+        help="export format for --output",
+    )
+    p.add_argument(
+        "-o", "--output", default=None, metavar="PATH", help="write telemetry here"
+    )
+    p.add_argument(
+        "--ascii", action="store_true", help="ASCII sparklines (no unicode blocks)"
+    )
     return parser
 
 
@@ -421,6 +585,7 @@ _HANDLERS = {
     "throttle": _cmd_throttle,
     "slack": _cmd_slack,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -32,6 +32,7 @@ from repro.simulation.system import StorageSystem
 
 if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
     from repro.dtm.policies import ThermalPolicy
+    from repro.telemetry import Telemetry
 from repro.thermal.model import DriveThermalModel
 from repro.workloads.trace import Trace
 
@@ -120,7 +121,10 @@ class ThermallyManagedSystem:
         system: StorageSystem,
         thermal: DriveThermalModel,
         policy: DTMPolicy,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
+        from repro.telemetry import maybe
+
         self.system = system
         self.thermal = thermal
         self.policy = policy
@@ -137,6 +141,15 @@ class ThermallyManagedSystem:
                 raise DTMError(
                     "speed profile's top level must match the thermal model RPM"
                 )
+        self._tel = maybe(telemetry)
+        if self._tel is not None:
+            thermal.attach_probes(self._tel.probes)
+            self._tel.probes.add(
+                "dtm.gate_open", lambda: 1.0 if self.gate_open else 0.0
+            )
+            self._tel.probes.add(
+                "dtm.gated_requests", lambda: float(len(self._gated))
+            )
 
     # -- trace replay ----------------------------------------------------------------
 
@@ -203,6 +216,13 @@ class ThermallyManagedSystem:
             self._advance_thermal(interval_ms)
         air = self.thermal.air_c()
         self.report.max_air_c = max(self.report.max_air_c, air)
+        if self._tel is not None:
+            # The controller's periodic check is the thermal sampling
+            # cadence: probes ride it instead of scheduling their own.
+            self._tel.probes.sample_all(now_ms)
+            self._tel.record(
+                now_ms, "dtm_check", "dtm", air_c=air, gate_open=self.gate_open
+            )
         if self.gate_open and air >= self.policy.trigger_c:
             self._engage_throttle()
         elif not self.gate_open and air <= self.policy.resume_c:
@@ -227,6 +247,15 @@ class ThermallyManagedSystem:
     def _engage_throttle(self) -> None:
         self.gate_open = False
         self.report.throttle_events += 1
+        if self._tel is not None:
+            self._tel.record(
+                self.system.events.now_ms,
+                "dtm_throttle",
+                "dtm",
+                air_c=self.thermal.air_c(),
+                rpm_drop=self.policy.speed_profile is not None,
+            )
+            self._tel.count("dtm.throttle_engagements")
         if self.policy.speed_profile is not None:
             low = self.policy.speed_profile.bottom_rpm
             self.thermal.set_operating_state(rpm=low, vcm_active=False)
@@ -237,6 +266,15 @@ class ThermallyManagedSystem:
 
     def _release_throttle(self) -> None:
         self.gate_open = True
+        if self._tel is not None:
+            self._tel.record(
+                self.system.events.now_ms,
+                "dtm_resume",
+                "dtm",
+                air_c=self.thermal.air_c(),
+                released=len(self._gated),
+            )
+            self._tel.count("dtm.resumes")
         self.thermal.set_operating_state(rpm=self._full_rpm, vcm_active=True)
         if self.policy.speed_profile is not None:
             for disk in self.system.disks:
@@ -274,8 +312,10 @@ class PolicyManagedSystem:
         thermal: DriveThermalModel,
         policy: "ThermalPolicy",
         check_interval_ms: float = 50.0,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         from repro.dtm.policies import ThermalPolicy
+        from repro.telemetry import maybe
 
         if not isinstance(policy, ThermalPolicy):
             raise DTMError("policy must be a ThermalPolicy")
@@ -299,6 +339,16 @@ class PolicyManagedSystem:
             throttled_ms=0.0,
             simulated_ms=0.0,
         )
+        self._tel = maybe(telemetry)
+        if self._tel is not None:
+            thermal.attach_probes(self._tel.probes)
+            self._tel.probes.add(
+                "dtm.admit", lambda: 1.0 if self._admit else 0.0
+            )
+            self._tel.probes.add("dtm.issue_gap_ms", lambda: self._gap_ms)
+            self._tel.probes.add(
+                "dtm.pending_requests", lambda: float(len(self._pending))
+            )
 
     # -- trace replay -----------------------------------------------------------
 
@@ -374,13 +424,38 @@ class PolicyManagedSystem:
         air = self.thermal.air_c()
         self.report.max_air_c = max(self.report.max_air_c, air)
         action = self.policy.decide(air, now)
+        if self._tel is not None:
+            self._tel.probes.sample_all(now)
+            self._tel.record(
+                now,
+                "dtm_check",
+                "dtm",
+                air_c=air,
+                admit=action.admit,
+                issue_gap_ms=action.issue_gap_ms,
+                rpm=action.rpm,
+            )
         if not action.admit:
             self.report.throttled_ms += self.check_interval_ms
             if self._admit:
                 self.report.throttle_events += 1
+                if self._tel is not None:
+                    self._tel.record(now, "dtm_throttle", "dtm", air_c=air)
+                    self._tel.count("dtm.throttle_engagements")
+        elif not self._admit and self._tel is not None:
+            self._tel.record(now, "dtm_resume", "dtm", air_c=air)
+            self._tel.count("dtm.resumes")
         self._admit = action.admit
         self._gap_ms = action.issue_gap_ms
         if action.rpm is not None and action.rpm != self._current_rpm:
+            if self._tel is not None:
+                self._tel.record(
+                    now,
+                    "rpm_change",
+                    "dtm",
+                    from_rpm=self._current_rpm,
+                    to_rpm=action.rpm,
+                )
             self._current_rpm = action.rpm
             self.rpm_changes += 1
             self.thermal.set_operating_state(rpm=action.rpm)

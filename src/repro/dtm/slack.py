@@ -11,7 +11,7 @@ roadmap it enables (Figure 5b).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.constants import (
     AMBIENT_TEMPERATURE_C,
@@ -26,6 +26,9 @@ from repro.scaling.trends import PAPER_TRENDS, TechnologyTrends
 from repro.thermal.envelope import max_rpm_within_envelope
 from repro.thermal.model import ThermalCalibration
 from repro.thermal.vcm import vcm_power_w
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -63,12 +66,20 @@ def slack_by_platter_size(
     envelope_c: float = THERMAL_ENVELOPE_C,
     ambient_c: float = AMBIENT_TEMPERATURE_C,
     calibration: Optional[ThermalCalibration] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> List[SlackPoint]:
     """Figure 5(a): maximum RPM with and without the VCM, per platter size.
 
     The slack shrinks with the platter because VCM power falls steeply with
     size (3.9 W at 2.6 in vs 0.618 W at 1.6 in).
+
+    With ``telemetry``, each computed point is exported as a pair of
+    ``slack.<size>in.*`` gauges and one ``dtm_check`` trace event, so a
+    slack study shows up in the same exporters as a simulated run.
     """
+    from repro.telemetry import maybe
+
+    tel = maybe(telemetry)
     points: List[SlackPoint] = []
     for diameter in sizes:
         envelope_rpm = max_rpm_within_envelope(
@@ -87,15 +98,27 @@ def slack_by_platter_size(
             vcm_active=False,
             calibration=calibration,
         )
-        points.append(
-            SlackPoint(
+        point = SlackPoint(
+            diameter_in=diameter,
+            platter_count=platter_count,
+            envelope_rpm=envelope_rpm,
+            vcm_off_rpm=off_rpm,
+            vcm_power_w=vcm_power_w(diameter),
+        )
+        if tel is not None:
+            prefix = f"slack.{diameter}in"
+            tel.set_gauge(f"{prefix}.envelope_rpm", envelope_rpm)
+            tel.set_gauge(f"{prefix}.vcm_off_rpm", off_rpm)
+            tel.record(
+                0.0,
+                "dtm_check",
+                "slack",
                 diameter_in=diameter,
-                platter_count=platter_count,
                 envelope_rpm=envelope_rpm,
                 vcm_off_rpm=off_rpm,
-                vcm_power_w=vcm_power_w(diameter),
+                rpm_gain=point.rpm_gain,
             )
-        )
+        points.append(point)
     return points
 
 

@@ -24,6 +24,8 @@ from repro.thermal.model import DriveThermalModel, ThermalCalibration
 if TYPE_CHECKING:  # pragma: no cover - numpy imported lazily at runtime
     import numpy as np
 
+    from repro.telemetry import Telemetry
+
 
 @dataclass(frozen=True)
 class ThrottlingScenario:
@@ -396,21 +398,46 @@ def throttling_trace(
     cycles: int = 5,
     dt_s: float = 0.01,
     max_heat_s: float = 600.0,
+    telemetry: Optional["Telemetry"] = None,
 ) -> ThrottlingTrace:
     """Simulate several throttle cycles, recording the air temperature.
 
     Visualizes the saw-tooth of Figure 6: cooling dips below the envelope
     followed by heating back up to it.
+
+    When ``telemetry`` is given, the mode transitions land in its event
+    trace (``dtm_throttle``/``dtm_resume`` with the air temperature at
+    the switch) and the air series additionally feeds a ``throttle.air_c``
+    probe, so the saw-tooth is visible through the standard exporters.
     """
+    from repro.telemetry import maybe
+
     if cycles < 1:
         raise DTMError(f"cycles must be >= 1, got {cycles}")
     scenario.validate()
+    tel = maybe(telemetry)
     # Start at the warm-up crossing, the moment DTM first engages.
     model = _model_at_warmup_crossing(scenario)
     cool_rpm = _cooling_rpm(scenario)
     trace = ThrottlingTrace(times_s=[0.0], air_c=[model.air_c()], throttled=[False])
     now = 0.0
+    air_probe = (
+        tel.probes.add("throttle.air_c", model.air_c, unit="C")
+        if tel is not None
+        else None
+    )
+
+    def _note(sample_now: float) -> None:
+        if air_probe is not None:
+            air_probe.sample(sample_now * 1000.0)
+
+    _note(now)
     for _ in range(cycles):
+        if tel is not None:
+            tel.record(
+                now * 1000.0, "dtm_throttle", "throttle", air_c=model.air_c()
+            )
+            tel.count("throttle.cycles")
         model.set_operating_state(rpm=cool_rpm, vcm_active=False)
         for _ in range(int(t_cool_s / dt_s)):
             model.network.step(dt_s)
@@ -418,6 +445,11 @@ def throttling_trace(
             trace.times_s.append(now)
             trace.air_c.append(model.air_c())
             trace.throttled.append(True)
+            _note(now)
+        if tel is not None:
+            tel.record(
+                now * 1000.0, "dtm_resume", "throttle", air_c=model.air_c()
+            )
         model.set_operating_state(rpm=scenario.rpm_high, vcm_active=True)
         heated = False
         for _ in range(int(max_heat_s / dt_s)):
@@ -426,6 +458,7 @@ def throttling_trace(
             trace.times_s.append(now)
             trace.air_c.append(model.air_c())
             trace.throttled.append(False)
+            _note(now)
             if model.air_c() >= scenario.envelope_c:
                 heated = True
                 break

@@ -1,6 +1,27 @@
-"""Reporting helpers for the benchmark harness."""
+"""Reporting helpers for the benchmark harness and telemetry exporters."""
 
 from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.sparkline import render_probe_sparklines, render_series, sparkline
 from repro.reporting.tables import format_cell, format_comparison, format_table
+from repro.reporting.telemetry_export import (
+    parse_probes_csv,
+    parse_prometheus_text,
+    probes_to_csv,
+    registry_to_prometheus,
+    to_json,
+)
 
-__all__ = ["ascii_plot", "format_cell", "format_comparison", "format_table"]
+__all__ = [
+    "ascii_plot",
+    "format_cell",
+    "format_comparison",
+    "format_table",
+    "sparkline",
+    "render_series",
+    "render_probe_sparklines",
+    "to_json",
+    "probes_to_csv",
+    "parse_probes_csv",
+    "registry_to_prometheus",
+    "parse_prometheus_text",
+]

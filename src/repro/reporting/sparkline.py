@@ -1,0 +1,114 @@
+"""ASCII sparklines for probe time series.
+
+A sparkline compresses a series into one line of block characters —
+enough to eyeball a thermal transient or a queue-depth burst directly in
+terminal output (``repro trace``) without a graphics stack.  Pure ASCII
+fallback (``-_=#``-style ramp) is available for environments where the
+Unicode blocks render poorly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry.probes import ProbeSet
+
+#: Eight-level Unicode block ramp.
+BLOCKS = "▁▂▃▄▅▆▇█"
+#: Pure-ASCII fallback ramp.
+ASCII_RAMP = " .:-=+*#"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    ascii_only: bool = False,
+) -> str:
+    """Render a series as one line of block characters.
+
+    Series longer than ``width`` are decimated by bucket-averaging (each
+    output column is the mean of its bucket), which preserves the shape
+    of slow transients better than naive striding.
+
+    Args:
+        values: the series (empty → empty string).
+        width: maximum output width in characters.
+        ascii_only: use the ASCII ramp instead of Unicode blocks.
+    """
+    if not values:
+        return ""
+    ramp = ASCII_RAMP if ascii_only else BLOCKS
+    data = _decimate(list(values), width)
+    lo, hi = min(data), max(data)
+    span = hi - lo
+    if span <= 0:
+        # Flat series: draw at mid-ramp so it is visibly present.
+        return ramp[len(ramp) // 2] * len(data)
+    top = len(ramp) - 1
+    return "".join(ramp[int((v - lo) / span * top + 0.5)] for v in data)
+
+
+def _decimate(values: List[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return values
+    out: List[float] = []
+    n = len(values)
+    for col in range(width):
+        start = col * n // width
+        end = max((col + 1) * n // width, start + 1)
+        bucket = values[start:end]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def render_series(
+    name: str,
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 60,
+    ascii_only: bool = False,
+) -> str:
+    """One labelled sparkline row: name, range annotation, line."""
+    line = sparkline(values, width=width, ascii_only=ascii_only)
+    if not values:
+        return f"{name:<28} (no samples)"
+    lo, hi = min(values), max(values)
+    last = values[-1]
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{name:<28} {line}  "
+        f"[{lo:.3g}..{hi:.3g}{suffix}, last {last:.3g}]"
+    )
+
+
+def render_probe_sparklines(
+    probes: "ProbeSet",
+    width: int = 60,
+    ascii_only: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> str:
+    """Sparkline panel for a probe set, one row per probe.
+
+    Args:
+        probes: the probe set to render.
+        width: sparkline width.
+        ascii_only: use the ASCII ramp.
+        names: restrict (and order) the probes shown; default all sorted.
+    """
+    selected: List[Tuple[str, List[float], str]]
+    if names is None:
+        selected = [
+            (p.name, p.values(), p.unit)
+            for p in sorted(probes.probes(), key=lambda p: p.name)
+        ]
+    else:
+        selected = [
+            (name, probes.probe(name).values(), probes.probe(name).unit)
+            for name in names
+        ]
+    rows = [
+        render_series(name, values, unit=unit, width=width, ascii_only=ascii_only)
+        for name, values, unit in selected
+    ]
+    return "\n".join(rows)

@@ -1,0 +1,188 @@
+"""Telemetry exporters: JSON, CSV and Prometheus text exposition.
+
+Three formats, three audiences:
+
+* **JSON** — the machine-readable artifact CI archives and the
+  ``--telemetry`` CLI flags emit; a single document holding the metric
+  snapshot, the (possibly truncated) event trace and every probe series.
+* **CSV** — the probe time series in long form
+  (``time_ms,probe,value``), trivially loadable into pandas/gnuplot.
+* **Prometheus text** — the metric snapshot in the text exposition
+  format (``# HELP`` / ``# TYPE`` + samples), so a scrape endpoint or a
+  textfile collector can ship simulator metrics to a real monitoring
+  stack.  :func:`parse_prometheus_text` parses the emitted subset back,
+  which the round-trip tests (and any consumer debugging a scrape) use.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry import Telemetry
+    from repro.telemetry.probes import ProbeSet
+    from repro.telemetry.registry import MetricsRegistry
+
+
+class ExportError(ReproError):
+    """Raised on malformed export/parse input."""
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+
+def to_json(telemetry: "Telemetry", indent: Optional[int] = 2) -> str:
+    """The full telemetry snapshot as a JSON document."""
+    return json.dumps(_finite(telemetry.as_dict()), indent=indent)
+
+
+def _finite(obj: object) -> object:
+    """Replace non-finite floats (Histogram.min on empty, +Inf bounds)
+    with JSON-safe values so the document parses everywhere."""
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {k: _finite(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_finite(v) for v in obj]
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# CSV (probe time series, long form)
+# ---------------------------------------------------------------------------
+
+CSV_HEADER = "time_ms,probe,value"
+
+
+def probes_to_csv(probes: "ProbeSet") -> str:
+    """Every probe series in long form: ``time_ms,probe,value``.
+
+    Rows are ordered by probe name, then sample time — deterministic, so
+    artifacts diff cleanly between runs of the same seed.
+    """
+    lines = [CSV_HEADER]
+    for probe in sorted(probes.probes(), key=lambda p: p.name):
+        for t_ms, value in probe.series:
+            lines.append(f"{t_ms:.6g},{probe.name},{value:.10g}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_probes_csv(text: str) -> Dict[str, List[Tuple[float, float]]]:
+    """Parse :func:`probes_to_csv` output back to {probe: [(t, v), ...]}."""
+    lines = [line for line in text.strip().splitlines() if line]
+    if not lines or lines[0] != CSV_HEADER:
+        raise ExportError(f"expected header {CSV_HEADER!r}")
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for line in lines[1:]:
+        parts = line.split(",")
+        if len(parts) != 3:
+            raise ExportError(f"malformed CSV row: {line!r}")
+        t_text, name, v_text = parts
+        out.setdefault(name, []).append((float(t_text), float(v_text)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+#: Prefix applied to every exported metric name.
+PROM_NAMESPACE = "repro"
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a registry name into a Prometheus metric name."""
+    safe = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    return f"{PROM_NAMESPACE}_{safe}"
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def registry_to_prometheus(registry: "MetricsRegistry") -> str:
+    """The metric snapshot in the Prometheus text exposition format.
+
+    Counters gain a ``_total`` suffix if they lack one; histograms expand
+    to the ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le``
+    labels; timers export as ``<name>_seconds`` counters.
+    """
+    from repro.telemetry.registry import Counter, Gauge, Histogram, Timer
+
+    lines: List[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):  # type: ignore[attr-defined]
+        if isinstance(metric, Counter):
+            name = _prom_name(metric.name)
+            if not name.endswith("_total"):
+                name += "_total"
+            lines.append(f"# HELP {name} {metric.help or metric.name}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            name = _prom_name(metric.name)
+            lines.append(f"# HELP {name} {metric.help or metric.name}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Timer):
+            name = _prom_name(metric.name) + "_seconds"
+            lines.append(f"# HELP {name} {metric.help or metric.name}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(metric.elapsed_s)}")
+        elif isinstance(metric, Histogram):
+            name = _prom_name(metric.name)
+            lines.append(f"# HELP {name} {metric.help or metric.name}")
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cum in metric.cumulative():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {cum}'
+                )
+            lines.append(f"{name}_sum {_prom_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse the subset of the exposition format this module emits.
+
+    Returns:
+        {metric_name: {"type": ..., "samples": {label_suffix: value}}}
+        where ``label_suffix`` is ``""`` for plain samples and e.g.
+        ``'bucket{le="5.0"}'`` for labelled ones.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            out.setdefault(name, {"type": kind, "samples": {}})
+            out[name]["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_text = line.rpartition(" ")
+        if not name_part:
+            raise ExportError(f"malformed sample line: {line!r}")
+        value = float(value_text)
+        base, _, label = name_part.partition("{")
+        # histogram child series (_bucket/_sum/_count) belong to the parent
+        parent = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in out:
+                parent = base[: -len(suffix)]
+                break
+        entry = out.setdefault(parent, {"type": "untyped", "samples": {}})
+        key = name_part[len(parent) + 1 :] if parent != name_part else ""
+        entry["samples"][key] = value  # type: ignore[index]
+    return out

@@ -20,10 +20,13 @@ from __future__ import annotations
 import bisect
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.units import BYTES_PER_SECTOR, MIB
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -33,6 +36,7 @@ class CacheStats:
     read_hits: int = 0
     read_misses: int = 0
     writes: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -80,6 +84,22 @@ class DiskCache:
         self._use_stamps: dict = {}
         self._stamp_counter = 0
         self.stats = CacheStats()
+        #: set by :meth:`bind_telemetry`; None keeps the hot path free.
+        self._tel: Optional["Telemetry"] = None
+        self._subject = ""
+
+    def bind_telemetry(self, telemetry: Optional["Telemetry"], subject: str) -> None:
+        """Mirror hit/miss/eviction activity into a telemetry registry.
+
+        Trace events for hits and misses are recorded by the owning disk
+        (which knows the simulated clock); the cache itself only feeds
+        counters, so binding costs nothing on the lookup path beyond the
+        existing stats increments plus one guarded counter bump.
+        """
+        from repro.telemetry import maybe
+
+        self._tel = maybe(telemetry)
+        self._subject = subject
 
     # -- queries -------------------------------------------------------------------
 
@@ -140,8 +160,12 @@ class DiskCache:
             self._segments.move_to_end(seg_id)
             self._use_stamps[seg_id] = self._next_stamp()
             self.stats.read_hits += 1
+            if self._tel is not None:
+                self._tel.count(f"{self._subject}.cache_hits")
             return True
         self.stats.read_misses += 1
+        if self._tel is not None:
+            self._tel.count(f"{self._subject}.cache_misses")
         return False
 
     # -- fills and writes -----------------------------------------------------------
@@ -218,6 +242,9 @@ class DiskCache:
         self._index.remove((start, seg_id))
         self._use_stamps.pop(seg_id, None)
         self._cached_sectors -= length
+        self.stats.evictions += 1
+        if self._tel is not None:
+            self._tel.count(f"{self._subject}.cache_evictions")
         if self._max_length is not None and length >= self._max_length:
             self._max_length = None  # recompute lazily on next lookup
 

@@ -9,7 +9,7 @@ request at a time, drawing the next from its scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.capacity.zones import ZonedSurface
 from repro.errors import SimulationError
@@ -27,6 +27,9 @@ from repro.units import (
     interface_mb_per_s_to_bytes_per_s,
     seconds_to_ms,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry import Telemetry
 
 CompletionCallback = Callable[[Request, float], None]
 
@@ -88,6 +91,7 @@ class SimulatedDisk:
         scheduler: Optional[Scheduler] = None,
         bus_mb_per_s: float = 160.0,
         on_complete: Optional[CompletionCallback] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         if bus_mb_per_s <= 0:
             raise SimulationError("bus rate must be positive")
@@ -103,6 +107,12 @@ class SimulatedDisk:
         self.head_cylinder = 0
         self.busy = False
         self.stats = DiskStats()
+        from repro.telemetry import maybe
+
+        #: one pointer check per hook keeps the untelemetered path free.
+        self._tel = maybe(telemetry)
+        if self._tel is not None and cache is not None:
+            cache.bind_telemetry(self._tel, name)
 
     # -- configuration ------------------------------------------------------------
 
@@ -114,7 +124,18 @@ class SimulatedDisk:
     def set_rpm(self, rpm: float) -> None:
         """Change spindle speed (multi-speed disks); in-flight service times
         already scheduled are unaffected."""
+        previous = self.mechanics.rpm
         self.mechanics = DiskMechanics(self.layout, self.seek_model, rpm)
+        if self._tel is not None and rpm != previous:
+            self._tel.record(
+                self.events.now_ms,
+                "rpm_change",
+                self.name,
+                from_rpm=previous,
+                to_rpm=rpm,
+            )
+            self._tel.count(f"{self.name}.rpm_changes")
+            self._tel.set_gauge(f"{self.name}.rpm", rpm)
 
     @property
     def total_sectors(self) -> int:
@@ -162,7 +183,15 @@ class SimulatedDisk:
             self.head_cylinder = end_cyl
             return breakdown.total_ms + bus
         if self.cache is not None and self.cache.lookup_read(request.lba, request.sectors):
+            if self._tel is not None:
+                self._tel.record(
+                    now, "cache_hit", self.name, lba=request.lba, sectors=request.sectors
+                )
             return CACHE_HIT_MS + bus
+        if self._tel is not None and self.cache is not None:
+            self._tel.record(
+                now, "cache_miss", self.name, lba=request.lba, sectors=request.sectors
+            )
         breakdown, end_cyl = self.mechanics.service(
             now, self.head_cylinder, request.lba, request.sectors
         )
@@ -181,12 +210,33 @@ class SimulatedDisk:
         if distance > 0:
             self.stats.seeks_with_movement += 1
             self.stats.total_seek_cylinders += distance
+            if self._tel is not None:
+                self._tel.record(
+                    self.events.now_ms,
+                    "seek",
+                    self.name,
+                    cylinders=distance,
+                    seek_ms=breakdown.seek_ms,
+                )
+                self._tel.observe(f"{self.name}.seek_ms", breakdown.seek_ms)
 
     def _begin(self, request: Request, now: float) -> None:
         self.busy = True
         request.start_service_ms = now
         service = self._service_time(request, now)
         self.stats.busy_ms += service
+        if self._tel is not None:
+            self._tel.record(
+                now,
+                "request_dispatch",
+                self.name,
+                lba=request.lba,
+                sectors=request.sectors,
+                write=request.is_write,
+                queued=len(self.scheduler),
+                service_ms=service,
+            )
+            self._tel.observe(f"{self.name}.service_ms", service)
         self.events.schedule(now + service, lambda t, r=request: self._finish(r, t))
 
     def _finish(self, request: Request, now: float) -> None:
@@ -196,6 +246,17 @@ class SimulatedDisk:
             self.stats.writes += 1
         else:
             self.stats.reads += 1
+        if self._tel is not None:
+            self._tel.record(
+                now,
+                "request_complete",
+                self.name,
+                lba=request.lba,
+                sectors=request.sectors,
+                write=request.is_write,
+                wait_ms=now - request.arrival_ms,
+            )
+            self._tel.count(f"{self.name}.requests")
         if self.on_complete is not None:
             self.on_complete(request, now)
         next_request = self.scheduler.next(self.head_cylinder)
@@ -217,6 +278,7 @@ def standard_disk(
     cache_bytes: int = 4 * MIB,
     scheduler: Optional[Scheduler] = None,
     on_complete: Optional[CompletionCallback] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> SimulatedDisk:
     """Convenience factory: a disk built from drive-model parameters.
 
@@ -246,4 +308,5 @@ def standard_disk(
         cache=cache,
         scheduler=scheduler,
         on_complete=on_complete,
+        telemetry=telemetry,
     )

@@ -33,6 +33,12 @@ class EventQueue:
         """Number of events processed so far."""
         return self._fired
 
+    def snapshot(self) -> Tuple[float, int, int]:
+        """(now_ms, queued, fired) — the engine state telemetry probes
+        sample; a method (not three property reads) so one probe callback
+        observes a consistent triple."""
+        return (self.now_ms, len(self._heap), self._fired)
+
     def schedule(self, time_ms: float, callback: EventCallback) -> None:
         """Schedule a callback at an absolute simulated time.
 

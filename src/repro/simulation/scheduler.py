@@ -16,10 +16,13 @@ import bisect
 import itertools
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.simulation.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry import Telemetry
 
 
 class Scheduler(ABC):
@@ -151,16 +154,74 @@ class LookScheduler(Scheduler):
         return len(self._entries)
 
 
-def make_scheduler(name: str, cylinder_of: Callable[[int], int]) -> Scheduler:
-    """Factory by policy name: ``fcfs``, ``sstf`` or ``look``."""
+class InstrumentedScheduler(Scheduler):
+    """Decorator adding queue-depth telemetry to any scheduler.
+
+    Wraps the inner discipline without touching its dispatch logic:
+    enqueue/dispatch counters, a live queue-depth gauge and a peak-depth
+    gauge land in the telemetry registry under ``<subject>.*``.  The
+    wrapper only exists when telemetry is on — :func:`make_scheduler`
+    returns the bare scheduler otherwise — so the untelemetered dispatch
+    path is unchanged.
+    """
+
+    def __init__(
+        self, inner: Scheduler, telemetry: "Telemetry", subject: str
+    ) -> None:
+        self.inner = inner
+        self._tel = telemetry
+        self._subject = subject
+        self.peak_depth = 0
+
+    def add(self, request: Request) -> None:
+        self.inner.add(request)
+        depth = len(self.inner)
+        self._tel.count(f"{self._subject}.sched_enqueued")
+        self._tel.set_gauge(f"{self._subject}.queue_depth", depth)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+            self._tel.set_gauge(f"{self._subject}.queue_depth_peak", depth)
+
+    def next(self, head_cylinder: int) -> Optional[Request]:
+        request = self.inner.next(head_cylinder)
+        if request is not None:
+            self._tel.count(f"{self._subject}.sched_dispatched")
+            self._tel.set_gauge(f"{self._subject}.queue_depth", len(self.inner))
+        return request
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+
+def make_scheduler(
+    name: str,
+    cylinder_of: Callable[[int], int],
+    telemetry: Optional["Telemetry"] = None,
+    subject: str = "disk",
+) -> Scheduler:
+    """Factory by policy name: ``fcfs``, ``sstf`` or ``look``.
+
+    Args:
+        name: queue discipline.
+        cylinder_of: LBA-to-cylinder mapping (position-aware policies).
+        telemetry: when given (and enabled), the scheduler is wrapped in
+            an :class:`InstrumentedScheduler` reporting under ``subject``.
+        subject: telemetry label, typically the owning disk's name.
+    """
+    from repro.telemetry import maybe
+
     policies = {
         "fcfs": lambda: FCFSScheduler(),
         "sstf": lambda: SSTFScheduler(cylinder_of),
         "look": lambda: LookScheduler(cylinder_of),
     }
     try:
-        return policies[name.lower()]()
+        scheduler = policies[name.lower()]()
     except KeyError:
         raise SimulationError(
             f"unknown scheduler {name!r}; choose from {sorted(policies)}"
         ) from None
+    tel = maybe(telemetry)
+    if tel is not None:
+        return InstrumentedScheduler(scheduler, tel, subject)
+    return scheduler

@@ -148,13 +148,23 @@ def sweep_roadmap(
 
 @dataclass(frozen=True)
 class WorkloadTask:
-    """One trace replay: a catalog workload at one spindle speed."""
+    """One trace replay: a catalog workload at one spindle speed.
+
+    ``telemetry=True`` instruments the replay (metrics, event trace,
+    time-series probes at ``probe_interval_ms``) and ships the full
+    telemetry snapshot back as a plain dict — picklable, so the parallel
+    path carries it across process boundaries unchanged.
+    ``trace_capacity`` bounds the shipped event trace.
+    """
 
     workload: str
     rpm: float
     requests: int = 6000
     seed: int = 1
     keep_samples: bool = False
+    telemetry: bool = False
+    probe_interval_ms: float = 100.0
+    trace_capacity: int = 4096
 
 
 @dataclass(frozen=True)
@@ -180,6 +190,9 @@ class WorkloadSweepResult:
     cache_hit_ratio: float
     cdf: Tuple[Tuple[float, float], ...]
     samples_ms: Tuple[float, ...] = field(default=(), repr=False)
+    #: full telemetry snapshot (schema ``repro.telemetry/1``) when the
+    #: task asked for instrumentation; None otherwise.
+    telemetry: Optional[dict] = field(default=None, repr=False)
 
 
 def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
@@ -187,7 +200,15 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
 
     spec = lookup(task.workload)
     trace = spec.generate(num_requests=task.requests, seed=task.seed)
-    report = spec.build_system(task.rpm).run_trace(trace)
+    tel = None
+    if task.telemetry:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(
+            trace_capacity=task.trace_capacity,
+            probe_interval_ms=task.probe_interval_ms,
+        )
+    report = spec.build_system(task.rpm, telemetry=tel).run_trace(trace)
     return WorkloadSweepResult(
         workload=task.workload,
         rpm=task.rpm,
@@ -202,6 +223,7 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
         cache_hit_ratio=report.cache_hit_ratio,
         cdf=tuple(report.stats.cdf()),
         samples_ms=tuple(report.stats.samples_ms) if task.keep_samples else (),
+        telemetry=tel.as_dict() if tel is not None else None,
     )
 
 
@@ -213,6 +235,9 @@ def sweep_workloads(
     seed: int = 1,
     workers: Optional[int] = None,
     keep_samples: bool = False,
+    telemetry: bool = False,
+    probe_interval_ms: float = 100.0,
+    trace_capacity: int = 4096,
 ) -> List[WorkloadSweepResult]:
     """Fan Figure 4 replays out over (workload, RPM) points.
 
@@ -223,6 +248,10 @@ def sweep_workloads(
         requests / seed: synthetic-trace shape, forwarded to every task.
         workers: process count (None = all cores; 1 = serial in-process).
         keep_samples: carry the full response-time sample vector back.
+        telemetry: instrument every replay; each result then carries a
+            full telemetry snapshot dict (time series, trace, metrics).
+        probe_interval_ms / trace_capacity: telemetry shape, forwarded to
+            every task.
 
     Returns:
         One result per (workload, RPM) point, ordered workload-major in the
@@ -242,6 +271,9 @@ def sweep_workloads(
                     requests=requests,
                     seed=seed,
                     keep_samples=keep_samples,
+                    telemetry=telemetry,
+                    probe_interval_ms=probe_interval_ms,
+                    trace_capacity=trace_capacity,
                 )
             )
     return run_sweep(tasks, _run_workload_task, workers=workers)

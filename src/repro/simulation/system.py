@@ -8,9 +8,12 @@ collects response-time statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry import Telemetry
 from repro.simulation.array import StorageArray
 from repro.simulation.disk import SimulatedDisk, standard_disk
 from repro.simulation.events import EventQueue
@@ -61,22 +64,79 @@ class StorageSystem:
         disks: Sequence[SimulatedDisk],
         geometry: ArrayGeometry,
         events: EventQueue,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
+        from repro.telemetry import maybe
+
         self.events = events
         self.stats = ResponseTimeStats()
+        self._tel = maybe(telemetry)
         self.array = StorageArray(
             disks=disks,
             geometry=geometry,
             events=events,
             on_complete=self._logical_done,
         )
+        if self._tel is not None:
+            self._register_probes()
+
+    def _register_probes(self) -> None:
+        """System-level time series: queue depths, utilization, cache, RPM."""
+        assert self._tel is not None
+        probes = self._tel.probes
+        events = self.events
+        probes.add("events.queued", lambda: float(len(events)))
+        probes.add("inflight", lambda: float(self.array.in_flight()))
+        probes.add("rpm", lambda: self.disks[0].rpm, unit="rpm")
+        for disk in self.array.disks:
+            probes.add(
+                f"{disk.name}.queue_depth",
+                (lambda d=disk: float(d.queue_depth())),
+            )
+            probes.add(
+                f"{disk.name}.utilization",
+                (
+                    lambda d=disk: d.stats.utilization(events.now_ms)
+                    if events.now_ms > 0
+                    else 0.0
+                ),
+            )
+            if disk.cache is not None:
+                probes.add(
+                    f"{disk.name}.cache_hit_ratio",
+                    (lambda d=disk: d.cache.stats.hit_ratio),
+                )
 
     def _logical_done(self, request: Request, now: float) -> None:
         self.stats.add(request.response_time_ms)
+        if self._tel is not None:
+            self._tel.record(
+                now,
+                "logical_complete",
+                "system",
+                lba=request.lba,
+                sectors=request.sectors,
+                write=request.is_write,
+                response_ms=request.response_time_ms,
+            )
+            self._tel.observe("response_ms", request.response_time_ms)
+            self._tel.count("logical_requests")
 
     @property
     def disks(self) -> List[SimulatedDisk]:
         return self.array.disks
+
+    def _submit_traced(self, request: Request) -> None:
+        assert self._tel is not None
+        self._tel.record(
+            self.events.now_ms,
+            "request_issue",
+            "system",
+            lba=request.lba,
+            sectors=request.sectors,
+            write=request.is_write,
+        )
+        self.array.submit(request)
 
     def run_trace(self, trace: Trace, max_events: Optional[int] = None) -> SimulationReport:
         """Replay a trace to completion and report statistics."""
@@ -89,6 +149,9 @@ class StorageSystem:
                 f"array holds {capacity}"
             )
         arrivals = []
+        submit = (
+            self._submit_traced if self._tel is not None else self.array.submit
+        )
         for record in trace:
             request = Request(
                 arrival_ms=record.time_ms,
@@ -96,10 +159,10 @@ class StorageSystem:
                 sectors=record.sectors,
                 is_write=record.is_write,
             )
-            arrivals.append(
-                (record.time_ms, lambda t, r=request: self.array.submit(r))
-            )
+            arrivals.append((record.time_ms, lambda t, r=request: submit(r)))
         self.events.schedule_batch(arrivals)
+        if self._tel is not None:
+            self._tel.probes.attach(self.events)
         self.events.run(max_events=max_events)
         if self.array.in_flight():
             raise SimulationError(
@@ -133,6 +196,7 @@ def build_system(
     zone_count: int = 30,
     cache_bytes: int = 4 * MIB,
     scheduler_name: str = "fcfs",
+    telemetry: Optional["Telemetry"] = None,
 ) -> StorageSystem:
     """Build a storage system from workload-table parameters (Fig. 4a).
 
@@ -160,8 +224,14 @@ def build_system(
             rpm=rpm,
             zone_count=zone_count,
             cache_bytes=cache_bytes,
+            telemetry=telemetry,
         )
-        disk.scheduler = make_scheduler(scheduler_name, disk.layout.cylinder_of)
+        disk.scheduler = make_scheduler(
+            scheduler_name,
+            disk.layout.cylinder_of,
+            telemetry=telemetry,
+            subject=disk.name,
+        )
         disks.append(disk)
     requested_sectors = int(disk_capacity_gb * GB_MARKETING) // 512
     per_disk = min(requested_sectors, disks[0].total_sectors)
@@ -172,4 +242,6 @@ def build_system(
         geometry = Raid5Geometry(disk_count, stripe_unit_sectors, per_disk)
     else:
         geometry = Raid0Geometry(disk_count, stripe_unit_sectors, per_disk)
-    return StorageSystem(disks=disks, geometry=geometry, events=events)
+    return StorageSystem(
+        disks=disks, geometry=geometry, events=events, telemetry=telemetry
+    )

@@ -1,0 +1,155 @@
+"""Time-series probes: periodic sampling of simulator state.
+
+A :class:`Probe` binds a name to a zero-argument sampling function
+(temperature, RPM, queue depth, utilization, ...); a :class:`ProbeSet`
+samples every registered probe at a fixed simulated-time interval,
+storing bounded (time, value) series.
+
+Probes are driven either *by the event queue* (``attach`` schedules a
+self-rescheduling sampling event that politely stops once it is the only
+thing left in the queue, so trace replays still drain) or *manually*
+(``sample_all(now_ms)`` from a controller loop that already has a
+periodic callback, as the DTM controllers do).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import TelemetryError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.simulation.events import EventQueue
+
+DEFAULT_PROBE_INTERVAL_MS = 100.0
+DEFAULT_PROBE_CAPACITY = 100_000
+
+
+class Probe:
+    """One named time series fed by a sampling function."""
+
+    __slots__ = ("name", "unit", "sample_fn", "_series", "recorded")
+
+    def __init__(
+        self,
+        name: str,
+        sample_fn: Callable[[], float],
+        unit: str = "",
+        capacity: int = DEFAULT_PROBE_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise TelemetryError(f"probe capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.unit = unit
+        self.sample_fn = sample_fn
+        self._series: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def sample(self, now_ms: float) -> float:
+        value = float(self.sample_fn())
+        self._series.append((now_ms, value))
+        self.recorded += 1
+        return value
+
+    @property
+    def series(self) -> List[Tuple[float, float]]:
+        """The retained (time_ms, value) samples, oldest first."""
+        return list(self._series)
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._series)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._series]
+
+    def times_ms(self) -> List[float]:
+        return [t for t, _ in self._series]
+
+    def last(self) -> Optional[float]:
+        return self._series[-1][1] if self._series else None
+
+
+class ProbeSet:
+    """A group of probes sampled together on a common clock.
+
+    Args:
+        interval_ms: simulated time between samples.
+        capacity: per-probe retained sample bound.
+    """
+
+    def __init__(
+        self,
+        interval_ms: float = DEFAULT_PROBE_INTERVAL_MS,
+        capacity: int = DEFAULT_PROBE_CAPACITY,
+    ) -> None:
+        if interval_ms <= 0:
+            raise TelemetryError(
+                f"probe interval must be positive, got {interval_ms}"
+            )
+        self.interval_ms = interval_ms
+        self.capacity = capacity
+        self._probes: Dict[str, Probe] = {}
+
+    def add(
+        self, name: str, sample_fn: Callable[[], float], unit: str = ""
+    ) -> Probe:
+        """Register a probe; re-registering a name replaces its sampler
+        but keeps the accumulated series."""
+        existing = self._probes.get(name)
+        if existing is not None:
+            existing.sample_fn = sample_fn
+            return existing
+        probe = Probe(name, sample_fn, unit=unit, capacity=self.capacity)
+        self._probes[name] = probe
+        return probe
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probes
+
+    def probe(self, name: str) -> Probe:
+        try:
+            return self._probes[name]
+        except KeyError:
+            raise TelemetryError(f"no probe named {name!r}") from None
+
+    def probes(self) -> List[Probe]:
+        return list(self._probes.values())
+
+    def sample_all(self, now_ms: float) -> None:
+        """Sample every registered probe at the given simulated time."""
+        for probe in self._probes.values():
+            probe.sample(now_ms)
+
+    def attach(self, events: "EventQueue") -> None:
+        """Drive sampling from an event queue.
+
+        Schedules a self-rescheduling event at ``interval_ms``.  The
+        sampler stops rescheduling once it observes an otherwise-empty
+        queue (its own event has already been popped when the callback
+        runs), so an attached probe set never keeps a replay alive.
+        """
+
+        def _tick(now_ms: float) -> None:
+            self.sample_all(now_ms)
+            if len(events) > 0:  # real work still pending
+                events.schedule_after(self.interval_ms, _tick)
+
+        events.schedule_after(self.interval_ms, _tick)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data snapshot of every series (JSON-serializable)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, probe in sorted(self._probes.items()):
+            out[name] = {
+                "unit": probe.unit,
+                "interval_ms": self.interval_ms,
+                "dropped": probe.dropped,
+                "times_ms": probe.times_ms(),
+                "values": probe.values(),
+            }
+        return out

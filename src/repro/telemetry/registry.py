@@ -1,0 +1,238 @@
+"""Metric primitives: counters, gauges, histograms and phase timers.
+
+The simulator's hot paths call these once per request (or more), so the
+design goal is *near-zero overhead when telemetry is off*: every
+instrumented component holds an ``Optional[Telemetry]`` that defaults to
+``None``, and call sites guard with a single attribute check.  When
+telemetry is on, the primitives themselves stay cheap — a counter
+increment is one float add, a histogram observation is a bisect into a
+fixed bucket ladder.
+
+Metric names follow the Prometheus convention (``snake_case``, unit
+suffix like ``_ms`` or ``_total`` where applicable) so the text exporter
+in :mod:`repro.reporting.telemetry_export` can emit them verbatim.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class TelemetryError(ReproError):
+    """Raised on invalid telemetry configuration or use."""
+
+
+#: Default histogram bucket upper bounds, milliseconds-flavoured: spans
+#: cache-hit latencies (0.1 ms) through pathological queueing (10 s).
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name}: cannot decrease by {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, temperature, RPM)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Bucket ``counts[i]`` holds observations ``<= bounds[i]``; the final
+    implicit bucket is ``+Inf``.  Cumulative counts (the Prometheus
+    ``le`` form) are derived by the exporter, keeping ``observe`` O(log b).
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS_MS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise TelemetryError(f"histogram {name}: buckets must be ascending")
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # +Inf tail
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with (+Inf, count)."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class Timer:
+    """Wall-clock phase timer: accumulates elapsed seconds per phase.
+
+    Used as a context manager around coarse phases (trace generation,
+    replay, export) — not per-request, where the clock call itself would
+    distort the measurement.
+    """
+
+    __slots__ = ("name", "help", "elapsed_s", "starts", "_t0")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.elapsed_s = 0.0
+        self.starts = 0
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.starts += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._t0 is not None:
+            self.elapsed_s += time.perf_counter() - self._t0
+            self._t0 = None
+
+
+class MetricsRegistry:
+    """Namespace of metrics, created on first use and stable thereafter.
+
+    ``counter()``/``gauge()``/``histogram()``/``timer()`` are
+    get-or-create: repeated calls with the same name return the same
+    object, so independent components can share a metric without
+    coordination.  Re-registering a name as a different kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._metrics.values())
+
+    def _get_or_create(self, name: str, kind: type, *args: object) -> object:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = kind(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS_MS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, help, buckets)  # type: ignore[return-value]
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return self._get_or_create(name, Timer, help)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[object]:
+        """Look up a metric without creating it."""
+        return self._metrics.get(name)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data snapshot of every metric (JSON-serializable)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = {"kind": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"kind": "gauge", "value": metric.value}
+            elif isinstance(metric, Histogram):
+                out[name] = {
+                    "kind": "histogram",
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "mean": metric.mean(),
+                    "buckets": [
+                        {"le": bound, "count": cum}
+                        for bound, cum in metric.cumulative()
+                        if bound != float("inf")
+                    ]
+                    + [{"le": "+Inf", "count": metric.count}],
+                }
+            elif isinstance(metric, Timer):
+                out[name] = {
+                    "kind": "timer",
+                    "elapsed_s": metric.elapsed_s,
+                    "starts": metric.starts,
+                }
+        return out

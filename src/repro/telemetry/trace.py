@@ -1,0 +1,135 @@
+"""Structured simulation-event trace with bounded ring-buffer storage.
+
+Every interesting transition in the simulator — request issue, dispatch,
+completion, cache hit/miss, seek, RPM change, DTM controller decision —
+can be recorded as a :class:`TraceEvent`: a timestamp, an event kind, a
+subject (which disk / controller), and a small dict of kind-specific
+fields.  Storage is a ring buffer: the trace never grows past its
+configured capacity, old events are dropped oldest-first, and the number
+of drops is counted so exporters can state when a trace is truncated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.registry import TelemetryError
+
+#: Canonical event kinds used by the built-in instrumentation.  The trace
+#: accepts any string kind — this tuple documents (and tests pin) the ones
+#: the simulator itself emits.
+KNOWN_KINDS: Tuple[str, ...] = (
+    "request_issue",      # logical request entered the system
+    "request_dispatch",   # per-disk scheduler handed a request to the media
+    "request_complete",   # per-disk request finished
+    "logical_complete",   # array-level (logical) request finished
+    "cache_hit",
+    "cache_miss",
+    "seek",               # head movement with a nonzero cylinder distance
+    "rpm_change",         # spindle speed transition (multi-speed / DTM)
+    "dtm_throttle",       # controller engaged throttling
+    "dtm_resume",         # controller released throttling
+    "dtm_check",          # periodic controller evaluation
+    "probe_sample",       # time-series probe fired (rarely traced)
+)
+
+DEFAULT_TRACE_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event.
+
+    Attributes:
+        time_ms: simulated time of the event.
+        kind: event kind (see :data:`KNOWN_KINDS`).
+        subject: the component it happened on (e.g. ``"disk0"``).
+        fields: kind-specific payload, JSON-serializable scalars only.
+    """
+
+    time_ms: float
+    kind: str
+    subject: str = ""
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"t_ms": self.time_ms, "kind": self.kind}
+        if self.subject:
+            out["subject"] = self.subject
+        if self.fields:
+            out.update(self.fields)
+        return out
+
+
+class EventTrace:
+    """Bounded ring buffer of :class:`TraceEvent` records.
+
+    Args:
+        capacity: maximum events retained; older events are evicted
+            oldest-first once the buffer is full.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise TelemetryError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0  # total ever recorded, including dropped
+
+    def record(
+        self, time_ms: float, kind: str, subject: str = "", **fields: Any
+    ) -> None:
+        """Append an event, evicting the oldest if the ring is full."""
+        self._ring.append(TraceEvent(time_ms, kind, subject, fields))
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.recorded - len(self._ring)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        """Filtered view of the retained events, oldest first.
+
+        Args:
+            kind: keep only this event kind.
+            subject: keep only this subject.
+            limit: keep only the *newest* ``limit`` matches.
+        """
+        out = [
+            e
+            for e in self._ring
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        ]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of retained events by kind."""
+        counts: Dict[str, int] = {}
+        for event in self._ring:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """The retained events as plain dicts (JSON-serializable)."""
+        return [event.as_dict() for event in self._ring]

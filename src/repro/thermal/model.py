@@ -22,7 +22,10 @@ every configuration in the roadmap.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.telemetry.probes import ProbeSet
 
 from repro.constants import AMBIENT_TEMPERATURE_C, FD_TIME_STEP_S
 from repro.errors import ThermalError
@@ -284,6 +287,30 @@ class DriveThermalModel:
     def total_power_w(self) -> float:
         """Total heat currently dissipated inside the drive, watts."""
         return self.network.total_heat_w()
+
+    # -- telemetry ------------------------------------------------------------------
+
+    def attach_probes(self, probes: "ProbeSet", prefix: str = "thermal") -> None:
+        """Register this model's observables on a telemetry probe set.
+
+        Adds one time-series probe per thermal node (transient
+        temperature), plus spindle speed and total dissipated power —
+        the quantities the paper's transient figures (1, 6) plot.  The
+        probe set's owner decides the sampling cadence; the model itself
+        never schedules anything.
+
+        Args:
+            probes: the probe set to register on.
+            prefix: name prefix (``<prefix>.air_c`` etc.).
+        """
+        for node in (NODE_AIR, NODE_STACK, NODE_BASE, NODE_VCM):
+            probes.add(
+                f"{prefix}.{node}_c",
+                (lambda n=node: self.network.temperature(n)),
+                unit="C",
+            )
+        probes.add(f"{prefix}.rpm", lambda: self.rpm, unit="rpm")
+        probes.add(f"{prefix}.power_w", self.total_power_w, unit="W")
 
 
 #: Calibration fitted so the reference Cheetah 15K.3 model (2.6-inch single

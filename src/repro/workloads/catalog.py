@@ -19,6 +19,7 @@ from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.simulation.system import StorageSystem
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -62,9 +63,14 @@ class WorkloadSpec:
         (1 MB) striping so a request engages a single disk."""
         return 16 if self.raid5 else 2048
 
-    def build_system(self, rpm: Optional[float] = None) -> "StorageSystem":
+    def build_system(
+        self,
+        rpm: Optional[float] = None,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> "StorageSystem":
         """Instantiate the simulated storage system, optionally at a
-        different spindle speed (the Figure 4 RPM sweep)."""
+        different spindle speed (the Figure 4 RPM sweep) and optionally
+        instrumented with a telemetry subsystem."""
         from repro.simulation.system import build_system
 
         return build_system(
@@ -77,6 +83,7 @@ class WorkloadSpec:
             platters=self.platters,
             kbpi=self.kbpi,
             ktpi=self.ktpi,
+            telemetry=telemetry,
         )
 
     def generate(

@@ -1,0 +1,144 @@
+"""Tests for the CI bench-regression gate (tools/bench_check.py).
+
+The gate must pass on the committed baseline compared with itself and
+exit non-zero on a deliberately degraded metrics file."""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+TOOLS_DIR = ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+import bench_check  # noqa: E402
+
+BASELINE_PATH = ROOT / "BENCH_PR1.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def _write(tmp_path, data, name="fresh.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestVerdicts:
+    def test_baseline_vs_itself_passes(self, tmp_path, baseline):
+        fresh = _write(tmp_path, baseline)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 0
+
+    def test_degraded_mean_ms_fails(self, tmp_path, baseline):
+        degraded = copy.deepcopy(baseline)
+        degraded["figure4_replay"]["mean_ms"][0] *= 1.01  # determinism broken
+        fresh = _write(tmp_path, degraded)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1
+
+    def test_identity_flag_false_fails(self, tmp_path, baseline):
+        degraded = copy.deepcopy(baseline)
+        degraded["figure2_roadmap"]["parallel_identical"] = False
+        fresh = _write(tmp_path, degraded)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1
+
+    def test_perf_regression_fails_and_noise_passes(self, tmp_path, baseline):
+        noisy = copy.deepcopy(baseline)
+        noisy["figure4_replay"]["serial_s"] *= 1.5  # within 2x: runner noise
+        assert (
+            bench_check.main(
+                ["--baseline", str(BASELINE_PATH), "--fresh", str(_write(tmp_path, noisy))]
+            )
+            == 0
+        )
+        slow = copy.deepcopy(baseline)
+        slow["figure4_replay"]["serial_s"] *= 2.5  # beyond 2x: regression
+        assert (
+            bench_check.main(
+                [
+                    "--baseline",
+                    str(BASELINE_PATH),
+                    "--fresh",
+                    str(_write(tmp_path, slow, "slow.json")),
+                ]
+            )
+            == 1
+        )
+
+    def test_perf_tolerance_is_tunable(self, tmp_path, baseline):
+        slow = copy.deepcopy(baseline)
+        slow["figure4_replay"]["serial_s"] *= 2.5
+        rc = bench_check.main(
+            [
+                "--baseline",
+                str(BASELINE_PATH),
+                "--fresh",
+                str(_write(tmp_path, slow)),
+                "--perf-tolerance",
+                "3.0",
+            ]
+        )
+        assert rc == 0
+
+    def test_hot_path_speedup_collapse_fails(self, tmp_path, baseline):
+        degraded = copy.deepcopy(baseline)
+        degraded["stats_hot_path"]["speedup"] = 1.1
+        fresh = _write(tmp_path, degraded)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1
+
+    def test_report_artifact_records_failures(self, tmp_path, baseline):
+        degraded = copy.deepcopy(baseline)
+        degraded["stats_hot_path"]["identical"] = False
+        fresh = _write(tmp_path, degraded)
+        report = tmp_path / "verdict.json"
+        rc = bench_check.main(
+            [
+                "--baseline",
+                str(BASELINE_PATH),
+                "--fresh",
+                str(fresh),
+                "--report",
+                str(report),
+            ]
+        )
+        assert rc == 1
+        verdict = json.loads(report.read_text())
+        assert verdict["ok"] is False
+        assert any("identical" in failure for failure in verdict["failures"])
+
+
+class TestMalformedInput:
+    def test_missing_file_fails(self, tmp_path):
+        rc = bench_check.main(
+            ["--baseline", str(BASELINE_PATH), "--fresh", str(tmp_path / "nope.json")]
+        )
+        assert rc == 1
+
+    def test_non_bench_json_fails(self, tmp_path):
+        fresh = _write(tmp_path, {"hello": "world"})
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1
+
+    def test_schema_mismatch_fails(self, tmp_path, baseline):
+        degraded = copy.deepcopy(baseline)
+        degraded["schema"] = "something_else/9"
+        fresh = _write(tmp_path, degraded)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1
+
+    def test_shape_mismatch_fails(self, tmp_path, baseline):
+        degraded = copy.deepcopy(baseline)
+        degraded["figure4_replay"]["mean_ms"] = degraded["figure4_replay"]["mean_ms"][:2]
+        fresh = _write(tmp_path, degraded)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1

@@ -1,0 +1,331 @@
+"""Unit tests for the telemetry subsystem: metric registry semantics,
+ring-buffer bounding, exporter round-trips, and probe sampling against a
+known transient-heating run."""
+
+import json
+import math
+
+import pytest
+
+from repro.drives import cheetah15k3
+from repro.reporting import (
+    parse_probes_csv,
+    parse_prometheus_text,
+    probes_to_csv,
+    registry_to_prometheus,
+    render_probe_sparklines,
+    render_series,
+    sparkline,
+    to_json,
+)
+from repro.telemetry import (
+    KNOWN_KINDS,
+    EventTrace,
+    MetricsRegistry,
+    ProbeSet,
+    Telemetry,
+    TelemetryError,
+    maybe,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.counter("requests").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3.0
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_is_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x")
+
+    def test_histogram_buckets_and_stats(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.9, 3.0, 7.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(61.4)
+        assert h.min == 0.5
+        assert h.max == 50.0
+        assert h.mean() == pytest.approx(61.4 / 5)
+        # cumulative le-form: <=1: 2, <=5: 3, <=10: 4, +Inf: 5
+        assert h.cumulative() == [
+            (1.0, 2),
+            (5.0, 3),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("bad", buckets=(5.0, 1.0))
+
+    def test_timer_accumulates_elapsed(self):
+        t = MetricsRegistry().timer("phase")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.starts == 2
+        assert t.elapsed_s >= 0.0
+
+    def test_as_dict_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.as_dict()
+        assert snap["c"] == {"kind": "counter", "value": 1.0}
+        assert snap["g"] == {"kind": "gauge", "value": 2.0}
+        assert snap["h"]["kind"] == "histogram"
+        assert snap["h"]["buckets"][-1]["le"] == "+Inf"
+
+
+class TestEventTrace:
+    def test_ring_buffer_bounds_storage(self):
+        trace = EventTrace(capacity=10)
+        for i in range(25):
+            trace.record(float(i), "seek", "disk0", cylinders=i)
+        assert len(trace) == 10
+        assert trace.recorded == 25
+        assert trace.dropped == 15
+        # oldest events were evicted first
+        times = [e.time_ms for e in trace]
+        assert times == [float(i) for i in range(15, 25)]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            EventTrace(capacity=0)
+
+    def test_filtering_by_kind_subject_limit(self):
+        trace = EventTrace(capacity=100)
+        trace.record(1.0, "cache_hit", "disk0")
+        trace.record(2.0, "cache_miss", "disk0")
+        trace.record(3.0, "cache_hit", "disk1")
+        trace.record(4.0, "cache_hit", "disk0")
+        hits = trace.events(kind="cache_hit")
+        assert [e.time_ms for e in hits] == [1.0, 3.0, 4.0]
+        disk0_hits = trace.events(kind="cache_hit", subject="disk0")
+        assert [e.time_ms for e in disk0_hits] == [1.0, 4.0]
+        newest = trace.events(kind="cache_hit", limit=1)
+        assert [e.time_ms for e in newest] == [4.0]
+
+    def test_counts_by_kind_and_clear(self):
+        trace = EventTrace(capacity=100)
+        trace.record(1.0, "seek", "disk0")
+        trace.record(2.0, "seek", "disk0")
+        trace.record(3.0, "rpm_change", "disk0")
+        assert trace.counts_by_kind() == {"seek": 2, "rpm_change": 1}
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.recorded == 0
+
+    def test_event_as_dict_flattens_fields(self):
+        trace = EventTrace(capacity=4)
+        trace.record(5.0, "seek", "disk0", cylinders=12, seek_ms=1.5)
+        d = trace.as_dicts()[0]
+        assert d == {
+            "t_ms": 5.0,
+            "kind": "seek",
+            "subject": "disk0",
+            "cylinders": 12,
+            "seek_ms": 1.5,
+        }
+
+    def test_known_kinds_is_stable(self):
+        # instrumentation and docs both pin these names
+        for kind in ("request_issue", "cache_miss", "rpm_change", "dtm_throttle"):
+            assert kind in KNOWN_KINDS
+
+
+class TestProbes:
+    def test_probe_sampling_against_transient_heating(self):
+        """Probes sampled over the Figure-1 warm-up reproduce the known
+        monotonic heating curve of the reference drive."""
+        model = cheetah15k3.thermal_model()
+        model.network.reset()  # start the warm-up from ambient
+        probes = ProbeSet(interval_ms=1000.0)
+        model.attach_probes(probes)
+        dt_s = 1.0
+        for step in range(60):
+            model.network.step(dt_s)
+            probes.sample_all((step + 1) * 1000.0)
+        air = probes.probe("thermal.air_c")
+        values = air.values()
+        assert len(values) == 60
+        # warming from ambient: strictly increasing, approaching steady state
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert values[0] > model.ambient_c
+        assert values[-1] < 46.0  # paper steady state is 45.22 C
+        # the spindle probe is flat at the drive's RPM
+        assert set(probes.probe("thermal.rpm").values()) == {model.rpm}
+
+    def test_probe_capacity_bounds_series(self):
+        probes = ProbeSet(interval_ms=1.0, capacity=5)
+        probe = probes.add("x", lambda: 1.0)
+        for i in range(12):
+            probes.sample_all(float(i))
+        assert len(probe.series) == 5
+        assert probe.recorded == 12
+        assert probe.dropped == 7
+        assert probe.times_ms() == [7.0, 8.0, 9.0, 10.0, 11.0]
+
+    def test_unknown_probe_is_error(self):
+        with pytest.raises(TelemetryError):
+            ProbeSet().probe("nope")
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            ProbeSet(interval_ms=0.0)
+
+    def test_attach_drives_sampling_and_lets_queue_drain(self):
+        from repro.simulation.events import EventQueue
+
+        events = EventQueue()
+        probes = ProbeSet(interval_ms=10.0)
+        ticks = []
+        probes.add("t", lambda: float(len(ticks)))
+        # some real work for 55 ms of simulated time
+        for t in (15.0, 30.0, 52.0):
+            events.schedule(t, lambda now: ticks.append(now))
+        probes.attach(events)
+        events.run()
+        series = probes.probe("t").series
+        # sampled at 10,20,...  up to the last pending work, then stopped
+        assert len(series) >= 4
+        assert series[0][0] == 10.0
+        assert len(ticks) == 3  # queue drained; probes did not keep it alive
+
+
+class TestTelemetryFacade:
+    def test_disabled_helpers_are_noops(self):
+        tel = Telemetry(enabled=False)
+        tel.record(1.0, "seek", "disk0")
+        tel.count("x")
+        tel.observe("h", 1.0)
+        tel.set_gauge("g", 2.0)
+        assert tel.trace.recorded == 0
+        assert len(tel.registry) == 0
+
+    def test_maybe_normalizes_disabled_to_none(self):
+        assert maybe(None) is None
+        assert maybe(Telemetry(enabled=False)) is None
+        on = Telemetry()
+        assert maybe(on) is on
+
+    def test_as_dict_is_json_serializable(self):
+        tel = Telemetry(trace_capacity=8)
+        tel.count("c")
+        tel.record(1.0, "seek", "disk0", cylinders=3)
+        tel.probes.add("p", lambda: 1.5)
+        tel.probes.sample_all(1.0)
+        snap = tel.as_dict()
+        assert snap["schema"] == "repro.telemetry/1"
+        json.dumps(snap)  # must not raise
+
+
+class TestExporters:
+    def _populated(self):
+        tel = Telemetry(trace_capacity=16)
+        tel.count("disk0.requests", 7)
+        tel.set_gauge("disk0.queue_depth", 3)
+        h = tel.registry.histogram("disk0.seek_ms", buckets=(1.0, 5.0))
+        for v in (0.5, 2.0, 9.0):
+            h.observe(v)
+        with tel.registry.timer("replay"):
+            pass
+        tel.probes.add("disk0.util", lambda: 0.25, unit="")
+        tel.probes.sample_all(100.0)
+        tel.probes.sample_all(200.0)
+        return tel
+
+    def test_json_round_trip(self):
+        tel = self._populated()
+        doc = json.loads(to_json(tel))
+        assert doc["metrics"]["disk0.requests"]["value"] == 7.0
+        assert doc["probes"]["disk0.util"]["values"] == [0.25, 0.25]
+
+    def test_json_scrubs_non_finite(self):
+        tel = Telemetry()
+        tel.registry.histogram("empty")  # min=+inf, max=-inf
+        doc = json.loads(to_json(tel))
+        assert doc["metrics"]["empty"]["min"] is None
+        assert doc["metrics"]["empty"]["max"] is None
+
+    def test_csv_round_trip(self):
+        tel = self._populated()
+        text = probes_to_csv(tel.probes)
+        back = parse_probes_csv(text)
+        assert back == {"disk0.util": [(100.0, 0.25), (200.0, 0.25)]}
+
+    def test_csv_rejects_bad_header(self):
+        from repro.reporting.telemetry_export import ExportError
+
+        with pytest.raises(ExportError):
+            parse_probes_csv("nope\n1,2,3\n")
+
+    def test_prometheus_round_trip(self):
+        tel = self._populated()
+        text = registry_to_prometheus(tel.registry)
+        parsed = parse_prometheus_text(text)
+        counter = parsed["repro_disk0_requests_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"][""] == 7.0
+        gauge = parsed["repro_disk0_queue_depth"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"][""] == 3.0
+        hist = parsed["repro_disk0_seek_ms"]
+        assert hist["type"] == "histogram"
+        samples = hist["samples"]
+        assert samples['bucket{le="1.0"}'] == 1.0
+        assert samples['bucket{le="5.0"}'] == 2.0
+        assert samples['bucket{le="+Inf"}'] == 3.0
+        assert samples["sum"] == pytest.approx(11.5)
+        assert samples["count"] == 3.0
+        timer = parsed["repro_replay_seconds"]
+        assert timer["type"] == "counter"
+
+    def test_prometheus_inf_parses(self):
+        assert math.isinf(float("+Inf"))  # the exposition token round-trips
+
+    def test_sparkline_shapes(self):
+        line = sparkline([1, 2, 3, 4, 5], width=5)
+        assert len(line) == 5
+        assert line[0] == "▁" and line[-1] == "█"
+        ascii_line = sparkline([1, 2, 3], width=3, ascii_only=True)
+        assert all(c in " .:-=+*#" for c in ascii_line)
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([]) == ""
+        flat = sparkline([2.0, 2.0, 2.0], width=3)
+        assert len(set(flat)) == 1
+
+    def test_render_series_annotates_range(self):
+        text = render_series("x", [0.0, 1.0], unit="C")
+        assert "x" in text and "C" in text
+
+    def test_render_probe_sparklines_selects_names(self):
+        tel = self._populated()
+        text = render_probe_sparklines(tel.probes)
+        assert "disk0.util" in text

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench run against the baseline.
+
+CI runs ``benchmarks/bench_sweep.py`` on every push, then invokes this
+script to diff the fresh JSON against the committed ``BENCH_PR1.json``.
+Two families of checks with very different tolerances:
+
+* **Correctness invariants** — ``parallel_identical`` / ``identical``
+  flags and the deterministic Figure 4 ``mean_ms`` ladder.  These are
+  machine-independent: the simulator is seeded and the parallel path is
+  byte-identical by design, so any drift is a real regression and the
+  tolerance is tight (``--mean-tolerance``, relative, default 1e-6).
+
+* **Performance factors** — wall-clock sections (``serial_s``,
+  ``cached_s``) and derived speedups vary with the host, so they are
+  compared as *ratios* against a generous ``--perf-tolerance`` (default
+  2.0: fail only when the fresh run is more than 2x slower than the
+  committed baseline).  That catches order-of-magnitude hot-path
+  regressions without flaking on CI-runner noise.
+
+Exit status: 0 when every check passes, 1 on any regression or on
+malformed input (CI treats both as failures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+#: Sections whose wall-clock keys are ratio-checked against the baseline.
+PERF_KEYS = (
+    ("figure2_roadmap", "serial_s"),
+    ("figure4_replay", "serial_s"),
+    ("stats_hot_path", "resort_s"),
+    ("stats_hot_path", "cached_s"),
+)
+
+#: Sections that must report bit-identical serial/parallel results.
+IDENTITY_KEYS = (
+    ("figure2_roadmap", "parallel_identical"),
+    ("figure4_replay", "parallel_identical"),
+    ("stats_hot_path", "identical"),
+)
+
+
+class CheckFailure(Exception):
+    """A single failed comparison (collected, not raised to the top)."""
+
+
+def _load(path: Path) -> dict:
+    try:
+        with path.open(encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckFailure(f"cannot read {path}: {exc}") from exc
+    if not isinstance(data, dict) or "schema" not in data:
+        raise CheckFailure(f"{path}: not a bench JSON (missing 'schema')")
+    return data
+
+
+def _section(data: dict, name: str, path: Path) -> dict:
+    section = data.get(name)
+    if not isinstance(section, dict):
+        raise CheckFailure(f"{path}: missing section {name!r}")
+    return section
+
+
+def check(
+    baseline: dict,
+    fresh: dict,
+    baseline_path: Path,
+    fresh_path: Path,
+    mean_tolerance: float,
+    perf_tolerance: float,
+) -> List[str]:
+    """All failed checks, as human-readable messages (empty = pass)."""
+    failures: List[str] = []
+
+    if fresh.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} "
+            f"vs fresh {fresh.get('schema')!r}"
+        )
+        return failures  # nothing below is comparable
+
+    # -- correctness: the deterministic Figure 4 response-time ladder ------
+    try:
+        base_replay = _section(baseline, "figure4_replay", baseline_path)
+        fresh_replay = _section(fresh, "figure4_replay", fresh_path)
+        base_means = base_replay.get("mean_ms") or []
+        fresh_means = fresh_replay.get("mean_ms") or []
+        comparable = (
+            base_replay.get("workload") == fresh_replay.get("workload")
+            and base_replay.get("requests") == fresh_replay.get("requests")
+            and len(base_means) == len(fresh_means)
+        )
+        if not comparable:
+            failures.append(
+                "figure4_replay shape mismatch: baseline "
+                f"({base_replay.get('workload')}, n={base_replay.get('requests')}, "
+                f"{len(base_means)} rungs) vs fresh "
+                f"({fresh_replay.get('workload')}, n={fresh_replay.get('requests')}, "
+                f"{len(fresh_means)} rungs)"
+            )
+        else:
+            for i, (base, new) in enumerate(zip(base_means, fresh_means)):
+                rel = abs(new - base) / abs(base) if base else abs(new)
+                if rel > mean_tolerance:
+                    failures.append(
+                        f"figure4_replay.mean_ms[{i}]: {new:.6f} drifted from "
+                        f"baseline {base:.6f} (rel {rel:.2e} > {mean_tolerance:.0e})"
+                    )
+    except CheckFailure as exc:
+        failures.append(str(exc))
+
+    # -- correctness: serial/parallel identity invariants ------------------
+    for section_name, key in IDENTITY_KEYS:
+        try:
+            section = _section(fresh, section_name, fresh_path)
+        except CheckFailure as exc:
+            failures.append(str(exc))
+            continue
+        if section.get(key) is not True:
+            failures.append(
+                f"{section_name}.{key} is {section.get(key)!r}; "
+                "serial and parallel paths must agree exactly"
+            )
+
+    # -- performance: ratio checks against a generous tolerance ------------
+    for section_name, key in PERF_KEYS:
+        try:
+            base_val = _section(baseline, section_name, baseline_path).get(key)
+            fresh_val = _section(fresh, section_name, fresh_path).get(key)
+        except CheckFailure as exc:
+            failures.append(str(exc))
+            continue
+        if not isinstance(base_val, (int, float)) or not isinstance(
+            fresh_val, (int, float)
+        ):
+            failures.append(f"{section_name}.{key}: non-numeric value")
+            continue
+        if base_val <= 0:
+            continue  # degenerate baseline; nothing to ratio against
+        ratio = fresh_val / base_val
+        if ratio > perf_tolerance:
+            failures.append(
+                f"{section_name}.{key}: {fresh_val:.4f}s is {ratio:.2f}x the "
+                f"baseline {base_val:.4f}s (tolerance {perf_tolerance:.2f}x)"
+            )
+
+    # -- performance: the cached-statistics speedup must not collapse ------
+    try:
+        hot = _section(fresh, "stats_hot_path", fresh_path)
+        speedup = hot.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup < 2.0:
+            failures.append(
+                f"stats_hot_path.speedup fell to {speedup:.2f}x; the cached "
+                "statistics path should stay well ahead of re-sorting"
+            )
+    except CheckFailure as exc:
+        failures.append(str(exc))
+
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_PR1.json",
+        help="committed baseline JSON (default: repo BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly produced bench JSON to validate",
+    )
+    parser.add_argument(
+        "--mean-tolerance",
+        type=float,
+        default=1e-6,
+        help="relative tolerance for the deterministic mean_ms ladder",
+    )
+    parser.add_argument(
+        "--perf-tolerance",
+        type=float,
+        default=2.0,
+        help="max allowed fresh/baseline wall-clock ratio",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="also write the verdict as JSON here (for CI artifacts)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = _load(args.baseline)
+        fresh = _load(args.fresh)
+    except CheckFailure as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 1
+
+    failures = check(
+        baseline,
+        fresh,
+        args.baseline,
+        args.fresh,
+        mean_tolerance=args.mean_tolerance,
+        perf_tolerance=args.perf_tolerance,
+    )
+
+    if args.report is not None:
+        verdict = {
+            "ok": not failures,
+            "baseline": str(args.baseline),
+            "fresh": str(args.fresh),
+            "mean_tolerance": args.mean_tolerance,
+            "perf_tolerance": args.perf_tolerance,
+            "failures": failures,
+        }
+        args.report.write_text(
+            json.dumps(verdict, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    if failures:
+        print(f"bench-check: {len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench-check: OK ({args.fresh} within tolerance of {args.baseline})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
