@@ -5,7 +5,7 @@ PYTHON ?= python
 # consistent path, with src first so the in-repo package always wins.
 export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke sweep reproduce lint typecheck coverage check
+.PHONY: test bench bench-smoke fault-smoke sweep reproduce lint typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,10 @@ bench:           ## full paper benchmark harness (slow)
 
 bench-smoke:     ## miniature sweep benchmark + BENCH_PR1.json schema check (<60 s)
 	$(PYTHON) -m pytest tests/test_bench_smoke.py -q -m "not slow"
+
+fault-smoke:     ## crash-recovery gate: injected sweep survives a dead worker
+	$(PYTHON) -m pytest tests/test_fault_smoke.py -q
+	$(PYTHON) -m repro lint src/repro/faults --statistics
 
 sweep:           ## regenerate BENCH_PR1.json at full scale
 	PYTHONPATH=src:tools $(PYTHON) benchmarks/bench_sweep.py

@@ -12,7 +12,9 @@ Exposes the library's main queries without writing Python::
     python -m repro sweep roadmap -p 1,2,4   # parallel Figure 2 sweep
     python -m repro sweep workload tpcc,oltp # parallel Figure 4 sweep
     python -m repro sweep workload tpcc --telemetry --telemetry-out tel.json
+    python -m repro sweep workload tpcc --inject-faults --partial-results
     python -m repro trace tpcc -n 2000       # instrumented replay + sparklines
+    python -m repro faults tpcc --media-rate 0.02   # fault-injected replay
     python -m repro lint src/repro           # thermolint static analysis
 
 Every command prints an aligned plain-text table.
@@ -265,6 +267,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_config_from(args: argparse.Namespace):
+    """Build a FaultConfig from CLI flags (None when injection is off)."""
+    if not getattr(args, "inject_faults", False):
+        return None
+    from repro.faults import FaultConfig
+
+    return FaultConfig(
+        seed=args.fault_seed,
+        media_rate=args.media_rate,
+        servo_rate=args.servo_rate,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.scaling import PAPER_TRENDS
     from repro.simulation.sweep import sweep_roadmap, sweep_workloads
@@ -300,7 +315,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     telemetry = bool(args.telemetry or args.telemetry_out)
-    results = sweep_workloads(
+    fault_config = _fault_config_from(args)
+    common = dict(
         names=args.names,
         rpm_steps=args.steps,
         requests=args.requests,
@@ -308,9 +324,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         telemetry=telemetry,
         probe_interval_ms=args.probe_interval,
+        fault_config=fault_config,
     )
+    if args.partial_results:
+        from repro.simulation.sweep import (
+            build_workload_tasks,
+            sweep_workloads_resilient,
+        )
+
+        with_holes, run_report = sweep_workloads_resilient(
+            retries=args.retries, timeout_s=args.task_timeout, **common
+        )
+        results = [r for r in with_holes if r is not None]
+        labels = [
+            t.label()
+            for t in build_workload_tasks(
+                args.names,
+                rpm_steps=args.steps,
+                requests=args.requests,
+                seed=args.seed,
+            )
+        ]
+        if run_report.failed or args.manifest_out:
+            import json
+
+            manifest = run_report.manifest(task_labels=labels)
+            out = args.manifest_out or "sweep_manifest.json"
+            with open(out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    manifest, handle, indent=2, sort_keys=True, allow_nan=False
+                )
+                handle.write("\n")
+            print(
+                f"{run_report.ok_count}/{len(run_report.envelopes)} sweep "
+                f"points completed; failure manifest written to {out}"
+            )
+    else:
+        results = sweep_workloads(**common)
     if telemetry:
         import json
+
+        from repro.reporting.telemetry_export import _finite
 
         payload = {
             "schema": "repro.sweep_telemetry/1",
@@ -321,6 +375,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "requests": r.requests,
                     "seed": r.seed,
                     "mean_ms": r.mean_ms,
+                    "fault_summary": r.fault_summary,
                     "telemetry": r.telemetry,
                 }
                 for r in results
@@ -328,9 +383,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         }
         out = args.telemetry_out or "sweep_telemetry.json"
         with open(out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            json.dump(
+                _finite(payload), handle, indent=2, sort_keys=True,
+                allow_nan=False,
+            )
             handle.write("\n")
         print(f"wrote telemetry for {len(results)} sweep points to {out}")
+    headers = ["workload", "RPM", "mean ms", "median ms", "p95 ms", "util", "hit"]
     rows = [
         [
             r.workload,
@@ -343,12 +402,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         for r in results
     ]
-    print(
-        format_table(
-            ["workload", "RPM", "mean ms", "median ms", "p95 ms", "util", "hit"],
-            rows,
-        )
-    )
+    if fault_config is not None:
+        headers.append("faults")
+        for row, r in zip(rows, results):
+            injected = (r.fault_summary or {}).get("total_injected", 0)
+            row.append(f"{injected:.0f}")
+    print(format_table(headers, rows))
     return 0
 
 
@@ -366,6 +425,62 @@ def _cmd_slack(args: argparse.Namespace) -> int:
         for p in slack_by_platter_size()
     ]
     print(format_table(["media", "VCM W", "envelope RPM", "VCM-off RPM", "gain"], rows))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """One fault-injected replay: response-time impact + fault breakdown."""
+    from repro.faults import FaultConfig
+    from repro.workloads import workload
+
+    config = FaultConfig(
+        seed=args.fault_seed,
+        media_rate=args.media_rate,
+        servo_rate=args.servo_rate,
+        remap_fraction=args.remap_fraction,
+        max_ecc_retries=args.max_ecc_retries,
+    )
+    spec = workload(args.name)
+    trace = spec.generate(num_requests=args.requests, seed=args.seed)
+    rpm = args.rpm if args.rpm is not None else spec.base_rpm
+    healthy = spec.build_system(rpm).run_trace(trace)
+    faulty = spec.build_system(rpm, fault_config=config).run_trace(trace)
+    summary = faulty.fault_summary or {}
+
+    print(
+        f"{spec.display_name} at {rpm:.0f} RPM, {len(trace)} requests, "
+        f"media rate {config.media_rate:g}, servo rate {config.servo_rate:g}, "
+        f"fault seed {config.seed}"
+    )
+    print(
+        format_table(
+            ["run", "mean ms", "median ms", "p95 ms", "max ms"],
+            [
+                [
+                    label,
+                    f"{r.stats.mean_ms():.2f}",
+                    f"{r.stats.median_ms():.2f}",
+                    f"{r.stats.percentile_ms(95):.2f}",
+                    f"{r.stats.max_ms():.2f}",
+                ]
+                for label, r in (("healthy", healthy), ("injected", faulty))
+            ],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["fault", "count"],
+            [
+                ["media retries", f"{summary.get('media_retries', 0):.0f}"],
+                ["media remaps", f"{summary.get('media_remaps', 0):.0f}"],
+                ["servo faults", f"{summary.get('servo_faults', 0):.0f}"],
+                ["ECC re-reads", f"{summary.get('ecc_retries', 0):.0f}"],
+                ["total injected", f"{summary.get('total_injected', 0):.0f}"],
+                ["extra latency ms", f"{summary.get('extra_ms', 0.0):.1f}"],
+            ],
+        )
+    )
     return 0
 
 
@@ -532,6 +647,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=100.0,
         help="time-series sampling interval in simulated ms",
     )
+    ps.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="inject deterministic drive faults into every replay",
+    )
+    ps.add_argument(
+        "--media-rate",
+        type=float,
+        default=0.01,
+        help="per-media-access media-error probability (with --inject-faults)",
+    )
+    ps.add_argument(
+        "--servo-rate",
+        type=float,
+        default=0.0,
+        help="per-media-access servo-fault probability (with --inject-faults)",
+    )
+    ps.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-injection seed"
+    )
+    ps.add_argument(
+        "--partial-results",
+        action="store_true",
+        help="survive failing sweep points: keep healthy results and write "
+        "a failure manifest instead of aborting",
+    )
+    ps.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="failure-manifest JSON path (with --partial-results; "
+        "default sweep_manifest.json, written only on failures unless set)",
+    )
+    ps.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per failed sweep task (with --partial-results)",
+    )
+    ps.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline (with --partial-results)",
+    )
+
+    p = sub.add_parser(
+        "faults", help="fault-injected replay: healthy vs injected comparison"
+    )
+    p.add_argument(
+        "name",
+        choices=["openmail", "oltp", "search_engine", "tpcc", "tpch"],
+    )
+    p.add_argument("-n", "--requests", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rpm", type=float, default=None, help="override spindle speed")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--media-rate",
+        type=float,
+        default=0.01,
+        help="per-media-access media-error probability",
+    )
+    p.add_argument(
+        "--servo-rate",
+        type=float,
+        default=0.005,
+        help="per-media-access servo-fault probability",
+    )
+    p.add_argument(
+        "--remap-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of media errors escalating to a sector remap",
+    )
+    p.add_argument(
+        "--max-ecc-retries",
+        type=int,
+        default=3,
+        help="worst-case ECC re-read attempts per media error",
+    )
 
     p = sub.add_parser(
         "trace", help="instrumented single replay: metrics, trace, sparklines"
@@ -586,6 +783,7 @@ _HANDLERS = {
     "slack": _cmd_slack,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
     "lint": _cmd_lint,
 }
 

@@ -36,6 +36,7 @@ from repro.dtm.throttling import (
     ThrottleCycle,
     ThrottlingScenario,
     ThrottlingTrace,
+    emergency_rpm_for,
     paper_scenario_vcm_and_rpm,
     paper_scenario_vcm_only,
     required_ratio_for_utilization,
@@ -67,6 +68,7 @@ __all__ = [
     "ThrottlingScenario",
     "ThrottleCycle",
     "ThrottlingTrace",
+    "emergency_rpm_for",
     "throttle_cycle",
     "throttling_ratio_curve",
     "throttling_trace",

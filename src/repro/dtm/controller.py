@@ -32,6 +32,7 @@ from repro.simulation.system import StorageSystem
 
 if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
     from repro.dtm.policies import ThermalPolicy
+    from repro.faults import ThermalEmergencyModel
     from repro.telemetry import Telemetry
 from repro.thermal.model import DriveThermalModel
 from repro.workloads.trace import Trace
@@ -91,6 +92,8 @@ class DTMReport:
         throttled_ms: total simulated time spent throttled.
         simulated_ms: total simulated time.
         throttle_events: number of throttle engagements.
+        emergency_events: number of emergency-throttle engagements
+            (envelope breach or injected thermal emergency).
     """
 
     stats: ResponseTimeStats
@@ -98,6 +101,7 @@ class DTMReport:
     throttled_ms: float
     simulated_ms: float
     throttle_events: int = 0
+    emergency_events: int = 0
 
     @property
     def throttled_fraction(self) -> float:
@@ -114,6 +118,9 @@ class ThermallyManagedSystem:
         thermal: thermal model of the (representative) member drive,
             already configured at the average-case RPM.
         policy: the reactive policy.
+        emergency_model: optional injected thermal-emergency source
+            (fault injection); independent of it, a genuine envelope
+            breach always takes the emergency path.
     """
 
     def __init__(
@@ -122,13 +129,17 @@ class ThermallyManagedSystem:
         thermal: DriveThermalModel,
         policy: DTMPolicy,
         telemetry: Optional["Telemetry"] = None,
+        emergency_model: Optional["ThermalEmergencyModel"] = None,
     ) -> None:
         from repro.telemetry import maybe
 
         self.system = system
         self.thermal = thermal
         self.policy = policy
+        self.emergency_model = emergency_model
         self.gate_open = True
+        self.in_emergency = False
+        self._emergency_rpm: Optional[float] = None
         self._gated: Deque[Request] = deque()
         self._last_check_ms = 0.0
         self._busy_snapshot = 0.0
@@ -223,7 +234,13 @@ class ThermallyManagedSystem:
             self._tel.record(
                 now_ms, "dtm_check", "dtm", air_c=air, gate_open=self.gate_open
             )
-        if self.gate_open and air >= self.policy.trigger_c:
+        emergency = air >= self.policy.envelope_c or (
+            self.emergency_model is not None
+            and self.emergency_model.should_trigger(air, self.policy.envelope_c)
+        )
+        if emergency and not self.in_emergency:
+            self._engage_emergency(air)
+        elif self.gate_open and air >= self.policy.trigger_c:
             self._engage_throttle()
         elif not self.gate_open and air <= self.policy.resume_c:
             self._release_throttle()
@@ -264,8 +281,47 @@ class ThermallyManagedSystem:
         else:
             self.thermal.set_operating_state(vcm_active=False)
 
+    def _engage_emergency(self, air_c: float) -> None:
+        """Emergency throttle: the envelope is breached (or an injected
+        thermal emergency fired).  Instead of treating the breach as an
+        error, degrade gracefully — gate requests and drop the spindle to
+        the fastest speed the drive can cool at — then recover through the
+        normal resume hysteresis."""
+        if self.gate_open:
+            self._engage_throttle()
+        self.in_emergency = True
+        self.report.emergency_events += 1
+        low = self._emergency_target_rpm()
+        self.thermal.set_operating_state(rpm=low, vcm_active=False)
+        for disk in self.system.disks:
+            disk.set_rpm(low)
+        if self._tel is not None:
+            self._tel.record(
+                self.system.events.now_ms,
+                "dtm_emergency",
+                "dtm",
+                air_c=air_c,
+                rpm=low,
+                envelope_c=self.policy.envelope_c,
+            )
+            self._tel.count("dtm.emergency_engagements")
+
+    def _emergency_target_rpm(self) -> float:
+        """The RPM the emergency path degrades to (computed once)."""
+        if self.policy.speed_profile is not None:
+            return self.policy.speed_profile.bottom_rpm
+        if self._emergency_rpm is None:
+            from repro.dtm.throttling import emergency_rpm_for
+
+            self._emergency_rpm = emergency_rpm_for(
+                self.thermal, self.policy.envelope_c, self._full_rpm
+            )
+        return self._emergency_rpm
+
     def _release_throttle(self) -> None:
         self.gate_open = True
+        restore_disks = self.policy.speed_profile is not None or self.in_emergency
+        self.in_emergency = False
         if self._tel is not None:
             self._tel.record(
                 self.system.events.now_ms,
@@ -276,7 +332,7 @@ class ThermallyManagedSystem:
             )
             self._tel.count("dtm.resumes")
         self.thermal.set_operating_state(rpm=self._full_rpm, vcm_active=True)
-        if self.policy.speed_profile is not None:
+        if restore_disks:
             for disk in self.system.disks:
                 disk.set_rpm(self._full_rpm)
         while self._gated:

@@ -479,6 +479,52 @@ def paper_scenario_vcm_and_rpm() -> ThrottlingScenario:
     return ThrottlingScenario(diameter_in=2.6, rpm_high=37001.0, rpm_low=22001.0)
 
 
+def emergency_rpm_for(
+    thermal: DriveThermalModel,
+    envelope_c: float,
+    full_rpm: float,
+    margin_c: float = 0.5,
+    floor_rpm: float = 5000.0,
+) -> float:
+    """A derated spindle speed for the DTM emergency-throttle path.
+
+    The fastest speed the drive can *cool* at: the highest RPM (capped at
+    ``full_rpm``) whose steady internal-air temperature with the VCM off
+    sits at least ``margin_c`` below the envelope.  When even the floor
+    speed cannot cool the design, the floor is returned anyway — the
+    emergency path degrades gracefully rather than erroring.
+
+    Args:
+        thermal: the managed drive's thermal model (geometry, enclosure
+            and calibration are taken from it).
+        envelope_c: the thermal envelope being protected.
+        full_rpm: the drive's full operating speed (upper bound).
+        margin_c: required headroom below the envelope at the derated
+            steady state.
+        floor_rpm: slowest speed the spindle can serve at.
+    """
+    from repro.errors import EnvelopeError
+    from repro.thermal.envelope import max_rpm_within_envelope
+
+    if full_rpm <= floor_rpm:
+        return floor_rpm
+    try:
+        limit = max_rpm_within_envelope(
+            thermal.platter.diameter_in,
+            platter_count=thermal.stack.count,
+            envelope_c=envelope_c - margin_c,
+            ambient_c=thermal.ambient_c,
+            vcm_active=False,
+            enclosure=thermal.enclosure,
+            calibration=thermal.calibration,
+            rpm_low=floor_rpm,
+            rpm_high=full_rpm,
+        )
+    except EnvelopeError:
+        return floor_rpm
+    return min(limit, full_rpm)
+
+
 def required_ratio_for_utilization(utilization: float) -> float:
     """Throttling ratio needed to sustain a target utilization."""
     if not 0.0 < utilization < 1.0:

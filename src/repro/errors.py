@@ -42,3 +42,16 @@ class TraceError(ReproError):
 
 class DTMError(ReproError):
     """A dynamic-thermal-management policy received invalid parameters."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is invalid (rates, retries, taxonomy)."""
+
+
+class SweepExecutionError(SimulationError):
+    """A sweep task failed and the caller asked for strict (fail-fast)
+    semantics; carries the worker-side traceback text."""
+
+    def __init__(self, message: str, traceback_text: str = "") -> None:
+        super().__init__(message)
+        self.traceback_text = traceback_text

@@ -1,0 +1,25 @@
+"""Fault injection: deterministic drive faults and thermal emergencies.
+
+See :mod:`repro.faults.models` for the fault taxonomy and the
+determinism contract, and ``docs/resilience.md`` for the user guide.
+"""
+
+from repro.faults.models import (
+    FAULT_KINDS,
+    DiskFaultInjector,
+    FaultConfig,
+    FaultStats,
+    InjectedFault,
+    ThermalEmergencyModel,
+    unit_draw,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultStats",
+    "InjectedFault",
+    "DiskFaultInjector",
+    "ThermalEmergencyModel",
+    "unit_draw",
+]

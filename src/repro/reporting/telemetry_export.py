@@ -38,13 +38,21 @@ class ExportError(ReproError):
 
 
 def to_json(telemetry: "Telemetry", indent: Optional[int] = 2) -> str:
-    """The full telemetry snapshot as a JSON document."""
-    return json.dumps(_finite(telemetry.as_dict()), indent=indent)
+    """The full telemetry snapshot as a JSON document.
+
+    ``allow_nan=False`` backstops :func:`_finite`: a non-finite value that
+    ever slips past the scrub fails loudly here instead of emitting the
+    ``Infinity``/``NaN`` literals strict JSON parsers reject.
+    """
+    return json.dumps(
+        _finite(telemetry.as_dict()), indent=indent, allow_nan=False
+    )
 
 
 def _finite(obj: object) -> object:
-    """Replace non-finite floats (Histogram.min on empty, +Inf bounds)
-    with JSON-safe values so the document parses everywhere."""
+    """Replace non-finite floats (a never-observed histogram's
+    ``min``/``max``, +Inf bucket bounds) with ``null`` so the document
+    parses everywhere."""
     if isinstance(obj, float):
         return obj if math.isfinite(obj) else None
     if isinstance(obj, dict):

@@ -23,15 +23,23 @@ from repro.simulation.scheduler import (
     SSTFScheduler,
     make_scheduler,
 )
+from repro.simulation.resilience import (
+    MANIFEST_SCHEMA,
+    SweepRunReport,
+    TaskEnvelope,
+    run_sweep_resilient,
+)
 from repro.simulation.statistics import PAPER_CDF_BINS_MS, ResponseTimeStats
 from repro.simulation.sweep import (
     RoadmapTask,
     WorkloadSweepResult,
     WorkloadTask,
+    build_workload_tasks,
     resolve_workers,
     run_sweep,
     sweep_roadmap,
     sweep_workloads,
+    sweep_workloads_resilient,
 )
 from repro.simulation.system import SimulationReport, StorageSystem, build_system
 
@@ -71,8 +79,14 @@ __all__ = [
     "RoadmapTask",
     "WorkloadTask",
     "WorkloadSweepResult",
+    "build_workload_tasks",
     "resolve_workers",
     "run_sweep",
     "sweep_roadmap",
     "sweep_workloads",
+    "sweep_workloads_resilient",
+    "MANIFEST_SCHEMA",
+    "SweepRunReport",
+    "TaskEnvelope",
+    "run_sweep_resilient",
 ]

@@ -29,6 +29,7 @@ from repro.units import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.faults import DiskFaultInjector
     from repro.telemetry import Telemetry
 
 CompletionCallback = Callable[[Request, float], None]
@@ -50,6 +51,8 @@ class DiskStats:
     transfer_ms: float = 0.0
     seeks_with_movement: int = 0
     total_seek_cylinders: int = 0
+    faults_injected: int = 0
+    fault_ms: float = 0.0
     _last: float = field(default=0.0, repr=False)
 
     def utilization(self, elapsed_ms: float) -> float:
@@ -78,6 +81,8 @@ class SimulatedDisk:
         scheduler: queue discipline (default FCFS).
         bus_mb_per_s: interface transfer rate (Ultra160-class default).
         on_complete: callback fired at each request completion.
+        fault_injector: deterministic media/servo fault source; charges
+            extra latency on media accesses (cache hits are immune).
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class SimulatedDisk:
         bus_mb_per_s: float = 160.0,
         on_complete: Optional[CompletionCallback] = None,
         telemetry: Optional["Telemetry"] = None,
+        fault_injector: Optional["DiskFaultInjector"] = None,
     ) -> None:
         if bus_mb_per_s <= 0:
             raise SimulationError("bus rate must be positive")
@@ -103,6 +109,7 @@ class SimulatedDisk:
         self.scheduler = scheduler if scheduler is not None else FCFSScheduler()
         self.bus_mb_per_s = bus_mb_per_s
         self.on_complete = on_complete
+        self.fault_injector = fault_injector
         self.mechanics = DiskMechanics(layout, seek_model, rpm)
         self.head_cylinder = 0
         self.busy = False
@@ -181,7 +188,7 @@ class SimulatedDisk:
             )
             self._account(breakdown, request)
             self.head_cylinder = end_cyl
-            return breakdown.total_ms + bus
+            return breakdown.total_ms + bus + self._fault_penalty_ms(now)
         if self.cache is not None and self.cache.lookup_read(request.lba, request.sectors):
             if self._tel is not None:
                 self._tel.record(
@@ -199,7 +206,35 @@ class SimulatedDisk:
         self.head_cylinder = end_cyl
         if self.cache is not None:
             self.cache.fill_after_read(request.lba, request.sectors, self.total_sectors)
-        return breakdown.total_ms + bus
+        return breakdown.total_ms + bus + self._fault_penalty_ms(now)
+
+    def _fault_penalty_ms(self, now: float) -> float:
+        """Injected-fault latency for one media access (0 when healthy).
+
+        Consulted only on paths that touch the media — cache hits never
+        fault — so the injector's per-access ordinal advances identically
+        in any run that replays the same trace.
+        """
+        if self.fault_injector is None:
+            return 0.0
+        fault = self.fault_injector.media_access_fault(self.mechanics)
+        if fault is None:
+            return 0.0
+        self.stats.faults_injected += 1
+        self.stats.fault_ms += fault.extra_ms
+        if self._tel is not None:
+            self._tel.record(
+                now,
+                "fault_injected",
+                self.name,
+                fault=fault.kind,
+                extra_ms=fault.extra_ms,
+                ecc_retries=fault.ecc_retries,
+            )
+            self._tel.count(f"{self.name}.faults_injected")
+            self._tel.count("faults.injected")
+            self._tel.observe("faults.extra_ms", fault.extra_ms)
+        return fault.extra_ms
 
     def _account(self, breakdown: ServiceBreakdown, request: Request) -> None:
         self.stats.seek_ms += breakdown.seek_ms
@@ -279,6 +314,7 @@ def standard_disk(
     scheduler: Optional[Scheduler] = None,
     on_complete: Optional[CompletionCallback] = None,
     telemetry: Optional["Telemetry"] = None,
+    fault_injector: Optional["DiskFaultInjector"] = None,
 ) -> SimulatedDisk:
     """Convenience factory: a disk built from drive-model parameters.
 
@@ -309,4 +345,5 @@ def standard_disk(
         scheduler=scheduler,
         on_complete=on_complete,
         telemetry=telemetry,
+        fault_injector=fault_injector,
     )

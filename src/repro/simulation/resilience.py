@@ -1,0 +1,511 @@
+"""Resilient sweep execution: result envelopes, retries, pool recovery.
+
+The plain executor path (``executor.map``) has an all-or-nothing failure
+mode: one raised exception in any worker aborts the whole sweep with a
+pickled traceback and discards every completed point; a crashed worker
+process breaks the pool for everyone.  This module wraps each sweep task
+in a :class:`TaskEnvelope` so a run always produces *per-task outcomes*:
+
+* ``ok`` — the worker returned a result;
+* ``error`` — the worker raised; the envelope carries the exception type,
+  message and full traceback text (captured worker-side, so it survives
+  pickling);
+* ``timeout`` — the task exceeded its deadline; the hung worker process
+  is reclaimed by respawning the pool.
+
+On top of the envelopes sit bounded **retries with exponential backoff**,
+**per-task deadlines**, ``BrokenProcessPool`` **recovery** (respawn the
+pool, resume from the last completed task — only unfinished tasks are
+resubmitted), explicit ``KeyboardInterrupt`` handling (pending futures
+are cancelled and worker processes shut down, no orphans), and a
+**failure manifest** (schema ``repro.sweep_manifest/1``) for the
+``--partial-results`` mode.
+
+Fault/retry/recovery counters are mirrored into a
+:class:`repro.telemetry.MetricsRegistry` when one is supplied, so the
+standard exporters (JSON / CSV / Prometheus) report them.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import SimulationError, SweepExecutionError
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+#: Schema identifier of the failure manifest document.
+MANIFEST_SCHEMA = "repro.sweep_manifest/1"
+
+#: How long one ``wait()`` poll blocks while futures are outstanding, in
+#: seconds; bounds how stale per-task deadline checks can get.
+POLL_INTERVAL_S = 0.05
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class TaskEnvelope:
+    """Outcome of one sweep task across all of its attempts.
+
+    Attributes:
+        index: position in the submitted task list.
+        status: ``ok`` / ``error`` / ``timeout``.
+        result: the worker's return value when ``ok``, else None.
+        error_type: exception class name when ``error``.
+        error_message: stringified exception when ``error``/``timeout``.
+        traceback_text: worker-side traceback when available (a worker
+            that dies abruptly leaves none).
+        attempts: how many times the task was attempted.
+        elapsed_s: wall-clock duration of the *successful* attempt (or
+            the last failed one).
+    """
+
+    index: int
+    status: str = STATUS_OK
+    result: Any = None
+    error_type: str = ""
+    error_message: str = ""
+    traceback_text: str = ""
+    attempts: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "index": self.index,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+        }
+        if not self.ok:
+            out["error_type"] = self.error_type
+            out["error_message"] = self.error_message
+            out["traceback"] = self.traceback_text
+        return out
+
+
+@dataclass
+class SweepRunReport:
+    """Everything a resilient sweep produced, healthy or not.
+
+    ``envelopes`` is in task order; ``results()`` keeps that order with
+    ``None`` holes where tasks failed, so zips against the task list stay
+    aligned.
+    """
+
+    envelopes: List[TaskEnvelope]
+    pool_breaks: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    interrupted: bool = False
+
+    def results(self) -> List[Any]:
+        """Per-task results in task order (None for failed tasks)."""
+        return [e.result if e.ok else None for e in self.envelopes]
+
+    def ok_results(self) -> List[Any]:
+        """Only the healthy results, still in task order."""
+        return [e.result for e in self.envelopes if e.ok]
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for e in self.envelopes if e.ok)
+
+    @property
+    def failed(self) -> List[TaskEnvelope]:
+        return [e for e in self.envelopes if not e.ok]
+
+    def raise_on_failure(self) -> None:
+        """Strict mode: surface the first failure as one typed error."""
+        for envelope in self.envelopes:
+            if not envelope.ok:
+                raise SweepExecutionError(
+                    f"sweep task {envelope.index} failed "
+                    f"({envelope.status}) after {envelope.attempts} "
+                    f"attempt(s): [{envelope.error_type}] "
+                    f"{envelope.error_message}",
+                    traceback_text=envelope.traceback_text,
+                )
+
+    def manifest(
+        self, task_labels: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """The failure manifest document (``repro.sweep_manifest/1``).
+
+        Args:
+            task_labels: optional human-readable label per task (e.g.
+                ``"tpcc@15000rpm"``); indexed by task position.
+        """
+
+        def label(index: int) -> Optional[str]:
+            if task_labels is not None and index < len(task_labels):
+                return task_labels[index]
+            return None
+
+        failures = []
+        for envelope in self.failed:
+            entry = envelope.as_dict()
+            if label(envelope.index) is not None:
+                entry["task"] = label(envelope.index)
+            failures.append(entry)
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "tasks_total": len(self.envelopes),
+            "tasks_ok": self.ok_count,
+            "tasks_failed": len(self.failed),
+            "pool_breaks": self.pool_breaks,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "interrupted": self.interrupted,
+            "failures": failures,
+        }
+
+
+def _guarded_call(
+    worker: Callable[[TaskT], ResultT], task: TaskT, index: int, attempt: int
+) -> TaskEnvelope:
+    """Run one task inside the worker process, capturing any exception.
+
+    The traceback is rendered to text *here*, worker-side, so it crosses
+    the process boundary as a plain string instead of a pickled exception
+    (whose unpickling is itself a failure mode).  ``KeyboardInterrupt``
+    and other ``BaseException``s deliberately propagate.
+    """
+    started = time.perf_counter()
+    try:
+        result = worker(task)
+    except Exception as exc:
+        return TaskEnvelope(
+            index=index,
+            status=STATUS_ERROR,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            traceback_text=traceback.format_exc(),
+            attempts=attempt,
+            elapsed_s=time.perf_counter() - started,
+        )
+    return TaskEnvelope(
+        index=index,
+        status=STATUS_OK,
+        result=result,
+        attempts=attempt,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Shut an executor down *now*, reclaiming even hung workers.
+
+    ``shutdown(wait=False, cancel_futures=True)`` alone never reclaims a
+    worker stuck in user code, so any still-live worker processes are
+    terminated explicitly.  The process table must be captured *before*
+    ``shutdown`` — it clears ``_processes`` even with ``wait=False``, and
+    a hung worker would otherwise keep the executor's management thread
+    (and interpreter exit) blocked until the worker returned.
+    """
+    table = getattr(executor, "_processes", None)
+    processes = list(table.values()) if table else []
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+
+
+class _Counters:
+    """Optional mirror of resilience counters into a telemetry registry."""
+
+    def __init__(self, telemetry: Optional[Any]) -> None:
+        from repro.telemetry import maybe
+
+        self._tel = maybe(telemetry)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        if self._tel is not None:
+            self._tel.count(name, amount)
+
+
+def run_sweep_resilient(
+    tasks: Sequence[TaskT],
+    worker: Callable[[TaskT], ResultT],
+    workers: Optional[int] = None,
+    retries: int = 2,
+    backoff_s: float = 0.0,
+    timeout_s: Optional[float] = None,
+    telemetry: Optional[Any] = None,
+) -> SweepRunReport:
+    """Run a sweep that survives worker faults and returns every outcome.
+
+    Args:
+        tasks: the task list (each must be picklable for the parallel
+            path, as must the worker's results).
+        worker: module-level pure task function.
+        workers: process count (None = all cores; 0/1 = serial
+            in-process, which produces identical results).
+        retries: extra attempts granted to a failed task (0 = one
+            attempt only).  Tasks that were in flight when the pool broke
+            also consume an attempt — a task that repeatedly kills its
+            worker exhausts its budget instead of wedging the sweep.
+        backoff_s: base of the exponential backoff slept before retry
+            ``n`` (``backoff_s * 2**(n-1)``); 0 disables sleeping.
+        timeout_s: per-task deadline measured from dispatch.  Expired
+            tasks are marked ``timeout`` and their (possibly hung) worker
+            pool is respawned.  Not enforced on the serial path.
+        telemetry: optional :class:`repro.telemetry.Telemetry`; mirrors
+            ``sweep.*`` counters into its registry.
+
+    Returns:
+        A :class:`SweepRunReport` with one envelope per task, in task
+        order, regardless of how many attempts or pool respawns it took.
+
+    Raises:
+        SimulationError: on invalid arguments.
+        KeyboardInterrupt: re-raised after cancelling pending work and
+            shutting the pool down (no orphaned workers).
+    """
+    from repro.simulation.sweep import resolve_workers
+
+    if retries < 0:
+        raise SimulationError(f"retries must be >= 0, got {retries}")
+    if backoff_s < 0:
+        raise SimulationError(f"backoff must be >= 0, got {backoff_s}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise SimulationError(f"timeout must be positive, got {timeout_s}")
+    counters = _Counters(telemetry)
+    counters.count("sweep.tasks_total", float(len(tasks)))
+    if not tasks:
+        return SweepRunReport(envelopes=[])
+    resolved = resolve_workers(workers, len(tasks))
+    if resolved <= 1:
+        report = _run_serial(tasks, worker, retries, backoff_s, counters)
+    else:
+        report = _run_parallel(
+            tasks, worker, resolved, retries, backoff_s, timeout_s, counters
+        )
+    counters.count("sweep.tasks_ok", float(report.ok_count))
+    counters.count("sweep.tasks_failed_total", float(len(report.failed)))
+    return report
+
+
+def _backoff_sleep(backoff_s: float, attempt: int) -> None:
+    """Sleep before retry ``attempt`` (first retry is attempt 2)."""
+    if backoff_s > 0 and attempt > 1:
+        time.sleep(backoff_s * (2.0 ** (attempt - 2)))
+
+
+def _run_serial(
+    tasks: Sequence[TaskT],
+    worker: Callable[[TaskT], ResultT],
+    retries: int,
+    backoff_s: float,
+    counters: _Counters,
+) -> SweepRunReport:
+    report = SweepRunReport(envelopes=[])
+    for index, task in enumerate(tasks):
+        envelope = TaskEnvelope(index=index)
+        for attempt in range(1, retries + 2):
+            _backoff_sleep(backoff_s, attempt)
+            if attempt > 1:
+                report.retries += 1
+                counters.count("sweep.retries_total")
+            envelope = _guarded_call(worker, task, index, attempt)
+            if envelope.ok:
+                break
+            counters.count("sweep.task_errors_total")
+        report.envelopes.append(envelope)
+    return report
+
+
+def _run_parallel(
+    tasks: Sequence[TaskT],
+    worker: Callable[[TaskT], ResultT],
+    resolved: int,
+    retries: int,
+    backoff_s: float,
+    timeout_s: Optional[float],
+    counters: _Counters,
+) -> SweepRunReport:
+    envelopes: List[Optional[TaskEnvelope]] = [None] * len(tasks)
+    report = SweepRunReport(envelopes=[])
+    # (index, attempt) pairs not yet finished.
+    pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(tasks))]
+    # Tasks that were in flight when the pool broke.  A dead worker breaks
+    # *every* in-flight future, so the crash cannot be attributed from the
+    # exceptions alone; suspects are re-run one at a time in a fresh pool —
+    # innocents complete, and a task that breaks the pool while isolated
+    # is definitively the culprit and is charged the attempt.
+    suspects: List[Tuple[int, int]] = []
+    executor = ProcessPoolExecutor(max_workers=resolved)
+    # future -> (index, attempt, dispatched_monotonic, isolated)
+    running: Dict[Future, Tuple[int, int, float, bool]] = {}
+
+    def record_failure(
+        index: int, attempt: int, status: str, error_type: str, message: str,
+        traceback_text: str = "", elapsed_s: float = 0.0,
+    ) -> None:
+        """Count one failed attempt; requeue while retry budget remains."""
+        counters.count(
+            "sweep.task_timeouts_total"
+            if status == STATUS_TIMEOUT
+            else "sweep.task_errors_total"
+        )
+        if attempt <= retries:
+            pending.append((index, attempt + 1))
+            report.retries += 1
+            counters.count("sweep.retries_total")
+        else:
+            envelopes[index] = TaskEnvelope(
+                index=index,
+                status=status,
+                error_type=error_type,
+                error_message=message,
+                traceback_text=traceback_text,
+                attempts=attempt,
+                elapsed_s=elapsed_s,
+            )
+
+    def respawn_pool() -> None:
+        nonlocal executor
+        _kill_pool(executor)
+        executor = ProcessPoolExecutor(max_workers=resolved)
+
+    def collect(future: Future, index: int, attempt: int, isolated: bool) -> bool:
+        """Fold one finished future into the report; True if the pool broke."""
+        try:
+            envelope = future.result()
+        except BrokenProcessPool:
+            if isolated:
+                # Alone in the pool: this task killed its own worker.
+                record_failure(
+                    index, attempt, STATUS_ERROR, "BrokenProcessPool",
+                    "worker process died mid-task",
+                )
+            else:
+                suspects.append((index, attempt))
+            return True
+        if envelope.ok:
+            envelopes[index] = envelope
+        else:
+            record_failure(
+                index, attempt, STATUS_ERROR, envelope.error_type,
+                envelope.error_message, envelope.traceback_text,
+                envelope.elapsed_s,
+            )
+        return False
+
+    def drain_running_and_respawn(to_suspects: bool) -> None:
+        """Fold finished futures, requeue the rest, start a fresh pool.
+
+        Unfinished tasks keep their current attempt number — they were
+        victims of a pool break or a neighbour's timeout, not (proven)
+        culprits.  After a pool break they go to ``suspects`` for
+        isolated re-execution; after a timeout respawn straight back to
+        ``pending``.
+        """
+        for future, (index, attempt, _started, isolated) in list(running.items()):
+            if future.done():
+                collect(future, index, attempt, isolated)
+            elif to_suspects:
+                suspects.append((index, attempt))
+            else:
+                pending.append((index, attempt))
+        running.clear()
+        respawn_pool()
+
+    def submit_one(index: int, attempt: int, isolated: bool) -> bool:
+        """Dispatch one task; False when the pool turned out to be broken."""
+        _backoff_sleep(backoff_s, attempt)
+        try:
+            future = executor.submit(
+                _guarded_call, worker, tasks[index], index, attempt
+            )
+        except BrokenProcessPool:
+            # Never dispatched: innocent by construction, back to pending.
+            pending.append((index, attempt))
+            return False
+        running[future] = (index, attempt, time.monotonic(), isolated)
+        return True
+
+    try:
+        while pending or suspects or running:
+            broke = False
+            if suspects:
+                # Isolation mode: exactly one suspect in a quiet pool.
+                if not running:
+                    index, attempt = suspects.pop(0)
+                    broke = not submit_one(index, attempt, isolated=True)
+            else:
+                while pending and len(running) < 2 * resolved:
+                    index, attempt = pending.pop(0)
+                    if not submit_one(index, attempt, isolated=False):
+                        broke = True
+                        break
+            if not broke and running:
+                done, _ = wait(
+                    set(running), timeout=POLL_INTERVAL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    index, attempt, _started, isolated = running.pop(future)
+                    broke = collect(future, index, attempt, isolated) or broke
+            if broke:
+                report.pool_breaks += 1
+                counters.count("sweep.pool_breaks_total")
+                drain_running_and_respawn(to_suspects=True)
+                continue
+            if timeout_s is not None:
+                now = time.monotonic()
+                expired = {
+                    future: meta
+                    for future, meta in running.items()
+                    if now - meta[2] > timeout_s and not future.done()
+                }
+                if expired:
+                    report.timeouts += len(expired)
+                    for future, (index, attempt, started, _iso) in expired.items():
+                        del running[future]
+                        record_failure(
+                            index, attempt, STATUS_TIMEOUT, "TimeoutError",
+                            f"task exceeded {timeout_s} s deadline",
+                            elapsed_s=now - started,
+                        )
+                    # A timed-out task may be hung inside a worker; the
+                    # only way to reclaim it is a pool respawn.  In-flight
+                    # survivors are folded in or requeued at their current
+                    # attempt.
+                    drain_running_and_respawn(to_suspects=False)
+    except KeyboardInterrupt:
+        report.interrupted = True
+        for future in running:
+            future.cancel()
+        _kill_pool(executor)
+        raise
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    report.envelopes = [e for e in envelopes if e is not None]
+    missing = len(tasks) - len(report.envelopes)
+    if missing:  # pragma: no cover - defensive; every path fills its slot
+        raise SimulationError(f"{missing} sweep task(s) produced no envelope")
+    return report

@@ -28,7 +28,6 @@ must stay module-level so they pickle under any start method).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -48,9 +47,12 @@ from repro.constants import (
     ROADMAP_PLATTER_SIZES_IN,
 )
 from repro.errors import SimulationError
+from repro.faults import FaultConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.scaling.roadmap import RoadmapPoint
+    from repro.simulation.resilience import SweepRunReport
+    from repro.telemetry import Telemetry
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -63,13 +65,14 @@ def resolve_workers(workers: Optional[int], task_count: int) -> int:
     """Actual worker-process count for a sweep.
 
     ``None`` asks for one worker per available core, capped at the task
-    count; anything below 2 (including single-core hosts) selects the
-    in-process serial path, which produces identical results.
+    count; ``0`` and ``1`` (and single-core hosts) select the in-process
+    serial path, which produces identical results.  Negative counts are
+    an error.
     """
     if workers is None:
         workers = os.cpu_count() or 1
-    if workers < 1:
-        raise SimulationError(f"worker count must be >= 1, got {workers}")
+    if workers < 0:
+        raise SimulationError(f"worker count cannot be negative, got {workers}")
     return max(1, min(workers, task_count))
 
 
@@ -82,15 +85,17 @@ def run_sweep(
 
     Results are returned in task order in both modes; with a pure worker
     function the two modes are indistinguishable output-wise.
+
+    This is the *strict* front-end: the first task failure raises a
+    :class:`repro.errors.SweepExecutionError` carrying the worker-side
+    traceback.  For per-task outcomes, retries, timeouts and partial
+    results, use :func:`repro.simulation.resilience.run_sweep_resilient`.
     """
-    if not tasks:
-        return []
-    resolved = resolve_workers(workers, len(tasks))
-    if resolved <= 1:
-        return [worker(task) for task in tasks]
-    chunksize = max(1, len(tasks) // (resolved * 4))
-    with ProcessPoolExecutor(max_workers=resolved) as executor:
-        return list(executor.map(worker, tasks, chunksize=chunksize))
+    from repro.simulation.resilience import run_sweep_resilient
+
+    report = run_sweep_resilient(tasks, worker, workers=workers, retries=0)
+    report.raise_on_failure()
+    return report.ok_results()
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +160,9 @@ class WorkloadTask:
     telemetry snapshot back as a plain dict — picklable, so the parallel
     path carries it across process boundaries unchanged.
     ``trace_capacity`` bounds the shipped event trace.
+    ``fault_config`` (a frozen :class:`repro.faults.FaultConfig`) injects
+    deterministic drive faults into the replay; the result then carries a
+    ``fault_summary``.
     """
 
     workload: str
@@ -165,6 +173,11 @@ class WorkloadTask:
     telemetry: bool = False
     probe_interval_ms: float = 100.0
     trace_capacity: int = 4096
+    fault_config: Optional[FaultConfig] = None
+
+    def label(self) -> str:
+        """Human-readable task identity for manifests and logs."""
+        return f"{self.workload}@{self.rpm:.0f}rpm(seed={self.seed})"
 
 
 @dataclass(frozen=True)
@@ -193,6 +206,10 @@ class WorkloadSweepResult:
     #: full telemetry snapshot (schema ``repro.telemetry/1``) when the
     #: task asked for instrumentation; None otherwise.
     telemetry: Optional[dict] = field(default=None, repr=False)
+    #: aggregated fault-injection counters (see
+    #: :meth:`repro.faults.FaultStats.as_dict`) when the task injected
+    #: faults; None otherwise.
+    fault_summary: Optional[dict] = field(default=None, repr=False)
 
 
 def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
@@ -208,7 +225,10 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
             trace_capacity=task.trace_capacity,
             probe_interval_ms=task.probe_interval_ms,
         )
-    report = spec.build_system(task.rpm, telemetry=tel).run_trace(trace)
+    system = spec.build_system(
+        task.rpm, telemetry=tel, fault_config=task.fault_config
+    )
+    report = system.run_trace(trace)
     return WorkloadSweepResult(
         workload=task.workload,
         rpm=task.rpm,
@@ -224,38 +244,26 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
         cdf=tuple(report.stats.cdf()),
         samples_ms=tuple(report.stats.samples_ms) if task.keep_samples else (),
         telemetry=tel.as_dict() if tel is not None else None,
+        fault_summary=report.fault_summary,
     )
 
 
-def sweep_workloads(
+def build_workload_tasks(
     names: Sequence[str],
     rpms: Optional[Sequence[float]] = None,
     rpm_steps: int = 4,
     requests: int = 6000,
     seed: int = 1,
-    workers: Optional[int] = None,
     keep_samples: bool = False,
     telemetry: bool = False,
     probe_interval_ms: float = 100.0,
     trace_capacity: int = 4096,
-) -> List[WorkloadSweepResult]:
-    """Fan Figure 4 replays out over (workload, RPM) points.
+    fault_config: Optional[FaultConfig] = None,
+) -> List[WorkloadTask]:
+    """The (workload, RPM) task grid, workload-major then ladder order.
 
-    Args:
-        names: catalog workload names.
-        rpms: explicit RPM ladder; by default each workload's own
-            ``rpm_sweep(rpm_steps)`` ladder (base, +5K, ...).
-        requests / seed: synthetic-trace shape, forwarded to every task.
-        workers: process count (None = all cores; 1 = serial in-process).
-        keep_samples: carry the full response-time sample vector back.
-        telemetry: instrument every replay; each result then carries a
-            full telemetry snapshot dict (time series, trace, metrics).
-        probe_interval_ms / trace_capacity: telemetry shape, forwarded to
-            every task.
-
-    Returns:
-        One result per (workload, RPM) point, ordered workload-major in the
-        order given, then by ascending ladder position.
+    Workload names are validated here, before any fork, so an unknown
+    name fails fast in the parent process.
     """
     from repro.workloads import workload as lookup
 
@@ -274,6 +282,113 @@ def sweep_workloads(
                     telemetry=telemetry,
                     probe_interval_ms=probe_interval_ms,
                     trace_capacity=trace_capacity,
+                    fault_config=fault_config,
                 )
             )
+    return tasks
+
+
+def sweep_workloads(
+    names: Sequence[str],
+    rpms: Optional[Sequence[float]] = None,
+    rpm_steps: int = 4,
+    requests: int = 6000,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    keep_samples: bool = False,
+    telemetry: bool = False,
+    probe_interval_ms: float = 100.0,
+    trace_capacity: int = 4096,
+    fault_config: Optional[FaultConfig] = None,
+) -> List[WorkloadSweepResult]:
+    """Fan Figure 4 replays out over (workload, RPM) points.
+
+    Args:
+        names: catalog workload names.
+        rpms: explicit RPM ladder; by default each workload's own
+            ``rpm_sweep(rpm_steps)`` ladder (base, +5K, ...).
+        requests / seed: synthetic-trace shape, forwarded to every task.
+        workers: process count (None = all cores; 0/1 = serial in-process).
+        keep_samples: carry the full response-time sample vector back.
+        telemetry: instrument every replay; each result then carries a
+            full telemetry snapshot dict (time series, trace, metrics).
+        probe_interval_ms / trace_capacity: telemetry shape, forwarded to
+            every task.
+        fault_config: inject deterministic drive faults into every replay
+            (same plan, per-disk seeds derived inside each task).
+
+    Returns:
+        One result per (workload, RPM) point, ordered workload-major in the
+        order given, then by ascending ladder position.
+    """
+    tasks = build_workload_tasks(
+        names,
+        rpms=rpms,
+        rpm_steps=rpm_steps,
+        requests=requests,
+        seed=seed,
+        keep_samples=keep_samples,
+        telemetry=telemetry,
+        probe_interval_ms=probe_interval_ms,
+        trace_capacity=trace_capacity,
+        fault_config=fault_config,
+    )
     return run_sweep(tasks, _run_workload_task, workers=workers)
+
+
+def sweep_workloads_resilient(
+    names: Sequence[str],
+    rpms: Optional[Sequence[float]] = None,
+    rpm_steps: int = 4,
+    requests: int = 6000,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    keep_samples: bool = False,
+    telemetry: bool = False,
+    probe_interval_ms: float = 100.0,
+    trace_capacity: int = 4096,
+    fault_config: Optional[FaultConfig] = None,
+    retries: int = 2,
+    backoff_s: float = 0.0,
+    timeout_s: Optional[float] = None,
+    run_telemetry: Optional["Telemetry"] = None,
+) -> Tuple[List[Optional[WorkloadSweepResult]], "SweepRunReport"]:
+    """The Figure 4 sweep with partial-results semantics.
+
+    Unlike :func:`sweep_workloads`, a failing point does not abort the
+    run: every healthy point is returned (``None`` holes keep task
+    alignment) together with the :class:`SweepRunReport` whose
+    ``manifest()`` names each failed task.
+
+    Args:
+        retries / backoff_s / timeout_s: resilience knobs, see
+            :func:`repro.simulation.resilience.run_sweep_resilient`.
+        run_telemetry: optional *parent-side* telemetry; receives the
+            ``sweep.*`` retry/timeout/pool-break counters (distinct from
+            ``telemetry=``, which instruments each replay inside its
+            worker).
+    """
+    from repro.simulation.resilience import run_sweep_resilient
+
+    tasks = build_workload_tasks(
+        names,
+        rpms=rpms,
+        rpm_steps=rpm_steps,
+        requests=requests,
+        seed=seed,
+        keep_samples=keep_samples,
+        telemetry=telemetry,
+        probe_interval_ms=probe_interval_ms,
+        trace_capacity=trace_capacity,
+        fault_config=fault_config,
+    )
+    report = run_sweep_resilient(
+        tasks,
+        _run_workload_task,
+        workers=workers,
+        retries=retries,
+        backoff_s=backoff_s,
+        timeout_s=timeout_s,
+        telemetry=run_telemetry,
+    )
+    return report.results(), report

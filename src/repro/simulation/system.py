@@ -8,11 +8,12 @@ collects response-time statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - cycle broken at runtime
+    from repro.faults import FaultConfig
     from repro.telemetry import Telemetry
 from repro.simulation.array import StorageArray
 from repro.simulation.disk import SimulatedDisk, standard_disk
@@ -36,6 +37,9 @@ class SimulationReport:
         simulated_ms: simulated time at the last completion.
         disk_utilizations: per-disk busy fractions.
         cache_hit_ratio: pooled read hit ratio across disks.
+        fault_summary: pooled injected-fault counters across disks (see
+            :meth:`repro.faults.FaultStats.as_dict`); None when the run
+            had no fault injection configured.
     """
 
     trace_name: str
@@ -45,6 +49,7 @@ class SimulationReport:
     simulated_ms: float
     disk_utilizations: List[float]
     cache_hit_ratio: float
+    fault_summary: Optional[Dict[str, Any]] = None
 
     def mean_response_ms(self) -> float:
         return self.stats.mean_ms()
@@ -180,7 +185,24 @@ class StorageSystem:
             simulated_ms=elapsed,
             disk_utilizations=utilizations,
             cache_hit_ratio=hits / lookups if lookups else 0.0,
+            fault_summary=self.fault_summary(),
         )
+
+    def fault_summary(self) -> Optional[Dict[str, Any]]:
+        """Pooled injected-fault counters across member disks.
+
+        Returns None when no disk carries a fault injector, so reports of
+        fault-free runs stay unchanged.
+        """
+        from repro.faults import FaultStats
+
+        injectors = [d.fault_injector for d in self.disks if d.fault_injector]
+        if not injectors:
+            return None
+        pooled = FaultStats()
+        for injector in injectors:
+            pooled.merge(injector.stats)
+        return pooled.as_dict()
 
 
 def build_system(
@@ -197,13 +219,16 @@ def build_system(
     cache_bytes: int = 4 * MIB,
     scheduler_name: str = "fcfs",
     telemetry: Optional["Telemetry"] = None,
+    fault_config: Optional["FaultConfig"] = None,
 ) -> StorageSystem:
     """Build a storage system from workload-table parameters (Fig. 4a).
 
     The member disks come from the library's drive models (layout, seek
     curve); ``disk_capacity_gb`` clips the usable portion of each disk so a
     trace's address space matches the paper's systems even when the modeled
-    media holds more.
+    media holds more.  When ``fault_config`` injects disk faults, each
+    member disk gets its own injector keyed by the disk's name, so the
+    fault sequence is independent of disk count and replay order.
     """
     if disk_count < 1:
         raise SimulationError(f"disk count must be >= 1, got {disk_count}")
@@ -213,9 +238,16 @@ def build_system(
     disks: List[SimulatedDisk] = []
     from repro.simulation.scheduler import make_scheduler
 
+    inject = fault_config is not None and fault_config.injects_disk_faults
     for index in range(disk_count):
+        name = f"disk{index}"
+        injector = (
+            fault_config.injector_for(name)
+            if inject and fault_config is not None
+            else None
+        )
         disk = standard_disk(
-            name=f"disk{index}",
+            name=name,
             events=events,
             diameter_in=diameter_in,
             platters=platters,
@@ -225,6 +257,7 @@ def build_system(
             zone_count=zone_count,
             cache_bytes=cache_bytes,
             telemetry=telemetry,
+            fault_injector=injector,
         )
         disk.scheduler = make_scheduler(
             scheduler_name,

@@ -32,6 +32,8 @@ KNOWN_KINDS: Tuple[str, ...] = (
     "dtm_throttle",       # controller engaged throttling
     "dtm_resume",         # controller released throttling
     "dtm_check",          # periodic controller evaluation
+    "dtm_emergency",      # controller hit the emergency-throttle path
+    "fault_injected",     # fault injector charged a latency penalty
     "probe_sample",       # time-series probe fired (rarely traced)
 )
 

@@ -18,6 +18,7 @@ from repro.workloads.synthetic import WorkloadShape, generate_trace
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.faults import FaultConfig
     from repro.simulation.system import StorageSystem
     from repro.telemetry import Telemetry
 
@@ -67,10 +68,12 @@ class WorkloadSpec:
         self,
         rpm: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
+        fault_config: Optional["FaultConfig"] = None,
     ) -> "StorageSystem":
         """Instantiate the simulated storage system, optionally at a
-        different spindle speed (the Figure 4 RPM sweep) and optionally
-        instrumented with a telemetry subsystem."""
+        different spindle speed (the Figure 4 RPM sweep), optionally
+        instrumented with a telemetry subsystem, and optionally with
+        deterministic fault injection on every member disk."""
         from repro.simulation.system import build_system
 
         return build_system(
@@ -84,6 +87,7 @@ class WorkloadSpec:
             kbpi=self.kbpi,
             ktpi=self.ktpi,
             telemetry=telemetry,
+            fault_config=fault_config,
         )
 
     def generate(

@@ -32,9 +32,21 @@ class TestResolveWorkers:
     def test_capped_by_tasks(self):
         assert resolve_workers(8, 2) == 2
 
-    def test_rejects_nonpositive(self):
+    def test_zero_selects_serial_path(self):
+        assert resolve_workers(0, 4) == 1
+
+    def test_one_selects_serial_path(self):
+        assert resolve_workers(1, 4) == 1
+
+    def test_none_uses_cpu_count_capped_by_tasks(self):
+        import os
+
+        expected = min(os.cpu_count() or 1, 64)
+        assert resolve_workers(None, 64) == max(1, expected)
+
+    def test_rejects_negative(self):
         with pytest.raises(SimulationError):
-            resolve_workers(0, 4)
+            resolve_workers(-1, 4)
 
 
 class TestRunSweep:

@@ -273,6 +273,25 @@ class TestExporters:
         assert doc["metrics"]["empty"]["min"] is None
         assert doc["metrics"]["empty"]["max"] is None
 
+    def test_json_never_emits_infinity_literals(self):
+        """A registered-but-never-observed histogram must round-trip
+        through a strict JSON parser: its untouched min/max sentinels
+        (+inf/-inf) serialize as null, never as ``Infinity``."""
+        tel = Telemetry()
+        tel.registry.histogram("never_observed")
+        text = to_json(tel)
+        assert "Infinity" not in text
+        assert "NaN" not in text
+
+        def reject(const):
+            raise AssertionError(f"non-standard JSON constant {const!r}")
+
+        doc = json.loads(text, parse_constant=reject)
+        snap = doc["metrics"]["never_observed"]
+        assert snap["count"] == 0
+        assert snap["min"] is None
+        assert snap["max"] is None
+
     def test_csv_round_trip(self):
         tel = self._populated()
         text = probes_to_csv(tel.probes)
