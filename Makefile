@@ -5,7 +5,7 @@ PYTHON ?= python
 # consistent path, with src first so the in-repo package always wins.
 export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke fault-smoke sweep reproduce lint typecheck coverage check
+.PHONY: test bench bench-smoke fault-smoke store-smoke regen-golden sweep reproduce lint typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,20 @@ bench:           ## full paper benchmark harness (slow)
 
 bench-smoke:     ## miniature sweep benchmark + BENCH_PR1.json schema check (<60 s)
 	$(PYTHON) -m pytest tests/test_bench_smoke.py -q -m "not slow"
+
+regen-golden:    ## regenerate tests/golden/*.json (refuses on a dirty tree)
+	@if ! git diff --quiet || ! git diff --cached --quiet; then \
+		echo "regen-golden: working tree is dirty; commit or stash first" >&2; \
+		echo "  (goldens must regenerate from a known state so the fixture" >&2; \
+		echo "   diff is attributable to exactly one committed model change)" >&2; \
+		exit 1; \
+	fi
+	$(PYTHON) tools/regen_golden.py
+	git --no-pager diff --stat -- tests/golden
+
+store-smoke:     ## result-store gate: second run of a sweep must be ~all hits
+	$(PYTHON) -m pytest tests/test_store_smoke.py -q
+	$(PYTHON) -m repro store verify --store-dir "$${REPRO_STORE_DIR:-$$HOME/.cache/repro}"
 
 fault-smoke:     ## crash-recovery gate: injected sweep survives a dead worker
 	$(PYTHON) -m pytest tests/test_fault_smoke.py -q

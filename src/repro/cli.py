@@ -13,6 +13,10 @@ Exposes the library's main queries without writing Python::
     python -m repro sweep workload tpcc,oltp # parallel Figure 4 sweep
     python -m repro sweep workload tpcc --telemetry --telemetry-out tel.json
     python -m repro sweep workload tpcc --inject-faults --partial-results
+    python -m repro sweep workload tpcc --store      # memoized sweep
+    python -m repro sweep workload tpcc --store --resume sweep_manifest.json
+    python -m repro store stats              # result-store inventory
+    python -m repro store verify             # integrity-check every entry
     python -m repro trace tpcc -n 2000       # instrumented replay + sparklines
     python -m repro faults tpcc --media-rate 0.02   # fault-injected replay
     python -m repro lint src/repro           # thermolint static analysis
@@ -280,6 +284,55 @@ def _fault_config_from(args: argparse.Namespace):
     )
 
 
+def _store_from(args: argparse.Namespace):
+    """Build the ResultStore the flags ask for (None when caching is off)."""
+    use_store = bool(
+        getattr(args, "store", False)
+        or getattr(args, "store_dir", None)
+        or getattr(args, "resume", None)
+    )
+    if not use_store:
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore(root=args.store_dir)
+
+
+def _check_resume_manifest(path: str, task_keys: List[str]) -> None:
+    """Validate a ``--resume`` manifest against this sweep's task keys.
+
+    The manifest is advisory — resume itself is just the store serving
+    hits — but resuming against the *wrong* configuration silently
+    recomputes everything, so a key mismatch is a hard error naming the
+    actual problem.
+    """
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read resume manifest {path}: {exc}") from exc
+    store_section = manifest.get("store") if isinstance(manifest, dict) else None
+    if not isinstance(store_section, dict) or "task_keys" not in store_section:
+        raise ReproError(
+            f"resume manifest {path} has no store section; it was written "
+            "by a sweep that ran without --store"
+        )
+    previous = store_section["task_keys"]
+    if previous != task_keys:
+        raise ReproError(
+            f"resume manifest {path} describes a different sweep "
+            f"({len(previous)} task(s), this run has {len(task_keys)}; "
+            "keys differ) — same workloads, RPM ladder, request count, "
+            "seed and fault plan are required"
+        )
+    print(
+        f"resuming from {path}: {manifest.get('tasks_ok', '?')}/"
+        f"{manifest.get('tasks_total', '?')} task(s) previously completed"
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.scaling import PAPER_TRENDS
     from repro.simulation.sweep import sweep_roadmap, sweep_workloads
@@ -316,39 +369,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     telemetry = bool(args.telemetry or args.telemetry_out)
     fault_config = _fault_config_from(args)
-    common = dict(
+    store = _store_from(args)
+    partial = bool(args.partial_results or args.resume)
+    task_kwargs = dict(
         names=args.names,
         rpm_steps=args.steps,
         requests=args.requests,
         seed=args.seed,
-        workers=args.workers,
         telemetry=telemetry,
         probe_interval_ms=args.probe_interval,
         fault_config=fault_config,
     )
-    if args.partial_results:
+    with_holes = None
+    if partial or store is not None:
         from repro.simulation.sweep import (
             build_workload_tasks,
             sweep_workloads_resilient,
+            workload_task_key,
         )
 
-        with_holes, run_report = sweep_workloads_resilient(
-            retries=args.retries, timeout_s=args.task_timeout, **common
-        )
-        results = [r for r in with_holes if r is not None]
-        labels = [
-            t.label()
-            for t in build_workload_tasks(
-                args.names,
-                rpm_steps=args.steps,
-                requests=args.requests,
-                seed=args.seed,
+        tasks = build_workload_tasks(**task_kwargs)
+        if args.resume:
+            _check_resume_manifest(
+                args.resume, [workload_task_key(t) for t in tasks]
             )
-        ]
-        if run_report.failed or args.manifest_out:
+        with_holes, run_report = sweep_workloads_resilient(
+            workers=args.workers,
+            retries=args.retries,
+            timeout_s=args.task_timeout,
+            store=store,
+            **task_kwargs,
+        )
+        if not partial:
+            run_report.raise_on_failure()
+        results = [r for r in with_holes if r is not None]
+        write_manifest = partial and (
+            run_report.failed or args.manifest_out or store is not None
+        )
+        if write_manifest:
             import json
 
-            manifest = run_report.manifest(task_labels=labels)
+            manifest = run_report.manifest(
+                task_labels=[t.label() for t in tasks]
+            )
             out = args.manifest_out or "sweep_manifest.json"
             with open(out, "w", encoding="utf-8") as handle:
                 json.dump(
@@ -357,10 +420,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 handle.write("\n")
             print(
                 f"{run_report.ok_count}/{len(run_report.envelopes)} sweep "
-                f"points completed; failure manifest written to {out}"
+                f"points completed; manifest written to {out}"
+            )
+        if store is not None:
+            print(
+                f"store: {run_report.store_hits} hit(s), "
+                f"{run_report.store_misses} miss(es), "
+                f"{store.corrupt} corrupt — {store.root}"
             )
     else:
-        results = sweep_workloads(**common)
+        results = sweep_workloads(workers=args.workers, **task_kwargs)
+    if args.results_out:
+        from repro.simulation.sweep import results_json_bytes
+
+        payload_results = with_holes if with_holes is not None else results
+        with open(args.results_out, "wb") as binary:
+            binary.write(results_json_bytes(payload_results))
+        print(f"wrote canonical results for {len(results)} points to {args.results_out}")
     if telemetry:
         import json
 
@@ -482,6 +558,48 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Result-store maintenance: stats / gc / verify."""
+    from repro.store import ResultStore
+
+    store = ResultStore(root=args.store_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(
+            format_table(
+                ["store", "entries", "bytes", "cap bytes", "quarantined"],
+                [
+                    [
+                        stats.root,
+                        f"{stats.entries}",
+                        f"{stats.total_bytes}",
+                        f"{stats.max_bytes}",
+                        f"{stats.quarantined}",
+                    ]
+                ],
+            )
+        )
+        return 0
+    if args.action == "gc":
+        evicted = store.gc(max_bytes=args.max_bytes)
+        stats = store.stats()
+        print(
+            f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}; "
+            f"{stats.entries} left ({stats.total_bytes} bytes) in {stats.root}"
+        )
+        return 0
+    # verify
+    report = store.verify()
+    print(
+        f"checked {report.checked} entr"
+        f"{'y' if report.checked == 1 else 'ies'}: "
+        f"{report.ok} ok, {report.corrupt} corrupt"
+    )
+    for key in report.quarantined_keys:
+        print(f"  quarantined {key}")
+    return 1 if report.corrupt else 0
 
 
 def _load_thermolint() -> "ModuleType":
@@ -693,6 +811,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-task wall-clock deadline (with --partial-results)",
     )
+    ps.add_argument(
+        "--store",
+        action="store_true",
+        help="serve completed points from the content-addressed result "
+        "store and persist new ones (see `repro store`)",
+    )
+    ps.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help="result-store directory (implies --store; default "
+        "$REPRO_STORE_DIR or ~/.cache/repro)",
+    )
+    ps.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="resume a previous --store run from its manifest (implies "
+        "--store and --partial-results; completed tasks become hits)",
+    )
+    ps.add_argument(
+        "--results-out",
+        default=None,
+        metavar="PATH",
+        help="write canonical result JSON (repro.sweep_results/1) here",
+    )
+
+    p = sub.add_parser(
+        "store", help="content-addressed result-store maintenance"
+    )
+    store_sub = p.add_subparsers(dest="action", required=True)
+    for action, blurb in (
+        ("stats", "entry count, size and quarantine inventory"),
+        ("gc", "evict least-recently-used entries down to the size cap"),
+        ("verify", "integrity-check every entry, quarantining failures"),
+    ):
+        ps2 = store_sub.add_parser(action, help=blurb)
+        ps2.add_argument(
+            "--store-dir",
+            default=None,
+            metavar="PATH",
+            help="store directory (default $REPRO_STORE_DIR or ~/.cache/repro)",
+        )
+        if action == "gc":
+            ps2.add_argument(
+                "--max-bytes",
+                type=int,
+                default=None,
+                help="override the size cap for this collection",
+            )
 
     p = sub.add_parser(
         "faults", help="fault-injected replay: healthy vs injected comparison"
@@ -782,6 +950,7 @@ _HANDLERS = {
     "throttle": _cmd_throttle,
     "slack": _cmd_slack,
     "sweep": _cmd_sweep,
+    "store": _cmd_store,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "lint": _cmd_lint,

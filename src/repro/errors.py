@@ -48,6 +48,10 @@ class FaultError(ReproError):
     """A fault-injection plan is invalid (rates, retries, taxonomy)."""
 
 
+class StoreError(ReproError):
+    """The result store was given an invalid key, config or directory."""
+
+
 class SweepExecutionError(SimulationError):
     """A sweep task failed and the caller asked for strict (fail-fast)
     semantics; carries the worker-side traceback text."""

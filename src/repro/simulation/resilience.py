@@ -76,6 +76,8 @@ class TaskEnvelope:
         attempts: how many times the task was attempted.
         elapsed_s: wall-clock duration of the *successful* attempt (or
             the last failed one).
+        cached: True when the result was served from the result store
+            rather than computed (``attempts`` is then 0).
     """
 
     index: int
@@ -86,6 +88,7 @@ class TaskEnvelope:
     traceback_text: str = ""
     attempts: int = 0
     elapsed_s: float = 0.0
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -98,6 +101,8 @@ class TaskEnvelope:
             "attempts": self.attempts,
             "elapsed_s": self.elapsed_s,
         }
+        if self.cached:
+            out["cached"] = True
         if not self.ok:
             out["error_type"] = self.error_type
             out["error_message"] = self.error_message
@@ -119,6 +124,11 @@ class SweepRunReport:
     timeouts: int = 0
     retries: int = 0
     interrupted: bool = False
+    #: result-store accounting (populated by :func:`run_sweep_cached`;
+    #: ``task_keys`` is None when the run was uncached).
+    store_hits: int = 0
+    store_misses: int = 0
+    task_keys: Optional[List[str]] = None
 
     def results(self) -> List[Any]:
         """Per-task results in task order (None for failed tasks)."""
@@ -169,7 +179,7 @@ class SweepRunReport:
             if label(envelope.index) is not None:
                 entry["task"] = label(envelope.index)
             failures.append(entry)
-        return {
+        document = {
             "schema": MANIFEST_SCHEMA,
             "tasks_total": len(self.envelopes),
             "tasks_ok": self.ok_count,
@@ -180,6 +190,16 @@ class SweepRunReport:
             "interrupted": self.interrupted,
             "failures": failures,
         }
+        if self.task_keys is not None:
+            from repro.store import STORE_SCHEMA
+
+            document["store"] = {
+                "schema": STORE_SCHEMA,
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "task_keys": list(self.task_keys),
+            }
+        return document
 
 
 def _guarded_call(
@@ -255,6 +275,7 @@ def run_sweep_resilient(
     backoff_s: float = 0.0,
     timeout_s: Optional[float] = None,
     telemetry: Optional[Any] = None,
+    on_result: Optional[Callable[[TaskEnvelope], None]] = None,
 ) -> SweepRunReport:
     """Run a sweep that survives worker faults and returns every outcome.
 
@@ -275,6 +296,12 @@ def run_sweep_resilient(
             pool is respawned.  Not enforced on the serial path.
         telemetry: optional :class:`repro.telemetry.Telemetry`; mirrors
             ``sweep.*`` counters into its registry.
+        on_result: parent-side hook invoked with each *successful*
+            envelope as soon as it lands (in completion order, not task
+            order).  The result store uses this to persist results
+            incrementally, so even an interrupted run leaves its finished
+            tasks resumable.  Exceptions propagate; wrap the hook if a
+            side effect must not abort the sweep.
 
     Returns:
         A :class:`SweepRunReport` with one envelope per task, in task
@@ -299,10 +326,13 @@ def run_sweep_resilient(
         return SweepRunReport(envelopes=[])
     resolved = resolve_workers(workers, len(tasks))
     if resolved <= 1:
-        report = _run_serial(tasks, worker, retries, backoff_s, counters)
+        report = _run_serial(
+            tasks, worker, retries, backoff_s, counters, on_result
+        )
     else:
         report = _run_parallel(
-            tasks, worker, resolved, retries, backoff_s, timeout_s, counters
+            tasks, worker, resolved, retries, backoff_s, timeout_s, counters,
+            on_result,
         )
     counters.count("sweep.tasks_ok", float(report.ok_count))
     counters.count("sweep.tasks_failed_total", float(len(report.failed)))
@@ -321,6 +351,7 @@ def _run_serial(
     retries: int,
     backoff_s: float,
     counters: _Counters,
+    on_result: Optional[Callable[[TaskEnvelope], None]] = None,
 ) -> SweepRunReport:
     report = SweepRunReport(envelopes=[])
     for index, task in enumerate(tasks):
@@ -332,6 +363,8 @@ def _run_serial(
                 counters.count("sweep.retries_total")
             envelope = _guarded_call(worker, task, index, attempt)
             if envelope.ok:
+                if on_result is not None:
+                    on_result(envelope)
                 break
             counters.count("sweep.task_errors_total")
         report.envelopes.append(envelope)
@@ -346,6 +379,7 @@ def _run_parallel(
     backoff_s: float,
     timeout_s: Optional[float],
     counters: _Counters,
+    on_result: Optional[Callable[[TaskEnvelope], None]] = None,
 ) -> SweepRunReport:
     envelopes: List[Optional[TaskEnvelope]] = [None] * len(tasks)
     report = SweepRunReport(envelopes=[])
@@ -407,6 +441,8 @@ def _run_parallel(
             return True
         if envelope.ok:
             envelopes[index] = envelope
+            if on_result is not None:
+                on_result(envelope)
         else:
             record_failure(
                 index, attempt, STATUS_ERROR, envelope.error_type,
@@ -509,3 +545,111 @@ def _run_parallel(
     if missing:  # pragma: no cover - defensive; every path fills its slot
         raise SimulationError(f"{missing} sweep task(s) produced no envelope")
     return report
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed memoization on top of the resilient executor
+# ---------------------------------------------------------------------------
+
+
+def run_sweep_cached(
+    tasks: Sequence[TaskT],
+    worker: Callable[[TaskT], ResultT],
+    store: Any,
+    key_fn: Callable[[TaskT], str],
+    encode: Callable[[ResultT], Any],
+    decode: Callable[[Any], ResultT],
+    kind: str = "",
+    workers: Optional[int] = None,
+    retries: int = 2,
+    backoff_s: float = 0.0,
+    timeout_s: Optional[float] = None,
+    telemetry: Optional[Any] = None,
+) -> SweepRunReport:
+    """Run a sweep through a :class:`repro.store.ResultStore`.
+
+    Every task key is looked up *before any worker is spawned*; hits
+    become ``cached`` ok-envelopes instantly (zero attempts), and only
+    the misses go to :func:`run_sweep_resilient`.  Each miss that
+    completes is persisted immediately (not at sweep end), so a run
+    killed halfway leaves its finished tasks behind as hits — that is
+    the whole resume story: re-running the same configuration *is* the
+    resume.
+
+    The store is consulted defensively end to end: a corrupt entry is
+    quarantined inside :meth:`ResultStore.get`; an intact entry the
+    ``decode`` codec still rejects is retired via
+    :meth:`ResultStore.reject`; a failing ``put`` (disk full, permission
+    lost mid-run) is counted as ``store.put_failed`` and the sweep
+    carries on uncached.  Cache trouble can cost recomputation, never a
+    sweep.
+
+    Args:
+        store: a :class:`repro.store.ResultStore`.
+        key_fn: task -> canonical content key (see
+            :func:`repro.store.config_key`).
+        encode / decode: result <-> JSON-safe payload codec; ``decode``
+            must reconstruct a result indistinguishable from a computed
+            one (the differential suite asserts byte-identity).
+        kind: task-family tag stored in each envelope.
+        workers / retries / backoff_s / timeout_s / telemetry: forwarded
+            to :func:`run_sweep_resilient` for the misses.
+
+    Returns:
+        A :class:`SweepRunReport` covering *all* tasks in task order,
+        with ``store_hits`` / ``store_misses`` / ``task_keys`` filled in
+        (so ``manifest()`` grows its store section).
+    """
+    store.bind_telemetry(telemetry)
+    keys = [key_fn(task) for task in tasks]
+    slots: List[Optional[TaskEnvelope]] = [None] * len(tasks)
+    miss_indices: List[int] = []
+    for index, key in enumerate(keys):
+        payload = store.get(key)
+        result: Optional[ResultT] = None
+        if payload is not None:
+            try:
+                result = decode(payload)
+            except Exception:
+                store.reject(key)
+                result = None
+        if result is not None:
+            slots[index] = TaskEnvelope(
+                index=index, status=STATUS_OK, result=result, cached=True
+            )
+        else:
+            miss_indices.append(index)
+
+    def persist(envelope: TaskEnvelope) -> None:
+        original = miss_indices[envelope.index]
+        try:
+            store.put(keys[original], encode(envelope.result), kind=kind)
+        except Exception:
+            # Persisting is an optimization; losing it must not lose the
+            # sweep.  The counter makes the silence observable.
+            store.note_put_failed()
+
+    sub = run_sweep_resilient(
+        [tasks[i] for i in miss_indices],
+        worker,
+        workers=workers,
+        retries=retries,
+        backoff_s=backoff_s,
+        timeout_s=timeout_s,
+        telemetry=telemetry,
+        on_result=persist,
+    )
+    for envelope, original in zip(sub.envelopes, miss_indices):
+        envelope.index = original
+        slots[original] = envelope
+    hit_count = len(tasks) - len(miss_indices)
+    return SweepRunReport(
+        envelopes=[slot for slot in slots if slot is not None],
+        pool_breaks=sub.pool_breaks,
+        timeouts=sub.timeouts,
+        retries=sub.retries,
+        interrupted=sub.interrupted,
+        store_hits=hit_count,
+        store_misses=len(miss_indices),
+        task_keys=keys,
+    )

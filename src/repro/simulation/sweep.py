@@ -52,6 +52,7 @@ from repro.faults import FaultConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.scaling.roadmap import RoadmapPoint
     from repro.simulation.resilience import SweepRunReport
+    from repro.store import ResultStore
     from repro.telemetry import Telemetry
 
 TaskT = TypeVar("TaskT")
@@ -248,6 +249,151 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
     )
 
 
+# ---------------------------------------------------------------------------
+# Result-store integration: task keys and the result codec
+#
+# These live next to the dataclasses they serialize so a field added to
+# WorkloadTask/WorkloadSweepResult is immediately visible here — forgetting
+# to fold it into the key or the codec is a correctness bug (stale hits),
+# which is why the key covers *every* material field and the code-schema
+# salt exists for everything else.
+# ---------------------------------------------------------------------------
+
+#: Task-family tag salted into every workload-sweep key.  Bump the suffix
+#: when WorkloadSweepResult changes shape (the payload codec version).
+WORKLOAD_TASK_KIND = "workload_sweep/1"
+
+#: Schema of the results document written by ``--results-out`` and used
+#: for byte-identity checks in the differential suite.
+RESULTS_SCHEMA = "repro.sweep_results/1"
+
+
+def workload_task_key(task: WorkloadTask) -> str:
+    """The canonical content key of one workload sweep point.
+
+    Immaterial knobs are normalized out: ``probe_interval_ms`` and
+    ``trace_capacity`` shape only the telemetry snapshot, so with
+    ``telemetry=False`` they are folded to None — asking for the same
+    replay with a different (unused) probe interval is the same task.
+    """
+    import dataclasses
+
+    from repro.store import config_key
+
+    fault = (
+        dataclasses.asdict(task.fault_config)
+        if task.fault_config is not None
+        else None
+    )
+    config = {
+        "workload": task.workload,
+        "rpm": task.rpm,
+        "requests": task.requests,
+        "seed": task.seed,
+        "keep_samples": task.keep_samples,
+        "telemetry": task.telemetry,
+        "probe_interval_ms": task.probe_interval_ms if task.telemetry else None,
+        "trace_capacity": task.trace_capacity if task.telemetry else None,
+        "fault_config": fault,
+    }
+    return config_key(WORKLOAD_TASK_KIND, config)
+
+
+def workload_result_to_payload(result: WorkloadSweepResult) -> Dict[str, object]:
+    """Serialize one result into an exact, strict-JSON-safe payload."""
+    from repro.store import encode_payload
+
+    return {
+        "workload": result.workload,
+        "rpm": result.rpm,
+        "requests": result.requests,
+        "seed": result.seed,
+        "mean_ms": result.mean_ms,
+        "median_ms": result.median_ms,
+        "p95_ms": result.p95_ms,
+        "max_ms": result.max_ms,
+        "simulated_ms": result.simulated_ms,
+        "max_utilization": result.max_utilization,
+        "cache_hit_ratio": result.cache_hit_ratio,
+        "cdf": [[x, y] for x, y in result.cdf],
+        "samples_ms": list(result.samples_ms),
+        "telemetry": (
+            encode_payload(result.telemetry)
+            if result.telemetry is not None
+            else None
+        ),
+        "fault_summary": (
+            encode_payload(result.fault_summary)
+            if result.fault_summary is not None
+            else None
+        ),
+    }
+
+
+def workload_result_from_payload(payload: Dict[str, object]) -> WorkloadSweepResult:
+    """Reconstruct a result indistinguishable from a freshly computed one.
+
+    JSON flattens tuples to lists; the tuple-typed fields are rebuilt
+    here so cached results compare (and serialize) identically to
+    computed ones — the property the differential suite pins down.
+    Numeric values pass through *uncoerced*: JSON preserves int-vs-float
+    exactly, and coercing (a CDF bucket edge of ``5`` into ``5.0``) would
+    break byte-identity between cached and computed output.
+    """
+    from repro.store import decode_payload
+
+    telemetry = payload["telemetry"]
+    fault_summary = payload["fault_summary"]
+    return WorkloadSweepResult(
+        workload=payload["workload"],  # type: ignore[arg-type]
+        rpm=payload["rpm"],  # type: ignore[arg-type]
+        requests=payload["requests"],  # type: ignore[arg-type]
+        seed=payload["seed"],  # type: ignore[arg-type]
+        mean_ms=payload["mean_ms"],  # type: ignore[arg-type]
+        median_ms=payload["median_ms"],  # type: ignore[arg-type]
+        p95_ms=payload["p95_ms"],  # type: ignore[arg-type]
+        max_ms=payload["max_ms"],  # type: ignore[arg-type]
+        simulated_ms=payload["simulated_ms"],  # type: ignore[arg-type]
+        max_utilization=payload["max_utilization"],  # type: ignore[arg-type]
+        cache_hit_ratio=payload["cache_hit_ratio"],  # type: ignore[arg-type]
+        cdf=tuple(
+            (x, y) for x, y in payload["cdf"]  # type: ignore[union-attr]
+        ),
+        samples_ms=tuple(payload["samples_ms"]),  # type: ignore[arg-type]
+        telemetry=decode_payload(telemetry) if telemetry is not None else None,
+        fault_summary=(
+            decode_payload(fault_summary) if fault_summary is not None else None
+        ),
+    )
+
+
+def results_document(
+    results: Sequence[Optional[WorkloadSweepResult]],
+) -> Dict[str, object]:
+    """The ``repro.sweep_results/1`` document for a (possibly holey) sweep."""
+    return {
+        "schema": RESULTS_SCHEMA,
+        "results": [
+            workload_result_to_payload(r) if r is not None else None
+            for r in results
+        ],
+    }
+
+
+def results_json_bytes(
+    results: Sequence[Optional[WorkloadSweepResult]],
+) -> bytes:
+    """Canonical serialized results — the byte-identity currency.
+
+    Two runs of the same sweep (serial, parallel, cached, resumed) agree
+    exactly when these bytes agree; the differential matrix and the CI
+    store-smoke job compare nothing else.
+    """
+    from repro.store import stable_json
+
+    return (stable_json(results_document(results)) + "\n").encode("utf-8")
+
+
 def build_workload_tasks(
     names: Sequence[str],
     rpms: Optional[Sequence[float]] = None,
@@ -300,6 +446,7 @@ def sweep_workloads(
     probe_interval_ms: float = 100.0,
     trace_capacity: int = 4096,
     fault_config: Optional[FaultConfig] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[WorkloadSweepResult]:
     """Fan Figure 4 replays out over (workload, RPM) points.
 
@@ -316,6 +463,8 @@ def sweep_workloads(
             every task.
         fault_config: inject deterministic drive faults into every replay
             (same plan, per-disk seeds derived inside each task).
+        store: optional :class:`repro.store.ResultStore`; completed points
+            are served from / persisted to it (bit-identical either way).
 
     Returns:
         One result per (workload, RPM) point, ordered workload-major in the
@@ -333,7 +482,23 @@ def sweep_workloads(
         trace_capacity=trace_capacity,
         fault_config=fault_config,
     )
-    return run_sweep(tasks, _run_workload_task, workers=workers)
+    if store is None:
+        return run_sweep(tasks, _run_workload_task, workers=workers)
+    from repro.simulation.resilience import run_sweep_cached
+
+    report = run_sweep_cached(
+        tasks,
+        _run_workload_task,
+        store,
+        workload_task_key,
+        workload_result_to_payload,
+        workload_result_from_payload,
+        kind=WORKLOAD_TASK_KIND,
+        workers=workers,
+        retries=0,
+    )
+    report.raise_on_failure()
+    return report.ok_results()
 
 
 def sweep_workloads_resilient(
@@ -352,6 +517,7 @@ def sweep_workloads_resilient(
     backoff_s: float = 0.0,
     timeout_s: Optional[float] = None,
     run_telemetry: Optional["Telemetry"] = None,
+    store: Optional["ResultStore"] = None,
 ) -> Tuple[List[Optional[WorkloadSweepResult]], "SweepRunReport"]:
     """The Figure 4 sweep with partial-results semantics.
 
@@ -367,8 +533,13 @@ def sweep_workloads_resilient(
             ``sweep.*`` retry/timeout/pool-break counters (distinct from
             ``telemetry=``, which instruments each replay inside its
             worker).
+        store: optional :class:`repro.store.ResultStore`; hits skip the
+            executor entirely, misses are persisted as they complete, and
+            the report (and its manifest) gains store accounting —
+            re-running a partially failed sweep with the same store only
+            recomputes the failed points.
     """
-    from repro.simulation.resilience import run_sweep_resilient
+    from repro.simulation.resilience import run_sweep_cached, run_sweep_resilient
 
     tasks = build_workload_tasks(
         names,
@@ -382,13 +553,29 @@ def sweep_workloads_resilient(
         trace_capacity=trace_capacity,
         fault_config=fault_config,
     )
-    report = run_sweep_resilient(
-        tasks,
-        _run_workload_task,
-        workers=workers,
-        retries=retries,
-        backoff_s=backoff_s,
-        timeout_s=timeout_s,
-        telemetry=run_telemetry,
-    )
+    if store is not None:
+        report = run_sweep_cached(
+            tasks,
+            _run_workload_task,
+            store,
+            workload_task_key,
+            workload_result_to_payload,
+            workload_result_from_payload,
+            kind=WORKLOAD_TASK_KIND,
+            workers=workers,
+            retries=retries,
+            backoff_s=backoff_s,
+            timeout_s=timeout_s,
+            telemetry=run_telemetry,
+        )
+    else:
+        report = run_sweep_resilient(
+            tasks,
+            _run_workload_task,
+            workers=workers,
+            retries=retries,
+            backoff_s=backoff_s,
+            timeout_s=timeout_s,
+            telemetry=run_telemetry,
+        )
     return report.results(), report

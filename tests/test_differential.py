@@ -1,0 +1,156 @@
+"""Differential sweep matrix: every execution mode, one set of bytes.
+
+PR 1 established serial == parallel; PR 4 extended it to fault-injected
+runs; this suite extends it to the result store.  For each workload the
+same sweep is executed six ways —
+
+* **serial** (in-process, no store),
+* **parallel** (2-worker process pool, no store),
+* **fault-injected** (serial and parallel, deterministic fault plan),
+* **cold store** (empty store: all misses, results persisted),
+* **warm store** (same store: all hits, nothing computed),
+* **resumed** (store pre-populated with *part* of the sweep, simulating
+  a run that crashed halfway; the rest recomputed)
+
+— and all of them must serialize to byte-identical canonical result JSON
+(:func:`repro.simulation.sweep.results_json_bytes`).  Anything weaker
+than byte equality would let a lossy codec or an unstable serialization
+hide behind float tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.simulation.sweep import (
+    build_workload_tasks,
+    results_json_bytes,
+    sweep_workloads,
+    sweep_workloads_resilient,
+)
+from repro.store import ResultStore
+
+#: ≥3 catalog workloads, as the differential contract requires.
+WORKLOADS = ["tpcc", "oltp", "openmail"]
+
+#: Small but non-trivial: two spindle speeds, a few hundred requests.
+RPMS = [10000.0, 15000.0]
+REQUESTS = 250
+SEED = 7
+
+
+def _sweep_kwargs(name: str) -> dict:
+    return dict(names=[name], rpms=RPMS, requests=REQUESTS, seed=SEED)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_differential_matrix(name, tmp_path):
+    kwargs = _sweep_kwargs(name)
+
+    serial = sweep_workloads(workers=0, **kwargs)
+    parallel = sweep_workloads(workers=2, **kwargs)
+
+    cold_store = ResultStore(root=tmp_path / "cold")
+    cold = sweep_workloads(workers=2, store=cold_store, **kwargs)
+    assert cold_store.hits == 0 and cold_store.puts == len(serial)
+
+    warm = sweep_workloads(workers=0, store=cold_store, **kwargs)
+    assert cold_store.hits == len(serial), "warm run must be all hits"
+
+    # Resume-after-crash: a store holding only the first point, as if the
+    # original run died after completing one task.  (Results persist as
+    # they finish, so a killed run really does leave exactly this state.)
+    crashed_store = ResultStore(root=tmp_path / "crashed")
+    sweep_workloads(
+        names=[name], rpms=RPMS[:1], requests=REQUESTS, seed=SEED,
+        workers=0, store=crashed_store,
+    )
+    assert crashed_store.puts == 1
+    resumed = sweep_workloads(workers=2, store=crashed_store, **kwargs)
+    assert crashed_store.hits == 1, "the surviving point must be a hit"
+
+    reference = results_json_bytes(serial)
+    for label, run in (
+        ("parallel", parallel),
+        ("cold-store", cold),
+        ("warm-store", warm),
+        ("resumed", resumed),
+    ):
+        assert results_json_bytes(run) == reference, (
+            f"{label} run of {name} diverged from the serial bytes"
+        )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_differential_matrix_fault_injected(name, tmp_path):
+    """The same matrix under deterministic fault injection."""
+    fault = FaultConfig(seed=3, media_rate=0.05, servo_rate=0.01)
+    kwargs = dict(_sweep_kwargs(name), fault_config=fault)
+
+    serial = sweep_workloads(workers=0, **kwargs)
+    parallel = sweep_workloads(workers=2, **kwargs)
+    store = ResultStore(root=tmp_path / "store")
+    cold = sweep_workloads(workers=2, store=store, **kwargs)
+    warm = sweep_workloads(workers=0, store=store, **kwargs)
+    assert store.hits == len(serial)
+
+    assert any((r.fault_summary or {}).get("total_injected", 0) > 0
+               for r in serial), "fault plan must actually inject"
+    reference = results_json_bytes(serial)
+    for label, run in (
+        ("parallel", parallel), ("cold-store", cold), ("warm-store", warm),
+    ):
+        assert results_json_bytes(run) == reference, (
+            f"fault-injected {label} run of {name} diverged"
+        )
+
+
+def test_fault_config_is_part_of_the_key(tmp_path):
+    """A faulty and a healthy replay of the same point must never share
+    a cache entry — the fault plan is a material key field."""
+    store = ResultStore(root=tmp_path)
+    healthy = sweep_workloads(
+        workers=0, store=store, **_sweep_kwargs("tpcc")
+    )
+    injected = sweep_workloads(
+        workers=0, store=store,
+        fault_config=FaultConfig(seed=3, media_rate=0.05),
+        **_sweep_kwargs("tpcc"),
+    )
+    assert store.hits == 0, "different fault plans must not collide"
+    assert results_json_bytes(healthy) != results_json_bytes(injected)
+
+
+def test_resilient_path_matches_strict_path_bytes(tmp_path):
+    """The partial-results executor (with store) produces the same bytes
+    as the strict one, holes permitting."""
+    kwargs = _sweep_kwargs("tpcc")
+    strict = sweep_workloads(workers=0, **kwargs)
+    store = ResultStore(root=tmp_path)
+    with_holes, report = sweep_workloads_resilient(
+        workers=2, store=store, **kwargs
+    )
+    assert report.ok_count == len(strict)
+    assert results_json_bytes(with_holes) == results_json_bytes(strict)
+    # The manifest's store section names every task key.
+    tasks = build_workload_tasks(**kwargs)
+    manifest = report.manifest(task_labels=[t.label() for t in tasks])
+    assert manifest["store"]["misses"] == len(tasks)
+    assert len(manifest["store"]["task_keys"]) == len(tasks)
+
+
+def test_telemetry_snapshots_round_trip_byte_identically(tmp_path):
+    """Telemetry-instrumented results (the heaviest payloads: metric
+    snapshots, event traces, probe series) survive the store exactly."""
+    kwargs = dict(
+        names=["tpcc"], rpms=RPMS[:1], requests=200, seed=SEED,
+        telemetry=True, probe_interval_ms=50.0, trace_capacity=512,
+    )
+    direct = sweep_workloads(workers=0, **kwargs)
+    store = ResultStore(root=tmp_path)
+    sweep_workloads(workers=0, store=store, **kwargs)
+    cached = sweep_workloads(workers=0, store=store, **kwargs)
+    assert store.hits == 1
+    assert results_json_bytes(cached) == results_json_bytes(direct)
+    assert cached[0].telemetry is not None

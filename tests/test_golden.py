@@ -1,0 +1,133 @@
+"""Golden regression fixtures: current model outputs vs checked-in JSON.
+
+``tests/golden/*.json`` pin the model outputs for the paper's two central
+artifacts — the Table 1 validation set and the Figure 2 thermal roadmap.
+These tests recompute both and compare against the fixtures with *tight*
+tolerances (1e-9 relative): loose enough to survive a change of libm,
+far too tight for any genuine model change to slip through.
+
+When a deliberate model change trips these tests, regenerate with
+``make regen-golden`` (clean tree only) and commit the fixture diff
+alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+import regen_golden  # the generator doubles as the recompute library
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Relative tolerance for float comparisons.  Tight on purpose: golden
+#: fixtures exist to catch drift, not to absorb it.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def _diff(expected, actual, path="$", out=None):
+    """Collect human-actionable differences between two JSON documents.
+
+    Every divergence is reported as ``path: expected X, got Y`` so a
+    failure names the exact drive/year/field that moved, not just
+    "documents differ".
+    """
+    if out is None:
+        out = []
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        # bool is an int subclass; compare identically-typed only.
+        if expected is not actual:
+            out.append(f"{path}: expected {expected!r}, got {actual!r}")
+    elif isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if not math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            rel = abs(actual - expected) / max(abs(expected), ABS_TOL)
+            out.append(
+                f"{path}: expected {expected!r}, got {actual!r} "
+                f"(rel err {rel:.3e}, tol {REL_TOL:.0e})"
+            )
+    elif isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(expected.keys() - actual.keys()):
+            out.append(f"{path}.{key}: missing from actual")
+        for key in sorted(actual.keys() - expected.keys()):
+            out.append(f"{path}.{key}: unexpected in actual")
+        for key in sorted(expected.keys() & actual.keys()):
+            _diff(expected[key], actual[key], f"{path}.{key}", out)
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(
+                f"{path}: expected {len(expected)} items, got {len(actual)}"
+            )
+        for index, (e_item, a_item) in enumerate(zip(expected, actual)):
+            _diff(e_item, a_item, f"{path}[{index}]", out)
+    elif expected != actual:
+        out.append(f"{path}: expected {expected!r}, got {actual!r}")
+    return out
+
+
+def _assert_matches_golden(fixture_name: str, actual: dict) -> None:
+    fixture = GOLDEN_DIR / fixture_name
+    expected = json.loads(fixture.read_text(encoding="utf-8"))
+    differences = _diff(expected, actual)
+    if differences:
+        shown = "\n  ".join(differences[:25])
+        more = len(differences) - 25
+        suffix = f"\n  ... and {more} more" if more > 0 else ""
+        pytest.fail(
+            f"{fixture_name} diverged from the current model "
+            f"({len(differences)} difference(s)):\n  {shown}{suffix}\n"
+            "If this change is intentional, regenerate with "
+            "`make regen-golden` (clean tree) and commit the fixture diff.",
+            pytrace=False,
+        )
+
+
+def test_table1_matches_golden():
+    _assert_matches_golden("table1.json", regen_golden.table1_document())
+
+
+def test_roadmap_matches_golden():
+    _assert_matches_golden(
+        "roadmap_2002_2012.json", regen_golden.roadmap_document()
+    )
+
+
+def test_fixtures_are_strict_json():
+    """Goldens must stay portable: strict JSON, no NaN/Infinity literals."""
+    for fixture in sorted(GOLDEN_DIR.glob("*.json")):
+        document = json.loads(
+            fixture.read_text(encoding="utf-8"),
+            parse_constant=lambda name: pytest.fail(
+                f"{fixture.name} contains non-strict JSON constant {name}"
+            ),
+        )
+        assert document["schema"].startswith("repro.golden."), fixture.name
+
+
+def test_diff_engine_reports_actionable_paths():
+    """The comparator itself: paths, tolerances, type discipline."""
+    expected = {"a": [1.0, {"b": 2.0}], "c": True, "d": "x"}
+    same = {"a": [1.0 + 1e-13, {"b": 2.0}], "c": True, "d": "x"}
+    assert _diff(expected, same) == []
+
+    changed = {"a": [1.0, {"b": 2.5}], "c": False, "d": "y"}
+    report = _diff(expected, changed)
+    assert any(line.startswith("$.a[1].b:") for line in report)
+    assert any(line.startswith("$.c:") for line in report)
+    assert any(line.startswith("$.d:") for line in report)
+
+    # bool/number confusion is a difference, not a numeric match.
+    assert _diff({"x": True}, {"x": 1}) != []
+    # Missing and unexpected keys are both named.
+    report = _diff({"only_expected": 1}, {"only_actual": 1})
+    assert any("missing from actual" in line for line in report)
+    assert any("unexpected in actual" in line for line in report)

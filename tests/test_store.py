@@ -1,0 +1,260 @@
+"""Tests for the content-addressed result store (repro.store.store).
+
+The correctness contract under test: a store can *only* ever cost
+recomputation — a corrupt, truncated, evicted or otherwise damaged entry
+must surface as a miss (and be quarantined), never as a wrong result or
+a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.simulation.resilience import run_sweep_cached
+from repro.simulation.sweep import (
+    WORKLOAD_TASK_KIND,
+    _run_workload_task,
+    build_workload_tasks,
+    workload_result_from_payload,
+    workload_result_to_payload,
+    workload_task_key,
+)
+from repro.store import (
+    ResultStore,
+    config_key,
+    default_store_root,
+    payload_digest,
+)
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(root=tmp_path / "store", max_bytes=10_000_000)
+
+
+def _key(i: int = 0) -> str:
+    return config_key("test/1", {"i": i})
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self, store):
+        key = _key()
+        assert store.get(key) is None
+        store.put(key, {"value": 1.5})
+        assert store.get(key) == {"value": 1.5}
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+
+    def test_put_is_idempotent(self, store):
+        key = _key()
+        store.put(key, {"value": 1.5})
+        store.put(key, {"value": 1.5})
+        assert store.get(key) == {"value": 1.5}
+        assert store.stats().entries == 1
+
+    def test_entries_shard_by_key_prefix(self, store):
+        key = _key()
+        path = store.put(key, {"value": 1})
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.get("not-a-key")
+        with pytest.raises(StoreError):
+            store.put("abc", {})
+
+    def test_envelope_carries_schema_and_digest(self, store):
+        key = _key()
+        path = store.put(key, {"value": 2}, kind="test/1")
+        envelope = json.loads(path.read_text())
+        assert envelope["schema"] == "repro.store/1"
+        assert envelope["key"] == key
+        assert envelope["kind"] == "test/1"
+        assert envelope["payload_digest"] == payload_digest({"value": 2})
+
+    def test_default_root_honours_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "elsewhere"))
+        assert default_store_root() == tmp_path / "elsewhere"
+
+    def test_default_root_falls_back_to_home_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert str(default_store_root()).endswith(".cache/repro")
+
+    def test_max_bytes_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "12345")
+        assert ResultStore(root=tmp_path).max_bytes == 12345
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "bogus")
+        with pytest.raises(StoreError):
+            ResultStore(root=tmp_path)
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "-5")
+        with pytest.raises(StoreError):
+            ResultStore(root=tmp_path)
+
+
+class TestCorruptionRecovery:
+    """Damaged entries quarantine and recompute — never crash, never lie."""
+
+    def _flip_bit(self, path) -> None:
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def test_bit_flip_is_a_counted_miss(self, store):
+        key = _key()
+        path = store.put(key, {"value": 1.5})
+        self._flip_bit(path)
+        assert store.get(key) is None
+        assert store.corrupt == 1
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).exists()
+
+    def test_truncated_entry_is_a_counted_miss(self, store):
+        key = _key()
+        path = store.put(key, {"value": 1.5})
+        path.write_bytes(path.read_bytes()[:30])
+        assert store.get(key) is None
+        assert store.corrupt == 1
+
+    def test_invalid_utf8_is_a_counted_miss(self, store):
+        key = _key()
+        path = store.put(key, {"value": 1.5})
+        path.write_bytes(b"\xff\xfe garbage")
+        assert store.get(key) is None
+        assert store.corrupt == 1
+
+    def test_wrong_key_in_envelope_is_corrupt(self, store):
+        key, other = _key(0), _key(1)
+        path = store.put(key, {"value": 1})
+        os.makedirs(store.objects_dir / other[:2], exist_ok=True)
+        os.replace(path, store.path_for(other))
+        assert store.get(other) is None
+        assert store.corrupt == 1
+
+    def test_put_heals_a_quarantined_key(self, store):
+        key = _key()
+        path = store.put(key, {"value": 1.5})
+        self._flip_bit(path)
+        assert store.get(key) is None
+        store.put(key, {"value": 1.5})
+        assert store.get(key) == {"value": 1.5}
+
+    def test_sweep_recovers_from_bit_flipped_entry(self, store):
+        """The satellite contract: flip a stored bit, the sweep recomputes.
+
+        The recomputed result must be identical to the undamaged run and
+        the corruption must be visible in the ``store.corrupt`` counter.
+        """
+        tasks = build_workload_tasks(["tpcc"], rpms=[10000.0], requests=120)
+        tel = Telemetry()
+        store.bind_telemetry(tel)
+        report = run_sweep_cached(
+            tasks, _run_workload_task, store, workload_task_key,
+            workload_result_to_payload, workload_result_from_payload,
+            kind=WORKLOAD_TASK_KIND, workers=0,
+        )
+        (clean,) = report.ok_results()
+        self._flip_bit(store.path_for(workload_task_key(tasks[0])))
+        report = run_sweep_cached(
+            tasks, _run_workload_task, store, workload_task_key,
+            workload_result_to_payload, workload_result_from_payload,
+            kind=WORKLOAD_TASK_KIND, workers=0,
+        )
+        (recomputed,) = report.ok_results()
+        assert recomputed == clean
+        assert report.store_hits == 0 and report.store_misses == 1
+        assert store.corrupt == 1
+        assert tel.registry.counter("store.corrupt").value == 1
+        # ...and the recomputation re-persisted the entry: third run hits.
+        report = run_sweep_cached(
+            tasks, _run_workload_task, store, workload_task_key,
+            workload_result_to_payload, workload_result_from_payload,
+            kind=WORKLOAD_TASK_KIND, workers=0,
+        )
+        assert report.store_hits == 1
+
+    def test_verify_quarantines_and_reports(self, store):
+        keys = [_key(i) for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put(key, {"i": i})
+        self._flip_bit(store.path_for(keys[1]))
+        report = store.verify()
+        assert report.checked == 4
+        assert report.ok == 3
+        assert report.corrupt == 1
+        assert report.quarantined_keys == [keys[1]]
+        assert store.stats().quarantined == 1
+
+    def test_reject_retires_an_intact_entry(self, store):
+        key = _key()
+        store.put(key, {"value": 1})
+        store.reject(key)
+        assert store.get(key) is None
+        assert store.stats().quarantined == 1
+
+
+class TestGC:
+    def test_gc_is_lru_and_respects_cap(self, tmp_path):
+        store = ResultStore(root=tmp_path, max_bytes=10_000_000)
+        keys = [_key(i) for i in range(6)]
+        for i, key in enumerate(keys):
+            path = store.put(key, {"i": i, "pad": "x" * 64})
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        # Touch the oldest entry: a hit refreshes its LRU position.
+        assert store.get(keys[0]) is not None
+        entry_bytes = store.stats().total_bytes // 6
+        evicted = store.gc(max_bytes=3 * entry_bytes)
+        assert evicted == 3
+        # keys[1..3] were the least recently used; keys[0] survived its touch.
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[5]) is not None
+        assert store.get(keys[1]) is None
+
+    def test_put_triggers_gc_over_cap(self, tmp_path):
+        store = ResultStore(root=tmp_path, max_bytes=600)
+        for i in range(10):
+            store.put(_key(i), {"i": i, "pad": "x" * 40})
+        assert store.stats().total_bytes <= 600
+        assert store.evictions > 0
+
+    def test_gc_counts_into_telemetry(self, tmp_path):
+        tel = Telemetry()
+        store = ResultStore(root=tmp_path, max_bytes=10_000_000, telemetry=tel)
+        for i in range(4):
+            store.put(_key(i), {"i": i})
+        store.gc(max_bytes=1)
+        assert tel.registry.counter("store.evict").value == 4.0
+
+    def test_gc_rejects_nonpositive_cap(self, store):
+        with pytest.raises(StoreError):
+            store.gc(max_bytes=0)
+
+    def test_constructor_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(root=tmp_path, max_bytes=0)
+
+
+class TestTelemetryCounters:
+    def test_hit_miss_put_counters(self, tmp_path):
+        tel = Telemetry()
+        store = ResultStore(root=tmp_path, telemetry=tel)
+        key = _key()
+        store.get(key)
+        store.put(key, {"v": 1})
+        store.get(key)
+        counters = tel.registry
+        assert counters.counter("store.miss").value == 1.0
+        assert counters.counter("store.put").value == 1.0
+        assert counters.counter("store.hit").value == 1.0
+
+    def test_bind_telemetry_does_not_clobber(self, tmp_path):
+        tel_a, tel_b = Telemetry(), Telemetry()
+        store = ResultStore(root=tmp_path, telemetry=tel_a)
+        store.bind_telemetry(tel_b)
+        store.get(_key())
+        assert tel_a.registry.counter("store.miss").value == 1.0
+        assert tel_b.registry.counter("store.miss").value == 0.0

@@ -1,0 +1,92 @@
+"""CI ``store-smoke`` gate: the result store must actually save work.
+
+Drives the real CLI twice over the same tiny sweep and asserts the
+economics the store exists for: the second run serves at least 90% of
+its points from cache, produces byte-identical canonical result JSON,
+and ``repro store verify`` finds every entry intact afterwards.
+
+Kept small (two workloads x two RPM steps, a few hundred requests) so
+the job stays well under a minute; ``make store-smoke`` runs this file
+plus a shell-level double-run for the same contract.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main as repro_main
+
+SWEEP_ARGV = [
+    "sweep",
+    "workload",
+    "tpcc,oltp",
+    "--steps",
+    "2",
+    "-n",
+    "200",
+    "--seed",
+    "11",
+]
+
+STORE_LINE = re.compile(
+    r"store: (?P<hits>\d+) hit\(s\), (?P<misses>\d+) miss\(es\), "
+    r"(?P<corrupt>\d+) corrupt"
+)
+
+
+def _run(store_dir, results_path, capsys) -> tuple:
+    argv = SWEEP_ARGV + [
+        "--store-dir",
+        str(store_dir),
+        "--results-out",
+        str(results_path),
+    ]
+    assert repro_main(argv) == 0
+    match = STORE_LINE.search(capsys.readouterr().out)
+    assert match, "sweep output must report store hit/miss counts"
+    return (
+        int(match["hits"]),
+        int(match["misses"]),
+        int(match["corrupt"]),
+        results_path.read_bytes(),
+    )
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return tmp_path / "store"
+
+
+def test_second_run_is_at_least_90_percent_hits(store_dir, tmp_path, capsys):
+    hits, misses, corrupt, first = _run(
+        store_dir, tmp_path / "first.json", capsys
+    )
+    total = hits + misses
+    assert total == 4, "2 workloads x 2 RPM steps"
+    assert (hits, corrupt) == (0, 0), "a cold store cannot hit"
+
+    hits, misses, corrupt, second = _run(
+        store_dir, tmp_path / "second.json", capsys
+    )
+    assert corrupt == 0
+    assert hits / total >= 0.90, (
+        f"warm run hit only {hits}/{total} — the store is not saving work"
+    )
+    assert second == first, "warm-run result bytes diverged from cold run"
+
+
+def test_store_verify_passes_after_the_runs(store_dir, tmp_path, capsys):
+    _run(store_dir, tmp_path / "results.json", capsys)
+    assert repro_main(["store", "verify", "--store-dir", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "corrupt" in out  # the report names the corrupt count (0 here)
+
+
+def test_store_stats_reports_the_entries(store_dir, tmp_path, capsys):
+    _run(store_dir, tmp_path / "results.json", capsys)
+    assert repro_main(["store", "stats", "--store-dir", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    # The table row: <root> <entries> <bytes> <cap> <quarantined>.
+    assert re.search(r"store\s+4\s+\d+\s+\d+\s+0\s*$", out, re.M), out

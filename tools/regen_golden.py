@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression fixtures under tests/golden/.
+
+The fixtures pin the *current* model outputs so that any future change to
+the capacity, performance or thermal models shows up as an explicit,
+reviewable diff instead of a silent drift:
+
+* ``tests/golden/table1.json`` — the Table 1 validation set: datasheet
+  figures, the paper's published model predictions, and this library's
+  modeled capacity/IDR for all thirteen drives.
+* ``tests/golden/roadmap_2002_2012.json`` — the Figure 2 thermal roadmap
+  (every year x platter size x platter count point, with the cooling
+  budgets that anchor each platter count to the envelope).
+
+Run via ``make regen-golden`` (which refuses on a dirty working tree, so
+a regeneration is always its own reviewable commit), or directly::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+Intentionally deterministic: no clocks, no RNG, no environment inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.constants import (
+    ROADMAP_FIRST_YEAR,
+    ROADMAP_LAST_YEAR,
+    ROADMAP_PLATTER_COUNTS,
+    ROADMAP_PLATTER_SIZES_IN,
+)
+from repro.drives import PAPER_MODEL_PREDICTIONS, TABLE1_DRIVES
+from repro.scaling.roadmap import cooling_budget_ambient_c, thermal_roadmap
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+TABLE1_SCHEMA = "repro.golden.table1/1"
+ROADMAP_SCHEMA = "repro.golden.roadmap/1"
+
+
+def table1_document() -> dict:
+    """Current model outputs for the Table 1 validation drives."""
+    rows = []
+    for drive in TABLE1_DRIVES:
+        paper_cap, paper_idr = PAPER_MODEL_PREDICTIONS[drive.model]
+        rows.append(
+            {
+                "model": drive.model,
+                "year": drive.year,
+                "rpm": drive.rpm,
+                "datasheet_capacity_gb": drive.datasheet_capacity_gb,
+                "datasheet_idr_mb_per_s": drive.datasheet_idr_mb_per_s,
+                "paper_model_capacity_gb": paper_cap,
+                "paper_model_idr_mb_per_s": paper_idr,
+                "modeled_capacity_gb": drive.modeled_capacity_gb(),
+                "modeled_capacity_paper_gb": drive.modeled_capacity_paper_gb(),
+                "modeled_idr_mb_per_s": drive.modeled_idr_mb_per_s(),
+            }
+        )
+    return {"schema": TABLE1_SCHEMA, "drives": rows}
+
+
+def roadmap_document() -> dict:
+    """The full thermal roadmap, one panel per platter count."""
+    panels = []
+    for count in ROADMAP_PLATTER_COUNTS:
+        points = thermal_roadmap(platter_count=count)
+        panels.append(
+            {
+                "platter_count": count,
+                "cooling_budget_ambient_c": cooling_budget_ambient_c(count),
+                "points": [
+                    {
+                        "year": p.year,
+                        "diameter_in": p.diameter_in,
+                        "platter_count": p.platter_count,
+                        "max_rpm": p.max_rpm,
+                        "max_idr_mb_s": p.max_idr_mb_s,
+                        "capacity_gb": p.capacity_gb,
+                        "target_idr_mb_s": p.target_idr_mb_s,
+                        "meets_target": p.meets_target,
+                    }
+                    for p in points
+                ],
+            }
+        )
+    return {
+        "schema": ROADMAP_SCHEMA,
+        "years": [ROADMAP_FIRST_YEAR, ROADMAP_LAST_YEAR],
+        "platter_sizes_in": list(ROADMAP_PLATTER_SIZES_IN),
+        "panels": panels,
+    }
+
+
+def write_fixture(path: Path, document: dict) -> None:
+    # Human-reviewable formatting; the comparator parses, so whitespace
+    # carries no meaning — but a stable layout keeps diffs minimal.
+    text = json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    write_fixture(GOLDEN_DIR / "table1.json", table1_document())
+    write_fixture(GOLDEN_DIR / "roadmap_2002_2012.json", roadmap_document())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
