@@ -5,7 +5,7 @@ PYTHON ?= python
 # consistent path, with src first so the in-repo package always wins.
 export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke fault-smoke store-smoke regen-golden sweep reproduce lint typecheck coverage check
+.PHONY: test bench bench-smoke fastpath-smoke fault-smoke store-smoke regen-golden sweep reproduce lint typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +50,14 @@ regen-golden:    ## regenerate tests/golden/*.json (refuses on a dirty tree)
 	fi
 	$(PYTHON) tools/regen_golden.py
 	git --no-pager diff --stat -- tests/golden
+
+fastpath-smoke:  ## fast-engine gate: differential suite + quick bench vs BENCH_PR6.json
+	$(PYTHON) -m pytest tests/test_fastpath_differential.py \
+		tests/test_statistics_percentiles.py -q
+	PYTHONPATH=src:tools $(PYTHON) benchmarks/bench_sweep.py --fastpath --quick \
+		--output /tmp/bench_fastpath_quick.json
+	$(PYTHON) tools/bench_check.py --baseline BENCH_PR6.json \
+		--fresh /tmp/bench_fastpath_quick.json
 
 store-smoke:     ## result-store gate: second run of a sweep must be ~all hits
 	$(PYTHON) -m pytest tests/test_store_smoke.py -q

@@ -37,6 +37,9 @@ if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
 
 SCHEMA = "repro.bench_sweep/1"
 
+#: Schema of the PR6 fast-engine artifact (``BENCH_PR6.json``).
+FASTPATH_SCHEMA = "repro.bench_fastpath/1"
+
 
 def _time(func):
     start = time.perf_counter()
@@ -168,6 +171,108 @@ def bench_stats_hot_path(quick: bool) -> dict:
     }
 
 
+def bench_fastpath_analytic(quick: bool) -> dict:
+    """Exact vs analytic engine on a qualifying 99-point roadmap ladder.
+
+    Single-core on both sides: the claim is about the *loop itself*, not
+    parallelism.  The exact side is sampled (``exact_points`` rungs) and
+    extrapolated to the full ladder — running all 99 exact points would
+    just multiply a measured constant — while the analytic engine runs
+    the whole ladder for real.  Accuracy is checked on the sampled rungs
+    against the documented tolerance.
+    """
+    from repro.simulation.fastpath import ANALYTIC_MEAN_RTOL
+    from repro.simulation.sweep import sweep_workloads
+
+    name = "oltp"
+    requests = 600 if quick else 4000
+    points = 12 if quick else 99
+    exact_points = 4 if quick else 8
+    rpms = [6000.0 + 200.0 * i for i in range(points)]
+    exact, exact_s = _time(
+        lambda: sweep_workloads([name], rpms=rpms[:exact_points],
+                                requests=requests, workers=0)
+    )
+    analytic, analytic_s = _time(
+        lambda: sweep_workloads([name], rpms=rpms, requests=requests,
+                                workers=0, engine="analytic")
+    )
+    exact_full_s = exact_s * (points / exact_points)
+    rel_errs = [
+        abs(a.mean_ms - e.mean_ms) / e.mean_ms
+        for e, a in zip(exact, analytic[:exact_points])
+    ]
+    return {
+        "workload": name,
+        "requests": requests,
+        "rpm_points": points,
+        "exact_points_measured": exact_points,
+        "exact_serial_s": exact_s,
+        "exact_serial_extrapolated_s": exact_full_s,
+        "analytic_serial_s": analytic_s,
+        "speedup": exact_full_s / analytic_s if analytic_s > 0 else None,
+        "engines": sorted({r.engine for r in analytic}),
+        "mean_rel_err_max": max(rel_errs),
+        "mean_rtol": ANALYTIC_MEAN_RTOL,
+        "within_tolerance": max(rel_errs) <= ANALYTIC_MEAN_RTOL,
+    }
+
+
+def bench_fastpath_vectorized(quick: bool) -> dict:
+    """Exact vs vectorized engine on one RPM ladder, byte-identity gated."""
+    import dataclasses
+
+    from repro.simulation.sweep import results_json_bytes, sweep_workloads
+
+    name = "oltp"
+    requests = 600 if quick else 4000
+    rpms = [9000.0, 12000.0, 15000.0, 18000.0, 21000.0, 24000.0]
+    exact, exact_s = _time(
+        lambda: sweep_workloads([name], rpms=rpms, requests=requests, workers=0)
+    )
+    fast, fast_s = _time(
+        lambda: sweep_workloads([name], rpms=rpms, requests=requests,
+                                workers=0, engine="vectorized")
+    )
+    normalized = [dataclasses.replace(r, engine="exact") for r in fast]
+    return {
+        "workload": name,
+        "requests": requests,
+        "rpm_points": len(rpms),
+        "exact_serial_s": exact_s,
+        "vectorized_serial_s": fast_s,
+        "speedup": exact_s / fast_s if fast_s > 0 else None,
+        "engines": sorted({r.engine for r in fast}),
+        "byte_identical": results_json_bytes(normalized) == results_json_bytes(exact),
+    }
+
+
+def run_fastpath_bench(
+    quick: bool = False, output: Optional[Path] = None
+) -> dict:
+    """Run the PR6 fast-engine benchmarks and (optionally) write the JSON."""
+    report = {
+        "schema": FASTPATH_SCHEMA,
+        "pr": 6,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "analytic_sweep": bench_fastpath_analytic(quick),
+        "vectorized_replay": bench_fastpath_vectorized(quick),
+        "notes": (
+            "single-core comparisons; the >=10x criterion applies to "
+            "analytic_sweep.speedup on the full (non-quick) ladder"
+        ),
+    }
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
 def run_bench(
     quick: bool = False, workers: Optional[int] = None, output: Optional[Path] = None
 ) -> dict:
@@ -202,10 +307,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument(
-        "--output", type=Path, default=ROOT / "BENCH_PR1.json",
-        help="where to write the JSON artifact",
+        "--fastpath",
+        action="store_true",
+        help="run the PR6 fast-engine benchmarks (writes BENCH_PR6.json)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="where to write the JSON artifact "
+        "(default BENCH_PR1.json, or BENCH_PR6.json with --fastpath)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = ROOT / ("BENCH_PR6.json" if args.fastpath else "BENCH_PR1.json")
+    if args.fastpath:
+        report = run_fastpath_bench(quick=args.quick, output=args.output)
+        ana = report["analytic_sweep"]
+        vec = report["vectorized_replay"]
+        print(f"analytic sweep  : exact({ana['exact_points_measured']} of "
+              f"{ana['rpm_points']} pts) {ana['exact_serial_s']:.3f}s -> "
+              f"{ana['exact_serial_extrapolated_s']:.3f}s full ladder  "
+              f"analytic {ana['analytic_serial_s']:.3f}s  "
+              f"speedup {ana['speedup']:.1f}x  "
+              f"within_tolerance={ana['within_tolerance']}")
+        print(f"vectorized      : exact {vec['exact_serial_s']:.3f}s  "
+              f"vectorized {vec['vectorized_serial_s']:.3f}s  "
+              f"speedup {vec['speedup']:.2f}x  "
+              f"byte_identical={vec['byte_identical']}")
+        print(f"wrote {args.output}")
+        ok = vec["byte_identical"] and ana["within_tolerance"]
+        return 0 if ok else 1
     report = run_bench(quick=args.quick, workers=args.workers, output=args.output)
     fig2 = report["figure2_roadmap"]
     fig4 = report["figure4_replay"]

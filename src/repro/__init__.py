@@ -30,23 +30,62 @@ Quick start::
     points = scaling.thermal_roadmap(platter_count=1)
 """
 
-from repro import (
-    capacity,
-    constants,
-    drives,
-    dtm,
-    errors,
-    geometry,
-    materials,
-    performance,
-    reporting,
-    scaling,
-    simulation,
-    thermal,
-    units,
-    workloads,
-)
+import importlib
+from typing import TYPE_CHECKING
+
 from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro import (  # noqa: F401
+        capacity,
+        constants,
+        drives,
+        dtm,
+        errors,
+        geometry,
+        materials,
+        performance,
+        reporting,
+        scaling,
+        simulation,
+        thermal,
+        units,
+        workloads,
+    )
+
+#: Subpackages resolved lazily (PEP 562).  Eager imports here would pull
+#: the whole library — including the thermal solver's numpy dependency —
+#: into every process that only wants the (numpy-free) exact simulation
+#: path; sweep workers and numpy-less environments both care.
+_SUBMODULES = frozenset(
+    {
+        "capacity",
+        "constants",
+        "drives",
+        "dtm",
+        "errors",
+        "geometry",
+        "materials",
+        "performance",
+        "reporting",
+        "scaling",
+        "simulation",
+        "thermal",
+        "units",
+        "workloads",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _SUBMODULES)
+
 
 __version__ = "1.0.0"
 

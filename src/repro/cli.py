@@ -334,10 +334,14 @@ def _check_resume_manifest(path: str, task_keys: List[str]) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.scaling import PAPER_TRENDS
     from repro.simulation.sweep import sweep_roadmap, sweep_workloads
 
     if args.axis == "roadmap":
+        # scaling pulls in the thermal network (and numpy); only the
+        # roadmap axis needs it, and the workload axis must stay
+        # importable on numpy-less hosts (exact engine).
+        from repro.scaling import PAPER_TRENDS
+
         by_count = sweep_roadmap(
             platter_counts=args.platters, workers=args.workers
         )
@@ -379,6 +383,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         probe_interval_ms=args.probe_interval,
         fault_config=fault_config,
+        engine=args.engine,
     )
     with_holes = None
     if partial or store is not None:
@@ -478,6 +483,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         for r in results
     ]
+    if args.engine != "exact":
+        # Surface which engine actually answered (fallbacks show "exact").
+        headers.append("engine")
+        for row, r in zip(rows, results):
+            row.append(r.engine)
     if fault_config is not None:
         headers.append("faults")
         for row, r in zip(rows, results):
@@ -748,6 +758,15 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--steps", type=int, default=4, help="RPM ladder length")
     ps.add_argument("-w", "--workers", type=int, default=None, help="process count")
     ps.add_argument(
+        "--engine",
+        choices=("exact", "vectorized", "analytic", "auto"),
+        default="exact",
+        help="simulation engine: the event-driven simulator (exact), the "
+        "byte-identical vectorized replay, the closed-form queueing "
+        "estimator (analytic), or the fastest qualifying one (auto); "
+        "see docs/fastpath.md",
+    )
+    ps.add_argument(
         "--telemetry",
         action="store_true",
         help="instrument every replay and write per-point telemetry JSON",
@@ -835,7 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-out",
         default=None,
         metavar="PATH",
-        help="write canonical result JSON (repro.sweep_results/1) here",
+        help="write canonical result JSON (repro.sweep_results/2) here",
     )
 
     p = sub.add_parser(

@@ -16,11 +16,13 @@ component, leaving seek + settle + overhead + one sector of transfer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.errors import SimulationError
-from repro.simulation.disk import SimulatedDisk
 from repro.simulation.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - break the disk<->performance cycle
+    from repro.simulation.disk import SimulatedDisk
 
 
 @dataclass(frozen=True)

@@ -81,8 +81,50 @@ class SeekModel:
         return p.average_ms + frac * (p.full_stroke_ms - p.average_ms)
 
     def average_seek_ms(self) -> float:
-        """The model's value at the mean random-seek distance."""
-        return self.seek_time_ms(int(round(self._avg_distance)))
+        """The model's value at the mean random-seek distance.
+
+        The curve pins the ``average_ms`` anchor exactly at the mean
+        random-seek distance (``cylinders / 3``), so this *is* that anchor.
+        Evaluating ``seek_time_ms`` at a rounded integer distance instead —
+        as an earlier revision did — re-interpolates the piecewise-linear
+        curve at up to half a cylinder away from the anchor, drifting off
+        ``average_ms`` noticeably for small cylinder counts.
+        """
+        return self.parameters.average_ms
+
+    def seek_time_ms_batch(self, distances: "Sequence[int]") -> "object":
+        """Vectorized :meth:`seek_time_ms` over an array of distances.
+
+        Requires numpy (the exact simulation path never calls this).  The
+        returned ``float64`` array is *bitwise* identical to calling
+        :meth:`seek_time_ms` element by element: every branch evaluates
+        the same IEEE-754 expression, in the same operation order, as the
+        scalar method — the fast-path differential suite asserts this
+        exhaustively.
+        """
+        import numpy as np
+
+        d = np.asarray(distances, dtype=np.float64)
+        if d.size and float(d.min()) < 0:
+            raise ReproError("seek distance cannot be negative")
+        p = self.parameters
+        span_lo = self._avg_distance - 1.0
+        if span_lo <= 0:
+            lower = np.full_like(d, p.average_ms)
+        else:
+            frac_lo = (d - 1.0) / span_lo
+            lower = p.track_to_track_ms + frac_lo * (p.average_ms - p.track_to_track_ms)
+        span_hi = self._full_distance - self._avg_distance
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # span_hi can be <= 0 for tiny disks; every distance then falls
+            # in the full-stroke clamp below, masking this branch entirely.
+            frac_hi = (d - self._avg_distance) / span_hi
+            upper = p.average_ms + frac_hi * (p.full_stroke_ms - p.average_ms)
+        out = np.where(d <= self._avg_distance, lower, upper)
+        out = np.where(d >= self._full_distance, p.full_stroke_ms, out)
+        # distance 0 means "no seek" — an exact sentinel, not a tolerance
+        out = np.where(d == 0.0, 0.0, out)  # thermolint: disable=TL002
+        return out
 
 
 #: Seek anchors measured on real server drives of various platter sizes

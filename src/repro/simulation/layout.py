@@ -61,6 +61,8 @@ class DiskLayout:
         self.total_sectors = lba
         if self.total_sectors <= 0:
             raise SimulationError("layout has no usable sectors")
+        #: lazily built numpy zone tables for :meth:`locate_batch`.
+        self._numpy_tables: object = None
 
     @property
     def cylinders(self) -> int:
@@ -114,6 +116,45 @@ class DiskLayout:
     def cylinder_of(self, lba: int) -> int:
         """Cylinder containing an LBA (cheaper than full :func:`locate`)."""
         return self.locate(lba).cylinder
+
+    def _lookup_tables(self) -> tuple:
+        """Per-zone numpy arrays backing :meth:`locate_batch` (lazy).
+
+        Requires numpy; the exact simulation path never calls this, so a
+        numpy-less environment can still import and run the simulator.
+        """
+        tables = self._numpy_tables
+        if tables is None:
+            import numpy as np
+
+            tables = (
+                np.asarray(self._zone_start_lba, dtype=np.int64),
+                np.asarray(self._zone_start_cyl, dtype=np.int64),
+                np.asarray(self._zone_spt, dtype=np.int64),
+            )
+            self._numpy_tables = tables
+        return tables
+
+    def locate_batch(self, lbas: "object") -> tuple:
+        """Vectorized :meth:`locate` over an int array of LBAs.
+
+        Requires numpy.  Returns ``(cylinder, surface, sector, spt)``
+        int64 arrays; pure integer arithmetic, so the values agree exactly
+        with element-wise :meth:`locate`.
+        """
+        import numpy as np
+
+        start_lba, start_cyl, zone_spt = self._lookup_tables()
+        lba = np.asarray(lbas, dtype=np.int64)
+        if lba.size and (int(lba.min()) < 0 or int(lba.max()) >= self.total_sectors):
+            raise SimulationError("batch LBA out of range")
+        z = np.searchsorted(start_lba, lba, side="right") - 1
+        spt = zone_spt[z]
+        per_cylinder = spt * self.surfaces
+        rel = lba - start_lba[z]
+        cylinder = start_cyl[z] + rel // per_cylinder
+        rem = rel % per_cylinder
+        return cylinder, rem // spt, rem % spt, spt
 
     def sectors_per_track_at(self, cylinder: int) -> int:
         """Track capacity at a cylinder."""

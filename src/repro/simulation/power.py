@@ -12,9 +12,11 @@ from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.simulation.disk import SimulatedDisk
-from repro.thermal.model import DEFAULT_CALIBRATION, ThermalCalibration
-from repro.thermal.vcm import vcm_power_w
-from repro.thermal.viscous import viscous_power_w
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - keep the thermal stack (and its
+    # numpy dependency) out of the simulation package's import graph
+    from repro.thermal.model import ThermalCalibration
 
 
 @dataclass(frozen=True)
@@ -51,7 +53,7 @@ def power_report(
     elapsed_ms: float,
     diameter_in: float,
     platter_count: int = 1,
-    calibration: ThermalCalibration = DEFAULT_CALIBRATION,
+    calibration: Optional["ThermalCalibration"] = None,
 ) -> PowerReport:
     """Energy breakdown of a disk after a simulation run.
 
@@ -60,11 +62,20 @@ def power_report(
         elapsed_ms: simulated interval covered.
         diameter_in: the drive's platter diameter.
         platter_count: platters in the stack.
-        calibration: supplies the spindle-motor loss.
+        calibration: supplies the spindle-motor loss; defaults to the
+            Cheetah 15K.3 calibration (resolved lazily so that merely
+            importing the simulator does not pull in the thermal stack).
 
     Raises:
         SimulationError: if the interval is non-positive.
     """
+    from repro.thermal.vcm import vcm_power_w
+    from repro.thermal.viscous import viscous_power_w
+
+    if calibration is None:
+        from repro.thermal.model import DEFAULT_CALIBRATION
+
+        calibration = DEFAULT_CALIBRATION
     if elapsed_ms <= 0:
         raise SimulationError(f"elapsed interval must be positive, got {elapsed_ms}")
     elapsed_s = elapsed_ms / 1000.0

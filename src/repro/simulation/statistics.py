@@ -24,6 +24,89 @@ from repro.errors import SimulationError
 PAPER_CDF_BINS_MS: Tuple[float, ...] = (5, 10, 20, 40, 60, 90, 120, 150, 200)
 
 
+def percentile_from_sorted(data: Sequence[float], q: float) -> float:
+    """q-th percentile of an ascending-sorted sample, linear interpolation.
+
+    This is the *one* percentile formula in the codebase: the incremental
+    :class:`ResponseTimeStats` path and the vectorized batch path both
+    evaluate exactly these IEEE-754 operations, so the two agree bit for
+    bit on the same samples (the fast-path differential suite asserts it).
+
+    Edge cases are explicit: ``q=0`` returns the minimum and ``q=100`` the
+    maximum without interpolating (``rank`` is then an exact integer);
+    a single sample answers every percentile; duplicate values interpolate
+    between equal numbers, which is exact.
+    """
+    if not data:
+        raise SimulationError("no samples recorded")
+    if not 0 <= q <= 100:
+        raise SimulationError(f"percentile must be in [0, 100], got {q}")
+    if len(data) == 1:
+        return data[0]
+    rank = q / 100 * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if hi > len(data) - 1:  # pragma: no cover - float-safety clamp
+        hi = len(data) - 1
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+def percentiles_batch(samples: "object", qs: Sequence[float]) -> "object":
+    """Vectorized percentiles of an (unsorted) numpy sample vector.
+
+    Requires numpy.  Returns a ``float64`` array, one entry per ``q``,
+    each bitwise identical to ``percentile_from_sorted(sorted(samples), q)``
+    — the same formula evaluated with the same float64 operations.
+    """
+    import numpy as np
+
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    n = int(data.size)
+    if n == 0:
+        raise SimulationError("no samples recorded")
+    out = np.empty(len(qs), dtype=np.float64)
+    for i, q in enumerate(qs):
+        if not 0 <= q <= 100:
+            raise SimulationError(f"percentile must be in [0, 100], got {q}")
+        if n == 1:
+            out[i] = data[0]
+            continue
+        rank = q / 100 * (n - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if hi > n - 1:  # pragma: no cover - float-safety clamp
+            hi = n - 1
+        if lo == hi:
+            out[i] = data[lo]
+        else:
+            frac = rank - lo
+            out[i] = data[lo] * (1 - frac) + data[hi] * frac
+    return out
+
+
+def cdf_batch(
+    samples: "object", bins_ms: Sequence[float] = PAPER_CDF_BINS_MS
+) -> List[Tuple[float, float]]:
+    """Vectorized :meth:`ResponseTimeStats.cdf` over a numpy sample vector.
+
+    Requires numpy.  Same ``<= edge`` semantics (``searchsorted`` with
+    ``side='right'`` on the sorted samples); the fraction is the same
+    ``count / n`` division, so results match the scalar path bit for bit.
+    """
+    import numpy as np
+
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    n = int(data.size)
+    if n == 0:
+        raise SimulationError("no samples recorded")
+    edges = sorted(bins_ms)
+    counts = np.searchsorted(data, np.asarray(edges, dtype=np.float64), side="right")
+    return [(edge, int(count) / n) for edge, count in zip(edges, counts)]
+
+
 @dataclass
 class ResponseTimeStats:
     """Accumulates response times and derives summary statistics."""
@@ -76,18 +159,7 @@ class ResponseTimeStats:
         """q-th percentile (0 <= q <= 100), linear interpolation."""
         if not self.samples_ms:
             raise SimulationError("no samples recorded")
-        if not 0 <= q <= 100:
-            raise SimulationError(f"percentile must be in [0, 100], got {q}")
-        data = self._sorted_view()
-        if len(data) == 1:
-            return data[0]
-        rank = q / 100 * (len(data) - 1)
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
-        if lo == hi:
-            return data[lo]
-        frac = rank - lo
-        return data[lo] * (1 - frac) + data[hi] * frac
+        return percentile_from_sorted(self._sorted_view(), q)
 
     def median_ms(self) -> float:
         """Median response time."""

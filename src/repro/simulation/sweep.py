@@ -164,6 +164,9 @@ class WorkloadTask:
     ``fault_config`` (a frozen :class:`repro.faults.FaultConfig`) injects
     deterministic drive faults into the replay; the result then carries a
     ``fault_summary``.
+    ``engine`` selects the simulation engine (see
+    :mod:`repro.simulation.fastpath`): ``exact`` (the event-driven
+    simulator), ``vectorized``, ``analytic``, or ``auto``.
     """
 
     workload: str
@@ -175,10 +178,14 @@ class WorkloadTask:
     probe_interval_ms: float = 100.0
     trace_capacity: int = 4096
     fault_config: Optional[FaultConfig] = None
+    engine: str = "exact"
 
     def label(self) -> str:
         """Human-readable task identity for manifests and logs."""
-        return f"{self.workload}@{self.rpm:.0f}rpm(seed={self.seed})"
+        base = f"{self.workload}@{self.rpm:.0f}rpm(seed={self.seed})"
+        if self.engine != "exact":
+            base += f"[{self.engine}]"
+        return base
 
 
 @dataclass(frozen=True)
@@ -211,10 +218,20 @@ class WorkloadSweepResult:
     #: :meth:`repro.faults.FaultStats.as_dict`) when the task injected
     #: faults; None otherwise.
     fault_summary: Optional[dict] = field(default=None, repr=False)
+    #: the engine that actually produced this result — ``exact`` when a
+    #: fast engine fell back (so fallbacks are visible in the output).
+    engine: str = "exact"
 
 
 def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
     from repro.workloads import workload as lookup
+
+    if task.engine != "exact":
+        from repro.simulation.fastpath import run_fast_task
+
+        fast = run_fast_task(task)
+        if fast is not None:
+            return fast
 
     spec = lookup(task.workload)
     trace = spec.generate(num_requests=task.requests, seed=task.seed)
@@ -246,6 +263,7 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
         samples_ms=tuple(report.stats.samples_ms) if task.keep_samples else (),
         telemetry=tel.as_dict() if tel is not None else None,
         fault_summary=report.fault_summary,
+        engine="exact",
     )
 
 
@@ -261,11 +279,13 @@ def _run_workload_task(task: WorkloadTask) -> WorkloadSweepResult:
 
 #: Task-family tag salted into every workload-sweep key.  Bump the suffix
 #: when WorkloadSweepResult changes shape (the payload codec version).
-WORKLOAD_TASK_KIND = "workload_sweep/1"
+#: /2: results gained the ``engine`` field and keys fold the requested
+#: engine in — an analytic summary must never satisfy an exact request.
+WORKLOAD_TASK_KIND = "workload_sweep/2"
 
 #: Schema of the results document written by ``--results-out`` and used
 #: for byte-identity checks in the differential suite.
-RESULTS_SCHEMA = "repro.sweep_results/1"
+RESULTS_SCHEMA = "repro.sweep_results/2"
 
 
 def workload_task_key(task: WorkloadTask) -> str:
@@ -295,6 +315,7 @@ def workload_task_key(task: WorkloadTask) -> str:
         "probe_interval_ms": task.probe_interval_ms if task.telemetry else None,
         "trace_capacity": task.trace_capacity if task.telemetry else None,
         "fault_config": fault,
+        "engine": task.engine,
     }
     return config_key(WORKLOAD_TASK_KIND, config)
 
@@ -327,6 +348,7 @@ def workload_result_to_payload(result: WorkloadSweepResult) -> Dict[str, object]
             if result.fault_summary is not None
             else None
         ),
+        "engine": result.engine,
     }
 
 
@@ -364,13 +386,14 @@ def workload_result_from_payload(payload: Dict[str, object]) -> WorkloadSweepRes
         fault_summary=(
             decode_payload(fault_summary) if fault_summary is not None else None
         ),
+        engine=payload["engine"],  # type: ignore[arg-type]
     )
 
 
 def results_document(
     results: Sequence[Optional[WorkloadSweepResult]],
 ) -> Dict[str, object]:
-    """The ``repro.sweep_results/1`` document for a (possibly holey) sweep."""
+    """The :data:`RESULTS_SCHEMA` document for a (possibly holey) sweep."""
     return {
         "schema": RESULTS_SCHEMA,
         "results": [
@@ -405,14 +428,17 @@ def build_workload_tasks(
     probe_interval_ms: float = 100.0,
     trace_capacity: int = 4096,
     fault_config: Optional[FaultConfig] = None,
+    engine: str = "exact",
 ) -> List[WorkloadTask]:
     """The (workload, RPM) task grid, workload-major then ladder order.
 
-    Workload names are validated here, before any fork, so an unknown
-    name fails fast in the parent process.
+    Workload names (and the engine name) are validated here, before any
+    fork, so an unknown name fails fast in the parent process.
     """
+    from repro.simulation.fastpath import validate_engine
     from repro.workloads import workload as lookup
 
+    validate_engine(engine)
     tasks: List[WorkloadTask] = []
     for name in names:
         spec = lookup(name)  # validates the name before any fork
@@ -429,9 +455,33 @@ def build_workload_tasks(
                     probe_interval_ms=probe_interval_ms,
                     trace_capacity=trace_capacity,
                     fault_config=fault_config,
+                    engine=engine,
                 )
             )
     return tasks
+
+
+def plan_sweep_workers(
+    tasks: Sequence[WorkloadTask], workers: Optional[int]
+) -> Optional[int]:
+    """Worker count after accounting for engine plans.
+
+    A sweep whose every task will run on the analytic engine finishes in
+    milliseconds of closed-form math — forking a process pool would cost
+    more than the whole sweep, so such sweeps are forced serial
+    (``workers=0``, the in-process path, which spawns nothing).  Any task
+    planning a simulation engine (exact or vectorized) leaves ``workers``
+    untouched.  Engine refusals are not raised here; the per-task worker
+    raises them so resilient sweeps get per-task outcomes.
+    """
+    if not tasks or all(task.engine == "exact" for task in tasks):
+        return workers
+    from repro.simulation.fastpath import planned_engines
+
+    planned = planned_engines(tasks)
+    if planned is not None and all(p == "analytic" for p in planned):
+        return 0
+    return workers
 
 
 def sweep_workloads(
@@ -446,6 +496,7 @@ def sweep_workloads(
     probe_interval_ms: float = 100.0,
     trace_capacity: int = 4096,
     fault_config: Optional[FaultConfig] = None,
+    engine: str = "exact",
     store: Optional["ResultStore"] = None,
 ) -> List[WorkloadSweepResult]:
     """Fan Figure 4 replays out over (workload, RPM) points.
@@ -463,6 +514,9 @@ def sweep_workloads(
             every task.
         fault_config: inject deterministic drive faults into every replay
             (same plan, per-disk seeds derived inside each task).
+        engine: simulation engine for every task (see
+            :mod:`repro.simulation.fastpath`); pure-analytic sweeps run
+            serially without spawning a process pool.
         store: optional :class:`repro.store.ResultStore`; completed points
             are served from / persisted to it (bit-identical either way).
 
@@ -481,7 +535,9 @@ def sweep_workloads(
         probe_interval_ms=probe_interval_ms,
         trace_capacity=trace_capacity,
         fault_config=fault_config,
+        engine=engine,
     )
+    workers = plan_sweep_workers(tasks, workers)
     if store is None:
         return run_sweep(tasks, _run_workload_task, workers=workers)
     from repro.simulation.resilience import run_sweep_cached
@@ -513,6 +569,7 @@ def sweep_workloads_resilient(
     probe_interval_ms: float = 100.0,
     trace_capacity: int = 4096,
     fault_config: Optional[FaultConfig] = None,
+    engine: str = "exact",
     retries: int = 2,
     backoff_s: float = 0.0,
     timeout_s: Optional[float] = None,
@@ -552,7 +609,9 @@ def sweep_workloads_resilient(
         probe_interval_ms=probe_interval_ms,
         trace_capacity=trace_capacity,
         fault_config=fault_config,
+        engine=engine,
     )
+    workers = plan_sweep_workers(tasks, workers)
     if store is not None:
         report = run_sweep_cached(
             tasks,

@@ -1,100 +1,135 @@
-"""Thermal model: lumped network, correlations, calibration and envelope."""
+"""Thermal model: lumped network, correlations, calibration and envelope.
 
-from repro.thermal.calibration import calibrated, fit_spm_power, reference_model
-from repro.thermal.correlations import (
-    conduction_g,
-    enclosed_air_internal_h,
-    external_forced_h,
-    rotating_disk_h,
-    rotational_reynolds,
-    series_g,
-)
-from repro.thermal.array import (
-    ArrayPosition,
-    airflow_temperature_rise_c,
-    array_envelope_rpm,
-    drive_heat_w,
-    serial_array_profile,
-)
-from repro.thermal.reliability import (
-    DOUBLING_DELTA_C,
-    ReliabilityComparison,
-    dtm_reliability_gain,
-    failure_acceleration,
-    fleet_failure_rate,
-    relative_mtbf,
-)
-from repro.thermal.sensitivity import (
-    SensitivityPoint,
-    calibration_sensitivity,
-    exponent_sensitivity,
-    fixed_loss_margin_w,
-    headline_robust,
-)
-from repro.thermal.envelope import (
-    max_rpm_within_envelope,
-    steady_air_temperature_c,
-    thermal_slack_c,
-)
-from repro.thermal.model import (
-    DEFAULT_CALIBRATION,
-    NODE_AIR,
-    NODE_BASE,
-    NODE_STACK,
-    NODE_VCM,
-    DriveThermalModel,
-    ThermalCalibration,
-)
-from repro.thermal.network import ThermalNetwork, ThermalNode, TransientResult
-from repro.thermal.vcm import VCM_POWER_ANCHORS, vcm_power_w
-from repro.thermal.viscous import (
-    rpm_for_viscous_power,
-    viscous_power_w,
-    windage_torque_nm,
-)
+Exports resolve lazily (PEP 562): the solver modules depend on numpy,
+and eager imports here would drag that dependency into every consumer of
+the numpy-free leaves (``reliability``, ``vcm``, ``viscous``) — the
+fault injectors and the simulator's power accounting among them.
+"""
 
-__all__ = [
-    "DEFAULT_CALIBRATION",
-    "DriveThermalModel",
-    "ThermalCalibration",
-    "ThermalNetwork",
-    "ThermalNode",
-    "TransientResult",
-    "NODE_AIR",
-    "NODE_BASE",
-    "NODE_STACK",
-    "NODE_VCM",
-    "calibrated",
-    "fit_spm_power",
-    "reference_model",
-    "max_rpm_within_envelope",
-    "SensitivityPoint",
-    "calibration_sensitivity",
-    "fixed_loss_margin_w",
-    "ArrayPosition",
-    "serial_array_profile",
-    "array_envelope_rpm",
-    "airflow_temperature_rise_c",
-    "drive_heat_w",
-    "DOUBLING_DELTA_C",
-    "failure_acceleration",
-    "relative_mtbf",
-    "ReliabilityComparison",
-    "dtm_reliability_gain",
-    "fleet_failure_rate",
-    "exponent_sensitivity",
-    "headline_robust",
-    "steady_air_temperature_c",
-    "thermal_slack_c",
-    "rotating_disk_h",
-    "rotational_reynolds",
-    "enclosed_air_internal_h",
-    "external_forced_h",
-    "conduction_g",
-    "series_g",
-    "vcm_power_w",
-    "VCM_POWER_ANCHORS",
-    "viscous_power_w",
-    "rpm_for_viscous_power",
-    "windage_torque_nm",
-]
+import importlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.thermal.array import (  # noqa: F401
+        ArrayPosition,
+        airflow_temperature_rise_c,
+        array_envelope_rpm,
+        drive_heat_w,
+        serial_array_profile,
+    )
+    from repro.thermal.calibration import (  # noqa: F401
+        calibrated,
+        fit_spm_power,
+        reference_model,
+    )
+    from repro.thermal.correlations import (  # noqa: F401
+        conduction_g,
+        enclosed_air_internal_h,
+        external_forced_h,
+        rotating_disk_h,
+        rotational_reynolds,
+        series_g,
+    )
+    from repro.thermal.envelope import (  # noqa: F401
+        max_rpm_within_envelope,
+        steady_air_temperature_c,
+        thermal_slack_c,
+    )
+    from repro.thermal.model import (  # noqa: F401
+        DEFAULT_CALIBRATION,
+        NODE_AIR,
+        NODE_BASE,
+        NODE_STACK,
+        NODE_VCM,
+        DriveThermalModel,
+        ThermalCalibration,
+    )
+    from repro.thermal.network import (  # noqa: F401
+        ThermalNetwork,
+        ThermalNode,
+        TransientResult,
+    )
+    from repro.thermal.reliability import (  # noqa: F401
+        DOUBLING_DELTA_C,
+        ReliabilityComparison,
+        dtm_reliability_gain,
+        failure_acceleration,
+        fleet_failure_rate,
+        relative_mtbf,
+    )
+    from repro.thermal.sensitivity import (  # noqa: F401
+        SensitivityPoint,
+        calibration_sensitivity,
+        exponent_sensitivity,
+        fixed_loss_margin_w,
+        headline_robust,
+    )
+    from repro.thermal.vcm import VCM_POWER_ANCHORS, vcm_power_w  # noqa: F401
+    from repro.thermal.viscous import (  # noqa: F401
+        rpm_for_viscous_power,
+        viscous_power_w,
+        windage_torque_nm,
+    )
+
+#: export name -> defining submodule, used by the lazy ``__getattr__``.
+_EXPORTS = {
+    "calibrated": "calibration",
+    "fit_spm_power": "calibration",
+    "reference_model": "calibration",
+    "conduction_g": "correlations",
+    "enclosed_air_internal_h": "correlations",
+    "external_forced_h": "correlations",
+    "rotating_disk_h": "correlations",
+    "rotational_reynolds": "correlations",
+    "series_g": "correlations",
+    "ArrayPosition": "array",
+    "airflow_temperature_rise_c": "array",
+    "array_envelope_rpm": "array",
+    "drive_heat_w": "array",
+    "serial_array_profile": "array",
+    "DOUBLING_DELTA_C": "reliability",
+    "ReliabilityComparison": "reliability",
+    "dtm_reliability_gain": "reliability",
+    "failure_acceleration": "reliability",
+    "fleet_failure_rate": "reliability",
+    "relative_mtbf": "reliability",
+    "SensitivityPoint": "sensitivity",
+    "calibration_sensitivity": "sensitivity",
+    "exponent_sensitivity": "sensitivity",
+    "fixed_loss_margin_w": "sensitivity",
+    "headline_robust": "sensitivity",
+    "max_rpm_within_envelope": "envelope",
+    "steady_air_temperature_c": "envelope",
+    "thermal_slack_c": "envelope",
+    "DEFAULT_CALIBRATION": "model",
+    "NODE_AIR": "model",
+    "NODE_BASE": "model",
+    "NODE_STACK": "model",
+    "NODE_VCM": "model",
+    "DriveThermalModel": "model",
+    "ThermalCalibration": "model",
+    "ThermalNetwork": "network",
+    "ThermalNode": "network",
+    "TransientResult": "network",
+    "VCM_POWER_ANCHORS": "vcm",
+    "vcm_power_w": "vcm",
+    "viscous_power_w": "viscous",
+    "rpm_for_viscous_power": "viscous",
+    "windage_torque_nm": "viscous",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is not None:
+        module = importlib.import_module(f"repro.thermal.{submodule}")
+        value = getattr(module, name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

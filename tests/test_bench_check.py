@@ -117,6 +117,65 @@ class TestVerdicts:
         assert any("identical" in failure for failure in verdict["failures"])
 
 
+FASTPATH_PATH = ROOT / "BENCH_PR6.json"
+
+
+@pytest.fixture(scope="module")
+def fastpath_baseline():
+    return json.loads(FASTPATH_PATH.read_text())
+
+
+class TestFastpathVerdicts:
+    """repro.bench_fastpath/1 (BENCH_PR6.json) gating."""
+
+    def _run(self, tmp_path, data, name="fresh.json"):
+        return bench_check.main(
+            [
+                "--baseline",
+                str(FASTPATH_PATH),
+                "--fresh",
+                str(_write(tmp_path, data, name)),
+            ]
+        )
+
+    def test_baseline_vs_itself_passes(self, tmp_path, fastpath_baseline):
+        assert self._run(tmp_path, fastpath_baseline) == 0
+
+    def test_schema_mismatch_with_pr1_fails(self, tmp_path, fastpath_baseline):
+        fresh = _write(tmp_path, fastpath_baseline)
+        rc = bench_check.main(["--baseline", str(BASELINE_PATH), "--fresh", str(fresh)])
+        assert rc == 1
+
+    def test_byte_identity_broken_fails(self, tmp_path, fastpath_baseline):
+        degraded = copy.deepcopy(fastpath_baseline)
+        degraded["vectorized_replay"]["byte_identical"] = False
+        assert self._run(tmp_path, degraded) == 1
+
+    def test_tolerance_broken_fails(self, tmp_path, fastpath_baseline):
+        degraded = copy.deepcopy(fastpath_baseline)
+        degraded["analytic_sweep"]["within_tolerance"] = False
+        assert self._run(tmp_path, degraded) == 1
+
+    def test_speedup_collapse_fails_on_full_run(self, tmp_path, fastpath_baseline):
+        degraded = copy.deepcopy(fastpath_baseline)
+        degraded["quick"] = False
+        degraded["analytic_sweep"]["speedup"] = 5.0
+        assert self._run(tmp_path, degraded) == 1
+
+    def test_quick_run_skips_speedup_gate(self, tmp_path, fastpath_baseline):
+        quick = copy.deepcopy(fastpath_baseline)
+        quick["quick"] = True
+        quick["analytic_sweep"]["speedup"] = 5.0
+        # Quick ladders are too small to time fairly: the correctness
+        # flags still gate, the 10x floor and perf ratios do not.
+        assert self._run(tmp_path, quick) == 0
+
+    def test_wall_clock_regression_fails(self, tmp_path, fastpath_baseline):
+        slow = copy.deepcopy(fastpath_baseline)
+        slow["analytic_sweep"]["analytic_serial_s"] *= 2.5
+        assert self._run(tmp_path, slow) == 1
+
+
 class TestMalformedInput:
     def test_missing_file_fails(self, tmp_path):
         rc = bench_check.main(

@@ -1,0 +1,272 @@
+"""Fast-engine differential gates.
+
+The vectorized engine claims *byte identity* with the exact event-driven
+simulator; the analytic engine claims a documented tolerance.  This
+suite holds both to their claims across the whole workload catalog and
+several spindle speeds, and pins the selection rules: fault injection
+forces the exact engine, RAID-5 and high-sequentiality workloads refuse
+the analytic engine, and a pure-analytic sweep never spawns a process
+pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.simulation.fastpath import (
+    ANALYTIC_HIT_RATIO_ATOL,
+    ANALYTIC_MEAN_RTOL,
+    ANALYTIC_P95_RTOL,
+    ANALYTIC_UTILIZATION_ATOL,
+    EngineRefused,
+    decide_engine,
+    planned_engines,
+    run_fast_task,
+)
+from repro.simulation.sweep import (
+    WorkloadTask,
+    _run_workload_task,
+    build_workload_tasks,
+    results_json_bytes,
+    sweep_workloads,
+    workload_task_key,
+    workload_result_from_payload,
+    workload_result_to_payload,
+)
+from repro.workloads import catalog
+
+#: Every catalog workload, as the tentpole contract requires.
+ALL_WORKLOADS = sorted(catalog())
+#: At least three RPM points per workload.
+RPMS = [10000.0, 15000.0, 20000.0]
+REQUESTS = 400
+SEED = 7
+
+#: Workloads the analytic engine accepts (non-RAID-5, low sequentiality).
+ANALYTIC_OK = ["oltp", "search_engine"]
+
+
+def _task(workload: str, rpm: float, **kwargs) -> WorkloadTask:
+    base = dict(workload=workload, rpm=rpm, requests=REQUESTS, seed=SEED)
+    base.update(kwargs)
+    return WorkloadTask(**base)
+
+
+def _normalized_bytes(result) -> bytes:
+    """Canonical JSON with the engine label folded out.
+
+    Byte identity is claimed for the *statistics*; the engine field is
+    provenance and necessarily differs between the two runs.
+    """
+    return results_json_bytes([dataclasses.replace(result, engine="exact")])
+
+
+# ---------------------------------------------------------------------------
+# Vectorized engine: byte identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+@pytest.mark.parametrize("rpm", RPMS)
+def test_vectorized_byte_identical_to_exact(workload, rpm):
+    exact = _run_workload_task(_task(workload, rpm))
+    fast = _run_workload_task(_task(workload, rpm, engine="vectorized"))
+    assert _normalized_bytes(fast) == _normalized_bytes(exact)
+    # RAID-5 workloads silently fall back; everything else must actually
+    # have taken the vectorized path for this test to mean anything.
+    from repro.workloads import workload as lookup
+
+    expected = "exact" if lookup(workload).raid5 else "vectorized"
+    assert fast.engine == expected
+
+
+def test_vectorized_keeps_samples_byte_identical():
+    exact = _run_workload_task(_task("oltp", 15000.0, keep_samples=True))
+    fast = _run_workload_task(
+        _task("oltp", 15000.0, keep_samples=True, engine="vectorized")
+    )
+    assert fast.engine == "vectorized"
+    assert fast.samples_ms == exact.samples_ms
+    assert _normalized_bytes(fast) == _normalized_bytes(exact)
+
+
+# ---------------------------------------------------------------------------
+# Analytic engine: tolerance contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ANALYTIC_OK)
+@pytest.mark.parametrize("rpm", RPMS)
+def test_analytic_within_documented_tolerance(workload, rpm):
+    exact = _run_workload_task(_task(workload, rpm, requests=1500))
+    estimate = _run_workload_task(
+        _task(workload, rpm, requests=1500, engine="analytic")
+    )
+    assert estimate.engine == "analytic"
+    assert estimate.mean_ms == pytest.approx(
+        exact.mean_ms, rel=ANALYTIC_MEAN_RTOL
+    )
+    assert estimate.p95_ms == pytest.approx(exact.p95_ms, rel=ANALYTIC_P95_RTOL)
+    assert estimate.max_utilization == pytest.approx(
+        exact.max_utilization, abs=ANALYTIC_UTILIZATION_ATOL
+    )
+    assert estimate.cache_hit_ratio == pytest.approx(
+        exact.cache_hit_ratio, abs=ANALYTIC_HIT_RATIO_ATOL
+    )
+    # The estimator must still describe the same sweep point.
+    assert (estimate.workload, estimate.rpm, estimate.seed) == (
+        exact.workload,
+        exact.rpm,
+        exact.seed,
+    )
+    assert estimate.requests == exact.requests
+
+
+@pytest.mark.parametrize(
+    "workload, fragment",
+    [
+        ("tpcc", "RAID-5"),
+        ("openmail", "RAID-5"),
+        ("tpch", "sequential fraction"),
+    ],
+)
+def test_analytic_refuses_unqualified_workloads(workload, fragment):
+    with pytest.raises(EngineRefused, match=fragment):
+        _run_workload_task(_task(workload, 15000.0, engine="analytic"))
+
+
+def test_analytic_refuses_keep_samples():
+    with pytest.raises(EngineRefused, match="samples"):
+        decide_engine(_task("oltp", 15000.0, keep_samples=True, engine="analytic"))
+
+
+# ---------------------------------------------------------------------------
+# Selection rules / fallback
+# ---------------------------------------------------------------------------
+
+
+def test_fault_injection_forces_exact_engine():
+    faults = FaultConfig(seed=3, media_rate=0.05)
+    exact = _run_workload_task(_task("oltp", 15000.0, fault_config=faults))
+    for engine in ("vectorized", "auto"):
+        fast = _run_workload_task(
+            _task("oltp", 15000.0, fault_config=faults, engine=engine)
+        )
+        assert fast.engine == "exact"
+        assert results_json_bytes([fast]) == results_json_bytes([exact])
+    with pytest.raises(EngineRefused, match="fault injection"):
+        _run_workload_task(
+            _task("oltp", 15000.0, fault_config=faults, engine="analytic")
+        )
+
+
+def test_auto_prefers_analytic_then_vectorized_then_exact():
+    assert decide_engine(_task("oltp", 15000.0, engine="auto")) == "analytic"
+    # tpch is too sequential for analytic but fine for vectorized
+    assert decide_engine(_task("tpch", 15000.0, engine="auto")) == "vectorized"
+    # RAID-5 disqualifies both fast engines
+    assert decide_engine(_task("tpcc", 15000.0, engine="auto")) == "exact"
+    # keep_samples disqualifies analytic only
+    assert (
+        decide_engine(_task("oltp", 15000.0, keep_samples=True, engine="auto"))
+        == "vectorized"
+    )
+
+
+def test_run_fast_task_returns_none_for_exact_plans():
+    assert run_fast_task(_task("tpcc", 15000.0, engine="auto")) is None
+    assert run_fast_task(_task("tpcc", 15000.0, engine="vectorized")) is None
+
+
+def test_pure_analytic_sweep_spawns_no_pool(monkeypatch):
+    """--engine analytic must never pay for a process pool (satellite 3)."""
+    import repro.simulation.resilience as resilience
+
+    class _Forbidden:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("process pool spawned for analytic sweep")
+
+    monkeypatch.setattr(resilience, "ProcessPoolExecutor", _Forbidden)
+    results = sweep_workloads(
+        names=["oltp"],
+        rpms=RPMS,
+        requests=REQUESTS,
+        seed=SEED,
+        workers=4,  # would spawn a pool for any simulation engine
+        engine="analytic",
+    )
+    assert [r.engine for r in results] == ["analytic"] * len(RPMS)
+
+
+def test_mixed_engine_sweep_still_allowed_to_pool():
+    tasks = build_workload_tasks(
+        names=["oltp", "tpch"], rpms=RPMS, requests=REQUESTS, engine="auto"
+    )
+    planned = planned_engines(tasks)
+    assert planned is not None and "vectorized" in planned
+    from repro.simulation.sweep import plan_sweep_workers
+
+    assert plan_sweep_workers(tasks, 4) == 4
+    analytic_only = build_workload_tasks(
+        names=["oltp"], rpms=RPMS, requests=REQUESTS, engine="analytic"
+    )
+    assert plan_sweep_workers(analytic_only, 4) == 0
+
+
+# ---------------------------------------------------------------------------
+# Store keys and codec
+# ---------------------------------------------------------------------------
+
+
+def test_engine_is_part_of_the_task_key():
+    keys = {
+        workload_task_key(_task("oltp", 15000.0, engine=engine))
+        for engine in ("exact", "vectorized", "analytic", "auto")
+    }
+    assert len(keys) == 4, "each engine must address distinct store entries"
+
+
+def test_result_payload_roundtrips_engine():
+    result = _run_workload_task(_task("oltp", 15000.0, engine="analytic"))
+    back = workload_result_from_payload(workload_result_to_payload(result))
+    assert back == result
+    assert back.engine == "analytic"
+
+
+# ---------------------------------------------------------------------------
+# The exact path must survive a numpy-less environment
+# ---------------------------------------------------------------------------
+
+
+def test_exact_path_runs_without_numpy(tmp_path):
+    """A stub numpy that refuses to import must not break the exact engine."""
+    stub = tmp_path / "numpy.py"
+    stub.write_text("raise ImportError('numpy disabled for this test')\n")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    code = (
+        "from repro.simulation.fastpath import have_numpy\n"
+        "assert not have_numpy()\n"
+        "from repro.simulation.sweep import WorkloadTask, _run_workload_task\n"
+        "r = _run_workload_task(WorkloadTask(workload='oltp', rpm=15000.0,"
+        " requests=60, seed=1))\n"
+        "assert r.engine == 'exact' and r.requests == 60\n"
+        "t = WorkloadTask(workload='oltp', rpm=15000.0, requests=60, seed=1,"
+        " engine='auto')\n"
+        "r = _run_workload_task(t)\n"
+        "assert r.engine == 'exact', r.engine\n"
+        "print('ok')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": f"{tmp_path}:{src}", "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"

@@ -93,6 +93,36 @@ class TestSeekModel:
         model = seek_model_for_platter(2.6, cylinders=20000)
         assert model.seek_time_ms(1) == pytest.approx(0.4)
 
+    @pytest.mark.parametrize(
+        "cylinders", [2, 3, 5, 7, 10, 50, 100, 1234, 30000, 100001]
+    )
+    def test_average_seek_is_the_anchor_exactly(self, cylinders):
+        # Regression: an earlier revision rounded the mean random-seek
+        # distance to an int and re-interpolated, drifting off the
+        # datasheet anchor for small cylinder counts.
+        params = SeekParameters(
+            track_to_track_ms=0.4, average_ms=3.6, full_stroke_ms=7.5
+        )
+        assert SeekModel(params, cylinders).average_seek_ms() == 3.6
+
+    @pytest.mark.parametrize("cylinders", [2, 3, 5, 100, 30000])
+    def test_batch_seek_bitwise_matches_scalar(self, cylinders):
+        np = pytest.importorskip("numpy")
+        model = SeekModel(
+            SeekParameters(track_to_track_ms=0.4, average_ms=3.6, full_stroke_ms=7.5),
+            cylinders=cylinders,
+        )
+        distances = np.arange(cylinders + 2, dtype=np.int64)
+        batch = model.seek_time_ms_batch(distances)
+        for d, got in zip(distances.tolist(), batch.tolist()):
+            assert got == model.seek_time_ms(d), (cylinders, d)
+
+    def test_batch_seek_rejects_negative(self):
+        np = pytest.importorskip("numpy")
+        model = seek_model_for_platter(2.6, cylinders=20000)
+        with pytest.raises(ReproError):
+            model.seek_time_ms_batch(np.asarray([-1]))
+
 
 class TestIDR:
     def test_eq4_value(self):

@@ -1,0 +1,121 @@
+"""Percentile edge cases and scalar/vector bit-identity (satellite of PR 6).
+
+The fast engines compute percentiles and CDFs with numpy; the exact
+engine uses :class:`ResponseTimeStats`.  Both now route through the one
+formula in :func:`percentile_from_sorted`, and this suite holds them to
+bit-for-bit agreement — plus checks the formula itself against stdlib
+oracles (``statistics.quantiles`` with the matching *inclusive* scheme,
+and directly checkable edge cases: q=0/q=100, single samples, duplicate
+values).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics as stdlib_stats
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.statistics import (
+    PAPER_CDF_BINS_MS,
+    ResponseTimeStats,
+    cdf_batch,
+    percentile_from_sorted,
+    percentiles_batch,
+)
+
+
+def _datasets():
+    rng = random.Random(20260808)
+    yield "uniform", [rng.uniform(0, 250) for _ in range(501)]
+    yield "heavy-tail", [rng.expovariate(0.05) for _ in range(256)]
+    yield "duplicates", [float(rng.randint(0, 9)) for _ in range(100)]
+    yield "all-equal", [3.25] * 37
+    yield "two", [8.0, 2.0]
+    yield "single", [42.5]
+    yield "integers", [float(v) for v in rng.sample(range(10_000), 400)]
+
+
+DATASETS = dict(_datasets())
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_quantiles_oracle(name):
+    """statistics.quantiles(method='inclusive') uses the same rank scheme."""
+    data = DATASETS[name]
+    if len(data) < 2:
+        pytest.skip("stdlib quantiles needs two data points")
+    cut = stdlib_stats.quantiles(data, n=100, method="inclusive")
+    s = sorted(data)
+    for q in range(1, 100):
+        assert percentile_from_sorted(s, q) == pytest.approx(
+            cut[q - 1], rel=1e-12, abs=1e-12
+        )
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_edges_and_extremes(name):
+    data = sorted(DATASETS[name])
+    assert percentile_from_sorted(data, 0) == min(data)
+    assert percentile_from_sorted(data, 100) == max(data)
+    assert min(data) <= percentile_from_sorted(data, 50) <= max(data)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_batch_is_bitwise_identical_to_scalar(name):
+    data = DATASETS[name]
+    qs = [0, 1, 25, 50, 75, 90, 95, 99, 99.9, 100]
+    batch = percentiles_batch(np.asarray(data), qs)
+    s = sorted(data)
+    for q, got in zip(qs, batch):
+        assert float(got) == percentile_from_sorted(s, q), (name, q)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_stats_object_matches_module_function(name):
+    data = DATASETS[name]
+    stats = ResponseTimeStats(samples_ms=list(data))
+    s = sorted(data)
+    for q in (0, 37.5, 50, 95, 100):
+        assert stats.percentile_ms(q) == percentile_from_sorted(s, q)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_cdf_batch_is_bitwise_identical_to_scalar(name):
+    data = DATASETS[name]
+    stats = ResponseTimeStats(samples_ms=list(data))
+    assert cdf_batch(np.asarray(data)) == stats.cdf()
+    # bin edges pass through unchanged (ints stay ints — JSON identity)
+    assert [edge for edge, _ in cdf_batch(np.asarray(data))] == sorted(
+        PAPER_CDF_BINS_MS
+    )
+
+
+def test_single_sample_answers_every_percentile():
+    for q in (0, 13.7, 50, 100):
+        assert percentile_from_sorted([7.5], q) == 7.5
+
+
+def test_percentile_rejects_bad_inputs():
+    with pytest.raises(SimulationError):
+        percentile_from_sorted([], 50)
+    with pytest.raises(SimulationError):
+        percentile_from_sorted([1.0], -0.1)
+    with pytest.raises(SimulationError):
+        percentile_from_sorted([1.0], 100.1)
+    with pytest.raises(SimulationError):
+        percentiles_batch(np.asarray([], dtype=float), [50])
+    with pytest.raises(SimulationError):
+        percentiles_batch(np.asarray([1.0]), [101])
+    with pytest.raises(SimulationError):
+        cdf_batch(np.asarray([], dtype=float))
+
+
+def test_interpolation_between_duplicates_is_exact():
+    # interpolating between equal neighbours must return the value itself
+    data = [1.0, 5.0, 5.0, 5.0, 9.0]
+    assert percentile_from_sorted(data, 40) == 5.0
+    assert percentile_from_sorted(data, 50) == 5.0
+    assert percentile_from_sorted(data, 60) == 5.0

@@ -46,6 +46,16 @@ IDENTITY_KEYS = (
 )
 
 
+#: repro.bench_fastpath/1 wall-clock keys ratio-checked against baseline.
+FASTPATH_PERF_KEYS = (
+    ("analytic_sweep", "analytic_serial_s"),
+    ("vectorized_replay", "vectorized_serial_s"),
+)
+
+#: Minimum analytic-engine speedup on the full ladder (PR6 acceptance).
+FASTPATH_MIN_SPEEDUP = 10.0
+
+
 class CheckFailure(Exception):
     """A single failed comparison (collected, not raised to the top)."""
 
@@ -85,6 +95,11 @@ def check(
             f"vs fresh {fresh.get('schema')!r}"
         )
         return failures  # nothing below is comparable
+
+    if fresh.get("schema") == "repro.bench_fastpath/1":
+        return check_fastpath(
+            baseline, fresh, baseline_path, fresh_path, perf_tolerance
+        )
 
     # -- correctness: the deterministic Figure 4 response-time ladder ------
     try:
@@ -162,6 +177,81 @@ def check(
             )
     except CheckFailure as exc:
         failures.append(str(exc))
+
+    return failures
+
+
+def check_fastpath(
+    baseline: dict,
+    fresh: dict,
+    baseline_path: Path,
+    fresh_path: Path,
+    perf_tolerance: float,
+) -> List[str]:
+    """Gate a ``repro.bench_fastpath/1`` artifact (``BENCH_PR6.json``).
+
+    Correctness is absolute: the vectorized engine must report byte
+    identity and the analytic engine must sit inside its documented
+    tolerance.  The >=10x analytic speedup is enforced only on full
+    (non-quick) runs — quick smoke ladders are too small to time fairly —
+    and wall-clock sections are ratio-checked against the baseline like
+    the PR1 schema's.
+    """
+    failures: List[str] = []
+
+    try:
+        vec = _section(fresh, "vectorized_replay", fresh_path)
+        if vec.get("byte_identical") is not True:
+            failures.append(
+                f"vectorized_replay.byte_identical is "
+                f"{vec.get('byte_identical')!r}; the vectorized engine "
+                "must match the exact engine exactly"
+            )
+    except CheckFailure as exc:
+        failures.append(str(exc))
+
+    try:
+        ana = _section(fresh, "analytic_sweep", fresh_path)
+        if ana.get("within_tolerance") is not True:
+            failures.append(
+                f"analytic_sweep.within_tolerance is "
+                f"{ana.get('within_tolerance')!r} (mean_rel_err_max "
+                f"{ana.get('mean_rel_err_max')!r} vs rtol {ana.get('mean_rtol')!r})"
+            )
+        speedup = ana.get("speedup")
+        if not fresh.get("quick") and (
+            not isinstance(speedup, (int, float))
+            or speedup < FASTPATH_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"analytic_sweep.speedup is {speedup!r}; the full ladder "
+                f"must show >= {FASTPATH_MIN_SPEEDUP:.0f}x over the exact engine"
+            )
+    except CheckFailure as exc:
+        failures.append(str(exc))
+
+    for section_name, key in FASTPATH_PERF_KEYS:
+        try:
+            base_val = _section(baseline, section_name, baseline_path).get(key)
+            fresh_val = _section(fresh, section_name, fresh_path).get(key)
+        except CheckFailure as exc:
+            failures.append(str(exc))
+            continue
+        if not isinstance(base_val, (int, float)) or not isinstance(
+            fresh_val, (int, float)
+        ):
+            failures.append(f"{section_name}.{key}: non-numeric value")
+            continue
+        if base_val <= 0 or bool(fresh.get("quick")) != bool(
+            baseline.get("quick")
+        ):
+            continue  # degenerate or differently sized runs; no fair ratio
+        ratio = fresh_val / base_val
+        if ratio > perf_tolerance:
+            failures.append(
+                f"{section_name}.{key}: {fresh_val:.4f}s is {ratio:.2f}x the "
+                f"baseline {base_val:.4f}s (tolerance {perf_tolerance:.2f}x)"
+            )
 
     return failures
 
