@@ -5,7 +5,7 @@ PYTHON ?= python
 # consistent path, with src first so the in-repo package always wins.
 export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke fastpath-smoke fault-smoke store-smoke regen-golden sweep reproduce lint typecheck coverage check
+.PHONY: test bench bench-smoke fastpath-smoke fault-smoke store-smoke regen-golden sweep reproduce lint lint-deep typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -20,13 +20,18 @@ check:           ## aggregate local gate: tests + lint + typecheck + bench smoke
 	$(MAKE) typecheck
 	$(MAKE) bench-smoke
 
-lint:            ## thermolint (always) + ruff (when installed)
+lint:            ## thermolint shallow + deep (always) + ruff (when installed)
 	$(PYTHON) -m repro lint src/repro --statistics
+	$(PYTHON) -m repro lint tests tools --select TL003,TL004,TL005,TL006 --statistics
+	$(MAKE) lint-deep
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests tools benchmarks; \
 	else \
 		echo "lint: ruff not installed; pycodestyle/pyflakes/isort groups skipped"; \
 	fi
+
+lint-deep:       ## project-wide determinism analysis (TL007-TL013, baseline)
+	$(PYTHON) -m repro lint --deep --statistics
 
 typecheck:       ## mypy strict gate (skipped when mypy is not installed)
 	@if command -v mypy >/dev/null 2>&1; then \

@@ -647,6 +647,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--ignore", ",".join(args.ignore)]
     if args.statistics:
         argv.append("--statistics")
+    if args.deep:
+        argv.append("--deep")
+    if args.project_root is not None:
+        argv += ["--project-root", args.project_root]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.update_keyed_manifest:
+        argv.append("--update-keyed-manifest")
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
     return thermolint_main(argv)
 
 
@@ -716,14 +732,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("slack", help="Figure 5a thermal slack by platter size")
 
-    p = sub.add_parser("lint", help="thermolint unit-safety static analysis")
+    p = sub.add_parser("lint", help="thermolint determinism/unit-safety static analysis")
     p.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+        default=[],
+        help=(
+            "files or directories to lint (default: src/repro); with --deep "
+            "these only filter reported findings"
+        ),
     )
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"], default="text")
     p.add_argument(
         "--select", type=_name_list, default=None, help="comma-separated rule ids"
     )
@@ -731,6 +750,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore", type=_name_list, default=None, help="comma-separated rule ids"
     )
     p.add_argument("--statistics", action="store_true")
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="project-wide pass: call graph, keyed-zone taint rules TL007-TL013",
+    )
+    p.add_argument("--project-root", default=None, help="repository root for --deep")
+    p.add_argument("--baseline", default=None, help="baseline file for --deep")
+    p.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the deep baseline to current findings and exit",
+    )
+    p.add_argument(
+        "--update-keyed-manifest",
+        action="store_true",
+        help="regenerate the keyed-zone schema-drift manifest and exit",
+    )
+    p.add_argument("--cache-dir", default=None, help="deep summary cache directory")
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the deep summary cache"
+    )
 
     p = sub.add_parser(
         "sweep", help="parallel sweep over roadmap or workload configurations"

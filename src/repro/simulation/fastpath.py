@@ -135,6 +135,9 @@ def _workload_geometry(name: str) -> dict:
         "disk_count": len(system.disks),
         "seek_table": None,  # filled lazily (needs numpy)
     }
+    # Per-process memo of a pure builder: every process computes identical
+    # values for a given name, so copies cannot diverge observably.
+    # thermolint: disable=TL012
     _GEOMETRY_CACHE[name] = cached
     return cached
 
@@ -170,6 +173,9 @@ def _generate_trace(task: "WorkloadTask", geo: dict):
     ladder.
     """
     key = (task.workload, task.requests, task.seed)
+    # Pure memo keyed on the full task identity: regeneration in any
+    # process yields a bit-identical trace, so divergence is impossible.
+    # thermolint: disable=TL012
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         from repro.workloads.synthetic import generate_trace

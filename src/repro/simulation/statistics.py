@@ -51,7 +51,15 @@ def percentile_from_sorted(data: Sequence[float], q: float) -> float:
     if lo == hi:
         return data[lo]
     frac = rank - lo
-    return data[lo] * (1 - frac) + data[hi] * frac
+    value = data[lo] * (1 - frac) + data[hi] * frac
+    # The true percentile lies in [data[lo], data[hi]]; IEEE-754 rounding
+    # can land a hair outside (subnormal products underflow to zero), so
+    # clamp to keep min <= p(q) <= max exact for every input.
+    if value < data[lo]:
+        return data[lo]
+    if value > data[hi]:
+        return data[hi]
+    return value
 
 
 def percentiles_batch(samples: "object", qs: Sequence[float]) -> "object":
@@ -83,7 +91,14 @@ def percentiles_batch(samples: "object", qs: Sequence[float]) -> "object":
             out[i] = data[lo]
         else:
             frac = rank - lo
-            out[i] = data[lo] * (1 - frac) + data[hi] * frac
+            value = data[lo] * (1 - frac) + data[hi] * frac
+            # Same clamp as percentile_from_sorted, same IEEE operations —
+            # the two paths must stay bit-identical.
+            if value < data[lo]:
+                value = data[lo]
+            elif value > data[hi]:
+                value = data[hi]
+            out[i] = value
     return out
 
 

@@ -320,9 +320,11 @@ class TestReporters:
         findings = lint_source("a = t_c + 273.15\nb = ratio == 1.0\n", path=MODEL_PATH)
         payload = json.loads(render_json(findings))
         assert payload["tool"] == "thermolint"
-        assert payload["schema_version"] == 1
+        assert payload["schema"] == "thermolint/2"
+        assert payload["schema_version"] == 2
         assert payload["total"] == 2
         assert payload["counts"] == {"TL001": 1, "TL002": 1}
+        assert payload["deep"] == {"enabled": False}
         first = payload["findings"][0]
         assert set(first) == {"rule", "message", "path", "line", "col"}
 
@@ -352,7 +354,10 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert thermolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ["TL001", "TL002", "TL003", "TL004", "TL005", "TL006"]:
+        for rule_id in [
+            "TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
+            "TL007", "TL008", "TL009", "TL010", "TL011", "TL012", "TL013",
+        ]:
             assert rule_id in out
 
     def test_json_format(self, tmp_path, capsys):

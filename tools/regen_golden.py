@@ -103,10 +103,40 @@ def write_fixture(path: Path, document: dict) -> None:
     print(f"wrote {path}")
 
 
+def _warn_if_keyed_manifest_stale() -> None:
+    """Remind the operator when thermolint's schema-drift gate will fire.
+
+    Regenerating goldens usually means result *content* changed on
+    purpose.  If a key-affecting module changed too, the TL013 manifest
+    (tools/thermolint/keyed_zone_manifest.json) needs either a
+    ``CODE_SCHEMA_VERSION`` bump or a reviewed
+    ``thermolint --update-keyed-manifest`` refresh — say so here instead
+    of letting CI discover it.
+    """
+    root = Path(__file__).resolve().parents[1]
+    try:
+        sys.path.insert(0, str(root / "tools"))
+        from thermolint.taint import check_schema_drift
+
+        drift = check_schema_drift(root)
+    except Exception:
+        return
+    for finding in drift:
+        print(f"warning: {finding.render()}", file=sys.stderr)
+    if drift:
+        print(
+            "warning: goldens regenerated while the keyed-zone manifest is "
+            "stale; bump CODE_SCHEMA_VERSION or run "
+            "`python -m thermolint --update-keyed-manifest` before committing",
+            file=sys.stderr,
+        )
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     write_fixture(GOLDEN_DIR / "table1.json", table1_document())
     write_fixture(GOLDEN_DIR / "roadmap_2002_2012.json", roadmap_document())
+    _warn_if_keyed_manifest_stale()
     return 0
 
 

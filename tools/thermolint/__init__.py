@@ -3,11 +3,11 @@
 The paper's integrated model mixes imperial recording units (BPI/TPI,
 inches), SI thermal units (W, K, m) and storage marketing units (decimal GB,
 binary MB/s).  ``repro/units.py`` centralizes every conversion; thermolint
-*enforces* that centralization plus a handful of determinism and API-hygiene
-invariants the simulator depends on.
+*enforces* that centralization plus the determinism invariants the
+byte-identity contract depends on.
 
-Rules
------
+Shallow rules (per file)
+------------------------
 TL001  bare unit-conversion magic number outside ``units.py``/``constants.py``
 TL002  float ``==``/``!=`` comparison in model code
 TL003  Kelvin/Celsius arithmetic mixing heuristic
@@ -15,16 +15,27 @@ TL004  unseeded ``random``/``numpy.random`` use in simulation code
 TL005  mutable default argument
 TL006  missing ``__all__`` in a public package ``__init__``
 
+Deep rules (cross-file, ``--deep``)
+-----------------------------------
+TL007  nondeterminism source reachable inside the keyed zone
+TL008  set-iteration-order dependence inside the keyed zone
+TL009  unsorted directory listing inside the keyed zone
+TL010  float accumulation over an unordered collection in the keyed zone
+TL011  non-picklable callable (lambda/nested def) handed to an executor
+TL012  mutated module-global read inside worker-reachable code
+TL013  keyed-zone file edited without a ``CODE_SCHEMA_VERSION`` bump
+
 Suppress a finding on one line with ``# thermolint: disable=TL001`` (comma
 separated ids, or ``all``); suppress for a whole file with
-``# thermolint: disable-file=TL004``.
+``# thermolint: disable-file=TL004``.  Deep findings can also live in the
+reviewed baseline (``tools/thermolint/baseline.json``).
 """
 
 from thermolint.engine import Finding, LintContext, ParsedModule, Rule, lint_source, run_paths
 from thermolint.reporters import render_json, render_text
 from thermolint.rules import ALL_RULES, rule_by_id
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_RULES",

@@ -1,0 +1,186 @@
+"""Reviewed-findings baseline: accepted findings, tracked and expiring.
+
+A project-wide analyzer lands on a tree with history; the baseline file
+is how pre-existing accepted findings are carried without suppression
+comments scattered through code the current PR doesn't touch.  Every
+entry is a *fingerprint* of one finding — rule id, path, enclosing
+function, a hash of the offending source line's text, and an occurrence
+ordinal — deliberately excluding line numbers, so unrelated edits above a
+finding don't orphan its entry.
+
+Semantics:
+
+* a finding whose fingerprint appears in the baseline is filtered from
+  the report (counted as ``applied``);
+* a baseline entry matching no current finding is **stale** — the code
+  was fixed — and is reported so it can be expired (``--update-baseline``
+  rewrites the file to the current state, preserving recorded reasons);
+* everything else is a *new* finding and fails the gate.
+
+Entries should carry a ``reason``; the baseline is a reviewed artifact
+(it lives in git next to the analyzer), not a dumping ground.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from thermolint.engine import Finding
+
+#: Schema identifier of the baseline document.
+BASELINE_SCHEMA = "thermolint.baseline/1"
+
+#: Default baseline location, relative to the project root.
+DEFAULT_BASELINE_PATH = "tools/thermolint/baseline.json"
+
+
+def _line_hash(text: str) -> str:
+    return hashlib.blake2b(text.strip().encode("utf-8"), digest_size=8).hexdigest()
+
+
+class _SourceLines:
+    """Lazy line-text lookup with a per-file cache (for fingerprints)."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = root
+        self._files: Dict[str, List[str]] = {}
+
+    def line(self, path: str, lineno: int) -> str:
+        lines = self._files.get(path)
+        if lines is None:
+            candidates = [Path(path)]
+            if self.root is not None:
+                candidates.insert(0, self.root / path)
+            lines = []
+            for candidate in candidates:
+                try:
+                    lines = candidate.read_text(encoding="utf-8").splitlines()
+                    break
+                except OSError:
+                    continue
+            self._files[path] = lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding],
+    contexts: Optional[Dict[Tuple[str, int], str]] = None,
+    root: Optional[Path] = None,
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``contexts`` maps (path, line) to the enclosing function qualname
+    (the deep runner supplies it from module summaries); findings at
+    module scope get an empty context.  Identical (rule, path, context,
+    line-text) tuples are disambiguated by an occurrence ordinal in
+    report order, so two textually identical violations in one function
+    baseline independently.
+    """
+    contexts = contexts or {}
+    sources = _SourceLines(root)
+    ordinals: Counter = Counter()
+    out: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        context = contexts.get((finding.path, finding.line), "")
+        base = (
+            finding.rule_id,
+            finding.path.replace("\\", "/"),
+            context,
+            _line_hash(sources.line(finding.path, finding.line)),
+        )
+        ordinal = ordinals[base]
+        ordinals[base] += 1
+        digest = hashlib.blake2b(
+            "\x00".join(list(base) + [str(ordinal)]).encode("utf-8"),
+            digest_size=12,
+        ).hexdigest()
+        out.append((finding, digest))
+    return out
+
+
+def load_baseline(path: Path) -> List[Dict[str, object]]:
+    """Baseline entries from ``path`` ([] when absent).
+
+    Raises ``ValueError`` on a malformed document — a broken reviewed
+    artifact should fail loudly, not silently admit every finding.
+    """
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path} is not a {BASELINE_SCHEMA} document")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path} has no entries list")
+    return entries
+
+
+def apply_baseline(
+    fingerprinted: Sequence[Tuple[Finding, str]],
+    entries: Sequence[Dict[str, object]],
+) -> Tuple[List[Finding], int, List[Dict[str, object]]]:
+    """(new findings, applied count, stale entries).
+
+    Matching is by fingerprint; each entry absorbs at most one finding
+    (fingerprints already carry occurrence ordinals, so duplicates are
+    distinct).
+    """
+    by_fp = {str(entry.get("fingerprint")): entry for entry in entries}
+    new: List[Finding] = []
+    used: set = set()
+    applied = 0
+    for finding, fp in fingerprinted:
+        if fp in by_fp and fp not in used:
+            used.add(fp)
+            applied += 1
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for entry in entries
+        if str(entry.get("fingerprint")) not in used
+    ]
+    return new, applied, stale
+
+
+def write_baseline(
+    path: Path,
+    fingerprinted: Sequence[Tuple[Finding, str]],
+    previous_entries: Sequence[Dict[str, object]] = (),
+) -> int:
+    """Rewrite the baseline to exactly the current findings.
+
+    Reasons recorded on surviving entries are preserved; new entries get
+    a ``reason`` of ``"TODO: justify"`` so review can't miss them.
+    Returns the number of entries written.
+    """
+    reasons = {
+        str(entry.get("fingerprint")): entry.get("reason")
+        for entry in previous_entries
+        if entry.get("reason")
+    }
+    entries = []
+    for finding, fp in fingerprinted:
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": finding.rule_id,
+                "path": finding.path.replace("\\", "/"),
+                "line": finding.line,  # informational; not part of the match
+                "message": finding.message,
+                "reason": reasons.get(fp, "TODO: justify"),
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+    document = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

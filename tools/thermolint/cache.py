@@ -1,0 +1,104 @@
+"""Incremental per-file analysis cache, keyed by content hash.
+
+A deep run over the whole tree re-parses nothing that hasn't changed:
+for each source file the cache stores the extracted
+:class:`~thermolint.symbols.ModuleSummary`, the file's shallow findings
+(all rules, unfiltered — select/ignore are applied at report time), and
+its suppression maps.  The key is
+:func:`thermolint.symbols.content_digest` — analyzer version + path +
+bytes — so an engine upgrade or a file move invalidates exactly the right
+entries, and a poisoned/stale cache can never change results, only cost a
+re-parse.
+
+Entries are one JSON file each under the cache directory (default
+``<project>/.thermolint_cache``), written atomically.  ``prune()`` drops
+entries not touched by the current run, bounding growth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Set
+
+from thermolint.symbols import ANALYZER_VERSION
+
+#: Default cache directory name (created under the project root).
+CACHE_DIR_NAME = ".thermolint_cache"
+
+
+class SummaryCache:
+    """Content-addressed store of per-file analysis artifacts."""
+
+    def __init__(self, directory: Optional[Path]) -> None:
+        #: None disables caching entirely (--no-cache).
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self._touched: Set[str] = set()
+
+    def _entry_path(self, digest: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached artifact dict for ``digest``, or None."""
+        if self.directory is None:
+            return None
+        path = self._entry_path(digest)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(data, dict) or data.get("analyzer") != ANALYZER_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched.add(digest)
+        return data
+
+    def store(self, digest: str, artifact: Dict[str, Any]) -> None:
+        """Persist one artifact atomically (best-effort: cache IO never raises)."""
+        if self.directory is None:
+            return
+        artifact = dict(artifact)
+        artifact["analyzer"] = ANALYZER_VERSION
+        self._touched.add(digest)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="w",
+                encoding="utf-8",
+                dir=str(self.directory),
+                prefix=f".{digest[:8]}.",
+                suffix=".tmp",
+                delete=False,
+            )
+            with handle:
+                json.dump(artifact, handle, sort_keys=True)
+            os.replace(handle.name, self._entry_path(digest))
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except (OSError, UnboundLocalError):
+                pass
+
+    def prune(self) -> int:
+        """Drop entries not loaded/stored this run; returns count removed."""
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in sorted(self.directory.glob("*.json")):
+            if path.stem not in self._touched:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

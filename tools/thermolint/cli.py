@@ -1,19 +1,37 @@
 """thermolint command line: ``python -m thermolint [paths...]``.
 
-Exit status is 0 when clean, 1 when findings were reported, 2 on usage
-errors (missing paths, unknown rules) — mirroring grep-style conventions so
-``make lint`` and CI can distinguish "dirty tree" from "broken invocation".
+Exit-status contract (regression-tested):
+
+* **0** — clean (no unbaselined findings);
+* **1** — findings were reported;
+* **2** — the *analyzer* failed: usage error (missing paths, unknown rule
+  ids, malformed baseline) or an internal crash.  A crash prints its
+  traceback to stderr so CI logs show what broke; it never masquerades
+  as "clean" or "dirty".
+
+``--deep`` switches from per-file shallow linting to the project-wide
+pass: cross-file call graph, keyed-zone taint rules TL007–TL012, and the
+TL013 schema-drift gate, with an incremental content-hash cache and a
+reviewed baseline.  Positional paths then act as *report* filters only —
+the analysis always covers the whole project, because a partial call
+graph would under-approximate the keyed zone.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
+from pathlib import Path
 from typing import List, Optional, Sequence
 
-from thermolint.engine import run_paths
+from thermolint.engine import PARSE_ERROR_RULE, run_paths
 from thermolint.reporters import render_json, render_text
 from thermolint.rules import ALL_RULES
+
+#: Default on-disk artifacts, relative to --project-root.
+DEFAULT_BASELINE = "tools/thermolint/baseline.json"
+DEFAULT_CACHE_DIR = ".thermolint_cache"
 
 
 def _id_list(text: str) -> List[str]:
@@ -24,17 +42,20 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the thermolint argument parser."""
     parser = argparse.ArgumentParser(
         prog="thermolint",
-        description="domain-aware unit-safety linter for the repro codebase",
+        description="domain-aware determinism and unit-safety linter for the repro codebase",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+        default=[],
+        help=(
+            "files or directories to lint (default: src/repro); with --deep "
+            "these only filter which findings are reported"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
     )
@@ -62,7 +83,166 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    deep = parser.add_argument_group("deep analysis")
+    deep.add_argument(
+        "--deep",
+        action="store_true",
+        help="run the project-wide pass (call graph, taint rules TL007-TL013)",
+    )
+    deep.add_argument(
+        "--project-root",
+        type=Path,
+        default=Path("."),
+        metavar="DIR",
+        help="repository root for --deep (default: current directory)",
+    )
+    deep.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            f"baseline file (default: {DEFAULT_BASELINE} under the project "
+            "root, when present)"
+        ),
+    )
+    deep.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    deep.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit",
+    )
+    deep.add_argument(
+        "--update-keyed-manifest",
+        action="store_true",
+        help="regenerate the keyed-zone schema-drift manifest and exit",
+    )
+    deep.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            f"per-file summary cache directory (default: {DEFAULT_CACHE_DIR} "
+            "under the project root)"
+        ),
+    )
+    deep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental summary cache",
+    )
     return parser
+
+
+def _known_rule_ids() -> set:
+    from thermolint.taint import DEEP_RULE_SUMMARIES
+
+    known = {rule.rule_id for rule in ALL_RULES}
+    known.update(DEEP_RULE_SUMMARIES)
+    known.add(PARSE_ERROR_RULE)
+    return known
+
+
+def _list_rules() -> None:
+    from thermolint.taint import DEEP_RULE_SUMMARIES
+
+    for rule in ALL_RULES:
+        print(f"{rule.rule_id}  {rule.summary}")
+    for rule_id in sorted(DEEP_RULE_SUMMARIES):
+        print(f"{rule_id}  {DEEP_RULE_SUMMARIES[rule_id]} [deep]")
+
+
+def _render(args: argparse.Namespace, findings, deep_section=None) -> None:
+    if args.format == "json":
+        print(render_json(findings, deep=deep_section))
+    elif args.format == "sarif":
+        from thermolint.sarif import render_sarif
+
+        print(render_sarif(findings))
+    else:
+        report = render_text(
+            findings, statistics=args.statistics, deep=deep_section
+        )
+        if report:
+            print(report)
+
+
+def _run_shallow(args: argparse.Namespace) -> int:
+    paths = args.paths or ["src/repro"]
+    try:
+        findings = run_paths(paths, select=args.select, ignore=args.ignore)
+    except FileNotFoundError as exc:
+        print(f"thermolint: {exc}", file=sys.stderr)
+        return 2
+    _render(args, findings)
+    return 1 if findings else 0
+
+
+def _deep_config(args: argparse.Namespace):
+    from thermolint.deep import DeepConfig
+
+    root = args.project_root
+    if args.no_baseline:
+        baseline: Optional[Path] = None
+    elif args.baseline is not None:
+        baseline = args.baseline
+    else:
+        candidate = root / DEFAULT_BASELINE
+        baseline = candidate if candidate.is_file() else None
+    if args.update_baseline and baseline is None:
+        baseline = args.baseline or root / DEFAULT_BASELINE
+    cache_dir: Optional[Path]
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or root / DEFAULT_CACHE_DIR
+    return DeepConfig(
+        project_root=root,
+        baseline_path=baseline,
+        cache_dir=cache_dir,
+        select=args.select,
+        ignore=args.ignore,
+        report_paths=args.paths or None,
+    )
+
+
+def _run_deep(args: argparse.Namespace) -> int:
+    from thermolint.deep import run_deep, update_baseline_file
+
+    config = _deep_config(args)
+    if not config.project_root.is_dir():
+        print(
+            f"thermolint: no such project root: {config.project_root}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.update_baseline:
+            count = update_baseline_file(config)
+            print(f"thermolint: wrote {count} entries to {config.baseline_path}")
+            return 0
+        result = run_deep(config)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"thermolint: {exc}", file=sys.stderr)
+        return 2
+    for entry in result.stale_entries:
+        print(
+            "thermolint: stale baseline entry "
+            f"{entry.get('fingerprint')} ({entry.get('rule')} at "
+            f"{entry.get('path')}) — run --update-baseline to expire it",
+            file=sys.stderr,
+        )
+    _render(
+        args,
+        result.findings,
+        deep_section=result.deep_section(config.baseline_path),
+    )
+    return 1 if result.findings else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -70,26 +250,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.rule_id}  {rule.summary}")
+        _list_rules()
         return 0
-    known = {rule.rule_id for rule in ALL_RULES}
+    known = _known_rule_ids()
     for requested in (args.select or []) + (args.ignore or []):
         if requested not in known:
             print(f"thermolint: unknown rule id {requested}", file=sys.stderr)
             return 2
-    try:
-        findings = run_paths(args.paths, select=args.select, ignore=args.ignore)
-    except FileNotFoundError as exc:
-        print(f"thermolint: {exc}", file=sys.stderr)
+    if args.update_keyed_manifest:
+        from thermolint.taint import write_keyed_manifest
+
+        try:
+            out = write_keyed_manifest(args.project_root)
+        except FileNotFoundError as exc:
+            print(f"thermolint: {exc}", file=sys.stderr)
+            return 2
+        print(f"thermolint: wrote keyed-zone manifest to {out}")
+        return 0
+    if args.update_baseline and not args.deep:
+        print("thermolint: --update-baseline requires --deep", file=sys.stderr)
         return 2
-    if args.format == "json":
-        print(render_json(findings))
-    else:
-        report = render_text(findings, statistics=args.statistics)
-        if report:
-            print(report)
-    return 1 if findings else 0
+    try:
+        if args.deep:
+            return _run_deep(args)
+        return _run_shallow(args)
+    except Exception:  # noqa: BLE001 — the exit-code contract demands it
+        print("thermolint: internal error", file=sys.stderr)
+        traceback.print_exc()
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

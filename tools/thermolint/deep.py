@@ -1,0 +1,271 @@
+"""The project-wide (``--deep``) analysis runner.
+
+One deep run:
+
+1. walks the project's package directories, loading each file's
+   :class:`~thermolint.symbols.ModuleSummary` + shallow findings from the
+   content-hash cache (or extracting and caching them);
+2. builds the cross-file call graph and computes the keyed zone / worker
+   zone closures;
+3. runs the flow rules (TL007–TL012) and the schema-drift gate (TL013);
+4. applies per-file suppression pragmas to the deep findings, then the
+   reviewed baseline;
+5. returns a :class:`DeepResult` the CLI renders as text/JSON/SARIF.
+
+Everything is deterministic: files are visited in sorted order, the BFS
+frontier is sorted, and findings sort by location — two runs over the
+same tree produce byte-identical reports, which is the least a
+determinism analyzer owes its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from thermolint.baseline import (
+    apply_baseline,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
+from thermolint.cache import SummaryCache
+from thermolint.callgraph import CallGraph
+from thermolint.engine import (
+    Finding,
+    is_suppressed,
+    lint_source,
+    parse_suppressions,
+)
+from thermolint.symbols import (
+    ModuleSummary,
+    content_digest,
+    extract_module,
+    iter_project_files,
+    module_name_for,
+)
+from thermolint.taint import (
+    DEFAULT_KEY_AFFECTING_FILES,
+    DEFAULT_MANIFEST_PATH,
+    DEFAULT_ROOT_PATTERNS,
+    DEFAULT_VERSION_FILE,
+    DEFAULT_WORKER_SINKS,
+    check_schema_drift,
+    keyed_zone,
+    run_fabric_rules,
+    run_taint_rules,
+    worker_zone,
+)
+
+
+@dataclass
+class DeepConfig:
+    """Everything one deep run needs to know (defaults fit this repo)."""
+
+    project_root: Path
+    package_dirs: Tuple[str, ...] = ("src",)
+    root_patterns: Tuple[str, ...] = DEFAULT_ROOT_PATTERNS
+    worker_sinks: Tuple[str, ...] = DEFAULT_WORKER_SINKS
+    key_files: Tuple[str, ...] = DEFAULT_KEY_AFFECTING_FILES
+    version_file: str = DEFAULT_VERSION_FILE
+    manifest_path: str = DEFAULT_MANIFEST_PATH
+    baseline_path: Optional[Path] = None
+    cache_dir: Optional[Path] = None
+    select: Optional[Sequence[str]] = None
+    ignore: Optional[Sequence[str]] = None
+    #: restrict *reported* findings to these path prefixes (the analysis
+    #: itself always covers the whole project — a partial graph lies).
+    report_paths: Optional[Sequence[str]] = None
+
+
+@dataclass
+class DeepResult:
+    """Outcome of one deep run."""
+
+    findings: List[Finding]  #: unbaselined findings (the gate's currency)
+    baselined: int  #: findings absorbed by the baseline
+    stale_entries: List[Dict[str, object]]  #: baseline entries now unmatched
+    roots: List[str]  #: keyed-zone root qualnames
+    keyed_zone: List[str]  #: full closure qualnames
+    modules: int  #: project modules analyzed
+    cache: Dict[str, int] = field(default_factory=dict)
+    #: (finding, fingerprint) for *all* findings pre-baseline, so the CLI
+    #: can implement --update-baseline without re-running.
+    fingerprinted: List[Tuple[Finding, str]] = field(default_factory=list)
+
+    def deep_section(self, baseline_path: Optional[Path]) -> Dict[str, object]:
+        """The ``deep`` block of the ``thermolint/2`` JSON report."""
+        return {
+            "enabled": True,
+            "modules": self.modules,
+            "roots": list(self.roots),
+            "keyed_zone_size": len(self.keyed_zone),
+            "cache": dict(self.cache),
+            "baseline": {
+                "path": str(baseline_path) if baseline_path else None,
+                "applied": self.baselined,
+                "stale": [
+                    str(entry.get("fingerprint")) for entry in self.stale_entries
+                ],
+            },
+        }
+
+
+def _rel_posix(path: Path, root: Path) -> str:
+    return path.resolve().relative_to(root.resolve()).as_posix()
+
+
+def run_deep(config: DeepConfig) -> DeepResult:
+    """Execute one full deep analysis (see module docstring)."""
+    root = config.project_root
+    cache = SummaryCache(config.cache_dir)
+    summaries: List[ModuleSummary] = []
+    shallow: List[Finding] = []
+    suppressions: Dict[str, Tuple[Dict[int, Set[str]], Set[str]]] = {}
+
+    for package_dir in config.package_dirs:
+        package_root = root / package_dir
+        if not package_root.is_dir():
+            raise FileNotFoundError(
+                f"package directory {package_dir!r} not found under {root}"
+            )
+        for file_path in iter_project_files(package_root):
+            rel = _rel_posix(file_path, root)
+            module_name = module_name_for(file_path, package_root)
+            if module_name is None:
+                continue
+            source = file_path.read_text(encoding="utf-8")
+            digest = content_digest(rel, source)
+            artifact = cache.load(digest)
+            if artifact is None:
+                per_line, whole_file = parse_suppressions(source)
+                file_findings = lint_source(source, path=rel)
+                try:
+                    summary: Optional[ModuleSummary] = extract_module(
+                        rel, module_name, source
+                    )
+                except SyntaxError:
+                    # lint_source already produced the TL000 finding.
+                    summary = None
+                cache.store(
+                    digest,
+                    {
+                        "summary": summary.as_dict() if summary else None,
+                        "shallow": [f.as_dict() for f in file_findings],
+                        "suppress_lines": {
+                            str(line): sorted(ids)
+                            for line, ids in per_line.items()
+                        },
+                        "suppress_file": sorted(whole_file),
+                    },
+                )
+            else:
+                summary = (
+                    ModuleSummary.from_dict(artifact["summary"])
+                    if artifact["summary"] is not None
+                    else None
+                )
+                file_findings = [
+                    Finding(
+                        rule_id=str(f["rule"]),
+                        message=str(f["message"]),
+                        path=str(f["path"]),
+                        line=int(f["line"]),
+                        col=int(f["col"]),
+                    )
+                    for f in artifact["shallow"]
+                ]
+                per_line = {
+                    int(line): set(ids)
+                    for line, ids in artifact["suppress_lines"].items()
+                }
+                whole_file = set(artifact["suppress_file"])
+            suppressions[rel] = (per_line, whole_file)
+            shallow.extend(file_findings)
+            if summary is not None:
+                summaries.append(summary)
+
+    graph = CallGraph.build(summaries)
+    roots, zone = keyed_zone(graph, config.root_patterns, config.worker_sinks)
+    wzone = worker_zone(graph, config.worker_sinks)
+
+    deep_findings = run_taint_rules(graph, zone)
+    deep_findings += run_fabric_rules(graph, wzone, config.worker_sinks)
+    deep_findings += check_schema_drift(
+        root,
+        manifest_path=config.manifest_path,
+        key_files=config.key_files,
+        version_file=config.version_file,
+    )
+
+    # Pragmas apply to deep findings exactly as to shallow ones.
+    kept: List[Finding] = []
+    for finding in deep_findings:
+        per_line, whole_file = suppressions.get(finding.path, ({}, set()))
+        if not is_suppressed(finding, per_line, whole_file):
+            kept.append(finding)
+
+    findings = sorted(shallow + kept, key=Finding.sort_key)
+    if config.select:
+        selected = {rule_id.upper() for rule_id in config.select}
+        findings = [f for f in findings if f.rule_id in selected]
+    if config.ignore:
+        ignored = {rule_id.upper() for rule_id in config.ignore}
+        findings = [f for f in findings if f.rule_id not in ignored]
+    if config.report_paths:
+        prefixes = [p.rstrip("/") for p in config.report_paths]
+        findings = [
+            f
+            for f in findings
+            if any(
+                f.path == p or f.path.startswith(p + "/") for p in prefixes
+            )
+        ]
+
+    contexts: Dict[Tuple[str, int], str] = {}
+    by_path = {summary.path: summary for summary in summaries}
+    for finding in findings:
+        summary = by_path.get(finding.path)
+        if summary is not None:
+            key = (finding.path, finding.line)
+            if key not in contexts:
+                contexts[key] = summary.context_at(finding.line)
+
+    fingerprinted = fingerprint_findings(findings, contexts, root=root)
+    baselined = 0
+    stale: List[Dict[str, object]] = []
+    if config.baseline_path is not None:
+        entries = load_baseline(config.baseline_path)
+        new_findings, baselined, stale = apply_baseline(fingerprinted, entries)
+        findings = new_findings
+
+    cache.prune()
+    return DeepResult(
+        findings=findings,
+        baselined=baselined,
+        stale_entries=stale,
+        roots=roots,
+        keyed_zone=sorted(zone),
+        modules=len(summaries),
+        cache=cache.stats(),
+        fingerprinted=fingerprinted,
+    )
+
+
+def update_baseline_file(config: DeepConfig) -> int:
+    """Run the analysis and rewrite the baseline to its findings.
+
+    Returns the number of entries written.  Reasons on surviving entries
+    are preserved (matching by fingerprint).
+    """
+    assert config.baseline_path is not None
+    previous = (
+        load_baseline(config.baseline_path)
+        if config.baseline_path.is_file()
+        else []
+    )
+    # Baseline must capture findings pre-filtering, so run without one.
+    probe = DeepConfig(**{**config.__dict__, "baseline_path": None})
+    result = run_deep(probe)
+    return write_baseline(config.baseline_path, result.fingerprinted, previous)

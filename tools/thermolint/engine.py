@@ -163,6 +163,23 @@ def _split_ids(blob: str) -> Set[str]:
     return {part.strip().upper() for part in blob.split(",") if part.strip()}
 
 
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Public suppression-map accessor for the deep runner.
+
+    Returns (line -> suppressed ids, file-wide suppressed ids); the deep
+    pass generates findings long after per-file parsing, so it applies
+    these maps itself via :func:`is_suppressed`.
+    """
+    return _parse_suppressions(source)
+
+
+def is_suppressed(
+    finding: Finding, per_line: Dict[int, Set[str]], whole_file: Set[str]
+) -> bool:
+    """Public twin of the engine's internal suppression check."""
+    return _is_suppressed(finding, per_line, whole_file)
+
+
 def _is_suppressed(
     finding: Finding, per_line: Dict[int, Set[str]], whole_file: Set[str]
 ) -> bool:
@@ -218,7 +235,10 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
         if not root.exists():
             raise FileNotFoundError(f"no such file or directory: {raw}")
         for candidate in sorted(root.rglob("*.py")):
-            if any(part in {"__pycache__", ".git"} for part in candidate.parts):
+            if any(
+                part in {"__pycache__", ".git", ".thermolint_cache"}
+                for part in candidate.parts
+            ):
                 continue
             yield candidate
 

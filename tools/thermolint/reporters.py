@@ -1,15 +1,30 @@
-"""Finding reporters: aligned text for humans, JSON for tooling."""
+"""Finding reporters: aligned text for humans, JSON for tooling.
+
+The JSON report is schema ``thermolint/2``: version 1's flat finding list
+plus a ``deep`` section describing the project-wide pass (keyed-zone
+roots and size, cache hit rate, baseline accounting).  Shallow-only runs
+emit ``deep.enabled: false`` so consumers need no mode detection.
+SARIF output lives in :mod:`thermolint.sarif`.
+"""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from thermolint.engine import Finding
 
+#: JSON report schema identifier (``schema_version`` stays the integer twin).
+REPORT_SCHEMA = "thermolint/2"
+REPORT_SCHEMA_VERSION = 2
 
-def render_text(findings: Sequence[Finding], statistics: bool = False) -> str:
+
+def render_text(
+    findings: Sequence[Finding],
+    statistics: bool = False,
+    deep: Optional[Dict[str, Any]] = None,
+) -> str:
     """ruff/flake8-style ``path:line:col: RULE message`` lines."""
     lines: List[str] = [finding.render() for finding in findings]
     if statistics:
@@ -19,17 +34,39 @@ def render_text(findings: Sequence[Finding], statistics: bool = False) -> str:
         lines.append(f"{len(findings):>5}  total")
     elif findings:
         lines.append(f"found {len(findings)} issue{'s' if len(findings) != 1 else ''}")
+    if deep is not None and deep.get("enabled"):
+        cache = deep.get("cache", {})
+        baseline = deep.get("baseline", {})
+        summary = (
+            f"deep: {deep.get('modules', 0)} modules, "
+            f"{len(deep.get('roots', []))} roots, "
+            f"{deep.get('keyed_zone_size', 0)} keyed-zone functions, "
+            f"cache {cache.get('hits', 0)} hit(s) / "
+            f"{cache.get('misses', 0)} miss(es)"
+        )
+        applied = baseline.get("applied", 0)
+        stale = baseline.get("stale", [])
+        if baseline.get("path"):
+            summary += f", baseline applied {applied}"
+            if stale:
+                summary += f" ({len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'})"
+        lines.append(summary)
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    deep: Optional[Dict[str, Any]] = None,
+) -> str:
     """Stable machine-readable report (schema documented in docs/static_analysis.md)."""
     counts = Counter(finding.rule_id for finding in findings)
     payload = {
         "tool": "thermolint",
-        "schema_version": 1,
+        "schema": REPORT_SCHEMA,
+        "schema_version": REPORT_SCHEMA_VERSION,
         "findings": [finding.as_dict() for finding in findings],
         "counts": {rule_id: counts[rule_id] for rule_id in sorted(counts)},
         "total": len(findings),
+        "deep": deep if deep is not None else {"enabled": False},
     }
     return json.dumps(payload, indent=2, sort_keys=True)

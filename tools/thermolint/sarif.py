@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 output, so CI can annotate PRs inline.
+
+One run object, one driver, the full TL rule catalog (shallow + deep),
+and one result per finding with a physical location.  The document shape
+follows the OASIS SARIF 2.1.0 standard closely enough for GitHub code
+scanning upload (``github/codeql-action/upload-sarif``); the test suite
+validates the structural contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from thermolint.engine import PARSE_ERROR_RULE, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+INFORMATION_URI = "https://example.invalid/thermolint"  # docs live in-repo
+
+
+def _rule_catalog() -> List[Dict[str, Any]]:
+    from thermolint.rules import ALL_RULES
+    from thermolint.taint import DEEP_RULE_SUMMARIES
+
+    catalog: List[Dict[str, Any]] = [
+        {
+            "id": PARSE_ERROR_RULE,
+            "shortDescription": {"text": "file could not be parsed"},
+        }
+    ]
+    for rule in ALL_RULES:
+        catalog.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    for rule_id in sorted(DEEP_RULE_SUMMARIES):
+        catalog.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": DEEP_RULE_SUMMARIES[rule_id]},
+            }
+        )
+    return catalog
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    tool_version: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for one run's findings."""
+    if tool_version is None:
+        from thermolint import __version__ as tool_version
+    rules = _rule_catalog()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        entry: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error" if finding.rule_id == PARSE_ERROR_RULE else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(entry)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "thermolint",
+                        "version": tool_version,
+                        "informationUri": INFORMATION_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], tool_version: Optional[str] = None
+) -> str:
+    """Serialized SARIF document (stable key order)."""
+    return json.dumps(
+        sarif_document(findings, tool_version), indent=2, sort_keys=True
+    )
