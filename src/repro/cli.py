@@ -15,6 +15,7 @@ Exposes the library's main queries without writing Python::
     python -m repro sweep workload tpcc --inject-faults --partial-results
     python -m repro sweep workload tpcc --store      # memoized sweep
     python -m repro sweep workload tpcc --store --resume sweep_manifest.json
+    python -m repro sweep workload tpcc --backend shared-store  # peer-coordinated
     python -m repro store stats              # result-store inventory
     python -m repro store verify             # integrity-check every entry
     python -m repro trace tpcc -n 2000       # instrumented replay + sparklines
@@ -284,12 +285,34 @@ def _fault_config_from(args: argparse.Namespace):
     )
 
 
-def _store_from(args: argparse.Namespace):
-    """Build the ResultStore the flags ask for (None when caching is off)."""
+def _backend_from(args: argparse.Namespace) -> Optional[str]:
+    """The resolved backend name, or None when nothing selects one.
+
+    ``--backend`` wins over ``REPRO_SWEEP_BACKEND``; both validate here,
+    in the parent, so a typo'd env var fails fast with the full name
+    list instead of from inside a sweep.
+    """
+    import os
+
+    from repro.simulation.backends import BACKEND_ENV_VAR, resolve_backend_name
+
+    explicit = getattr(args, "backend", None)
+    if explicit is None and not os.environ.get(BACKEND_ENV_VAR, "").strip():
+        return None
+    return resolve_backend_name(explicit)
+
+
+def _store_from(args: argparse.Namespace, backend: Optional[str] = None):
+    """Build the ResultStore the flags ask for (None when caching is off).
+
+    The ``shared-store`` backend implies ``--store``: it coordinates
+    through the store directory, so its accounting must be visible.
+    """
     use_store = bool(
         getattr(args, "store", False)
         or getattr(args, "store_dir", None)
         or getattr(args, "resume", None)
+        or backend == "shared-store"
     )
     if not use_store:
         return None
@@ -336,6 +359,7 @@ def _check_resume_manifest(path: str, task_keys: List[str]) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.simulation.sweep import sweep_roadmap, sweep_workloads
 
+    backend = _backend_from(args)
     if args.axis == "roadmap":
         # scaling pulls in the thermal network (and numpy); only the
         # roadmap axis needs it, and the workload axis must stay
@@ -343,7 +367,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.scaling import PAPER_TRENDS
 
         by_count = sweep_roadmap(
-            platter_counts=args.platters, workers=args.workers
+            platter_counts=args.platters, workers=args.workers, backend=backend
         )
         for count, points in by_count.items():
             years = sorted({p.year for p in points})
@@ -373,7 +397,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     telemetry = bool(args.telemetry or args.telemetry_out)
     fault_config = _fault_config_from(args)
-    store = _store_from(args)
+    store = _store_from(args, backend)
     partial = bool(args.partial_results or args.resume)
     task_kwargs = dict(
         names=args.names,
@@ -403,6 +427,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             timeout_s=args.task_timeout,
             store=store,
+            backend=backend,
             **task_kwargs,
         )
         if not partial:
@@ -427,6 +452,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"{run_report.ok_count}/{len(run_report.envelopes)} sweep "
                 f"points completed; manifest written to {out}"
             )
+        if run_report.backend:
+            print(f"backend: {run_report.backend}")
         if store is not None:
             print(
                 f"store: {run_report.store_hits} hit(s), "
@@ -434,7 +461,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"{store.corrupt} corrupt — {store.root}"
             )
     else:
-        results = sweep_workloads(workers=args.workers, **task_kwargs)
+        results = sweep_workloads(
+            workers=args.workers, backend=backend, **task_kwargs
+        )
     if args.results_out:
         from repro.simulation.sweep import results_json_bytes
 
@@ -788,6 +817,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated platter counts",
     )
     ps.add_argument("-w", "--workers", type=int, default=None, help="process count")
+    ps.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default=None,
+        help="execution backend (default $REPRO_SWEEP_BACKEND or process; "
+        "roadmap tasks have no content keys, so shared-store does not apply)",
+    )
     ps = sweep_sub.add_parser(
         "workload", help="Figure 4 sweep over (workload, RPM) points"
     )
@@ -800,6 +836,14 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=1)
     ps.add_argument("--steps", type=int, default=4, help="RPM ladder length")
     ps.add_argument("-w", "--workers", type=int, default=None, help="process count")
+    ps.add_argument(
+        "--backend",
+        choices=("serial", "process", "shared-store"),
+        default=None,
+        help="execution backend (default $REPRO_SWEEP_BACKEND or process); "
+        "shared-store coordinates with peer processes through the result "
+        "store and implies --store",
+    )
     ps.add_argument(
         "--engine",
         choices=("exact", "vectorized", "analytic", "auto"),

@@ -23,10 +23,21 @@ from repro.simulation.scheduler import (
     SSTFScheduler,
     make_scheduler,
 )
+from repro.simulation.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedStoreBackend,
+    resolve_backend,
+    resolve_backend_name,
+)
 from repro.simulation.resilience import (
     MANIFEST_SCHEMA,
     SweepRunReport,
     TaskEnvelope,
+    run_sweep_cached,
     run_sweep_resilient,
 )
 from repro.simulation.statistics import PAPER_CDF_BINS_MS, ResponseTimeStats
@@ -88,5 +99,14 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "SweepRunReport",
     "TaskEnvelope",
+    "run_sweep_cached",
     "run_sweep_resilient",
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SharedStoreBackend",
+    "resolve_backend",
+    "resolve_backend_name",
 ]

@@ -1,0 +1,231 @@
+"""Shared-store execution backend: coordination through a ResultStore.
+
+The seed of remote execution.  Several processes pointed at the same
+store directory can run the same sweep concurrently; they partition the
+work dynamically through per-key *claim files* (see
+``ResultStore.try_claim``) instead of a message bus:
+
+1. For each ticket the backend first tries to **claim** the task's
+   content key.  Winning the claim means *we* compute: run the worker,
+   ``put`` the encoded result into the store, release the claim.
+2. Losing the claim means a peer is computing.  The ticket parks in the
+   waiting set; each ``progress`` call re-checks it — when the peer's
+   claim disappears and the result is readable, the ticket completes
+   with a ``cached`` envelope (the decoded peer result, zero attempts
+   of our own).
+3. A claim older than ``stale_claim_s`` whose result never appeared is
+   treated as a tombstone of a dead peer: the claim is broken and the
+   ticket goes back to the pending queue for a fresh claim attempt.
+
+Correctness never depends on the claims: results stay content-addressed
+and digest-verified, so the worst a racing or crashed peer can cause is
+a duplicate computation of the same pure function — byte-identical by
+the determinism contract the differential suite enforces.
+
+Waiting tickets are reported as in-flight with the instant the wait
+began, so the resilience layer's per-task deadline bounds how long a
+ticket can wait on a silent peer before timing out like any other task.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from .base import (
+    POLL_INTERVAL_S,
+    BackendProgress,
+    Completion,
+    CounterHook,
+    ExecutionBackend,
+    InFlight,
+    TaskEnvelope,
+    guarded_call,
+)
+
+__all__ = ["SharedStoreBackend", "DEFAULT_STALE_CLAIM_S"]
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+#: After this many seconds an unreleased claim with no result behind it is
+#: presumed orphaned by a dead peer and may be broken.  Long enough that a
+#: healthy peer mid-simulation keeps its claim; short enough that a crashed
+#: one delays the sweep by about a minute, not forever.
+DEFAULT_STALE_CLAIM_S = 60.0
+
+
+class SharedStoreBackend(ExecutionBackend):
+    """Execute attempts locally, coordinating with peers via claim files."""
+
+    name = "shared-store"
+    #: The backend itself publishes each computed result (step 1 above);
+    #: the caching layer must not persist again on top.
+    persists_results = True
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskT],
+        worker: Callable[[TaskT], ResultT],
+        keys: Sequence[str],
+        store: Any,
+        encode: Callable[[ResultT], Any],
+        decode: Callable[[Any], ResultT],
+        kind: str = "",
+        stale_claim_s: float = DEFAULT_STALE_CLAIM_S,
+        counters: Optional[CounterHook] = None,
+    ) -> None:
+        super().__init__(counters)
+        if len(keys) != len(tasks):
+            from repro.errors import SimulationError
+
+            raise SimulationError(
+                f"shared-store backend needs one key per task, got "
+                f"{len(keys)} key(s) for {len(tasks)} task(s)"
+            )
+        self._tasks = tasks
+        self._worker = worker
+        self._keys = list(keys)
+        self._store = store
+        self._encode = encode
+        self._decode = decode
+        self._kind = kind
+        self._stale_claim_s = stale_claim_s
+        # Every ticket can be queued at once; local compute still happens
+        # one per progress() call, but peers drain the rest meanwhile.
+        self.capacity = max(1, len(tasks))
+        self._pending: Deque[Tuple[int, int]] = deque()
+        # index -> (attempt, wait_started_monotonic) for claim-lost tickets.
+        self._waiting: Dict[int, Tuple[int, float]] = {}
+        # Claims this process currently holds (released on cancel).
+        self._held_claims: Dict[int, str] = {}
+
+    def submit(self, index: int, attempt: int) -> None:
+        self._pending.append((index, attempt))
+        self._count("sweep.backend.submits_total")
+
+    def progress(self, timeout_s: float = POLL_INTERVAL_S) -> BackendProgress:
+        progress = BackendProgress()
+        self._poll_waiting(progress)
+        computed = self._compute_one(progress)
+        if not computed and not progress.completions and self._waiting:
+            # Nothing local to do: we are purely waiting on peers.  Yield
+            # briefly so the poll loop doesn't spin on claim stat calls.
+            time.sleep(min(timeout_s, POLL_INTERVAL_S))
+        progress.in_flight = [
+            InFlight(index=index, attempt=attempt, since_monotonic=started)
+            for index, (attempt, started) in self._waiting.items()
+        ]
+        return progress
+
+    def _poll_waiting(self, progress: BackendProgress) -> None:
+        """Re-check every peer-owned ticket for a result or a stale claim."""
+        for index in list(self._waiting):
+            attempt, _started = self._waiting[index]
+            key = self._keys[index]
+            age = self._store.claim_age_s(key)
+            if age is None:
+                # Peer released its claim: the result should be readable.
+                payload = self._store.get(key)
+                result: Optional[Any] = None
+                if payload is not None:
+                    try:
+                        result = self._decode(payload)
+                    except Exception:
+                        self._store.reject(key)
+                        result = None
+                del self._waiting[index]
+                if result is not None:
+                    self._count("sweep.backend.peer_results_total")
+                    self._count("sweep.backend.completions_total")
+                    progress.completions.append(
+                        Completion(
+                            index=index,
+                            attempt=attempt,
+                            envelope=TaskEnvelope(
+                                index=index, result=result, cached=True
+                            ),
+                        )
+                    )
+                else:
+                    # Claim gone but no (valid) result — the peer crashed
+                    # between release and put, or the entry was corrupt.
+                    # Recompute ourselves.
+                    self._pending.appendleft((index, attempt))
+            elif age > self._stale_claim_s:
+                # Dead peer's tombstone: break the claim and recompute.
+                self._count("sweep.backend.stale_claims_total")
+                self._store.release_claim(key)
+                del self._waiting[index]
+                self._pending.appendleft((index, attempt))
+
+    def _compute_one(self, progress: BackendProgress) -> bool:
+        """Claim-and-compute at most one pending ticket; True if one ran."""
+        while self._pending:
+            index, attempt = self._pending.popleft()
+            key = self._keys[index]
+            if not self._store.try_claim(key):
+                # A peer owns it; park the ticket and try the next one.
+                self._waiting[index] = (attempt, time.monotonic())
+                continue
+            self._held_claims[index] = key
+            try:
+                envelope = guarded_call(
+                    self._worker, self._tasks[index], index, attempt
+                )
+                if envelope.ok:
+                    try:
+                        self._store.put(
+                            key, self._encode(envelope.result), kind=self._kind
+                        )
+                    except Exception:
+                        # Publishing is an optimization for peers; losing
+                        # it must not lose our own computed result.
+                        self._store.note_put_failed()
+            finally:
+                del self._held_claims[index]
+                self._store.release_claim(key)
+            self._count("sweep.backend.completions_total")
+            progress.completions.append(
+                Completion(index=index, attempt=attempt, envelope=envelope)
+            )
+            return True
+        return False
+
+    def cancel(self) -> List[Tuple[int, int]]:
+        for key in self._held_claims.values():
+            self._store.release_claim(key)
+        self._held_claims.clear()
+        unfinished = list(self._pending)
+        unfinished.extend(
+            (index, attempt) for index, (attempt, _started) in self._waiting.items()
+        )
+        self._pending.clear()
+        self._waiting.clear()
+        if unfinished:
+            self._count("sweep.backend.cancelled_total", float(len(unfinished)))
+        return unfinished
+
+    def result_by_key(self, key: str) -> Optional[Any]:
+        payload = self._store.get(key)
+        if payload is None:
+            return None
+        try:
+            return self._decode(payload)
+        except Exception:
+            self._store.reject(key)
+            return None
+
+    def shutdown(self) -> None:
+        self.cancel()

@@ -306,6 +306,21 @@ def planned_engines(tasks: Sequence["WorkloadTask"]) -> Optional[List[str]]:
         return None
 
 
+def all_analytic(tasks: Sequence["WorkloadTask"]) -> bool:
+    """True when *every* task plans onto the closed-form analytic engine.
+
+    Such a sweep finishes in milliseconds of arithmetic; the sweep
+    planner (:func:`repro.simulation.sweep.plan_sweep_workers`) forces it
+    serial so no execution backend spawns processes for it.  Tasks that
+    request ``exact`` (the common case) short-circuit to False without
+    planning anything.
+    """
+    if not tasks or any(task.engine == "exact" for task in tasks):
+        return False
+    planned = planned_engines(tasks)
+    return planned is not None and all(p == "analytic" for p in planned)
+
+
 def run_fast_task(task: "WorkloadTask") -> Optional["WorkloadSweepResult"]:
     """Run a task on its planned fast engine.
 

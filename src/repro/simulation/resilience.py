@@ -1,4 +1,4 @@
-"""Resilient sweep execution: result envelopes, retries, pool recovery.
+"""Resilient sweep execution: result envelopes, retries, crash recovery.
 
 The plain executor path (``executor.map``) has an all-or-nothing failure
 mode: one raised exception in any worker aborts the whole sweep with a
@@ -14,12 +14,22 @@ in a :class:`TaskEnvelope` so a run always produces *per-task outcomes*:
   is reclaimed by respawning the pool.
 
 On top of the envelopes sit bounded **retries with exponential backoff**,
-**per-task deadlines**, ``BrokenProcessPool`` **recovery** (respawn the
-pool, resume from the last completed task — only unfinished tasks are
-resubmitted), explicit ``KeyboardInterrupt`` handling (pending futures
-are cancelled and worker processes shut down, no orphans), and a
-**failure manifest** (schema ``repro.sweep_manifest/1``) for the
-``--partial-results`` mode.
+**per-task deadlines**, broken-fabric **recovery** (respawn, resume from
+the last completed task — only unfinished tasks are resubmitted) with
+**crash blame attribution** by isolated re-execution, explicit
+``KeyboardInterrupt`` handling (pending work is cancelled and worker
+processes shut down, no orphans), and a **failure manifest** (schema
+``repro.sweep_manifest/2``) for the ``--partial-results`` mode.
+
+All of that is **backend-agnostic**: one loop drives an
+:class:`repro.simulation.backends.ExecutionBackend` (serial, process
+pool, or shared-store peer coordination) through the five-method
+protocol — ``submit`` / ``progress`` / ``cancel`` / ``result_by_key`` /
+``shutdown`` — so every backend, including future remote ones, gets
+retries, deadlines, blame attribution and manifests for free.  The
+resolved backend name is recorded on the report and manifest *only*; it
+never enters a store key, because the determinism contract says every
+backend produces byte-identical results for the same configuration.
 
 Fault/retry/recovery counters are mirrored into a
 :class:`repro.telemetry.MetricsRegistry` when one is supplied, so the
@@ -29,85 +39,68 @@ standard exporters (JSON / CSV / Prometheus) report them.
 from __future__ import annotations
 
 import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
+    Deque,
     Dict,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     TypeVar,
+    Union,
 )
 
 from repro.errors import SimulationError, SweepExecutionError
+from repro.simulation.backends import (
+    POLL_INTERVAL_S,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BackendBroken,
+    ExecutionBackend,
+    InFlight,
+    TaskEnvelope,
+    guarded_call,
+    resolve_backend,
+    resolve_backend_name,
+)
+from repro.simulation.backends.process import reap_executor
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
 
-#: Schema identifier of the failure manifest document.
-MANIFEST_SCHEMA = "repro.sweep_manifest/1"
+#: Schema identifier of the failure manifest document.  ``/2`` added the
+#: ``backend`` field recording which execution backend actually ran.
+MANIFEST_SCHEMA = "repro.sweep_manifest/2"
 
-#: How long one ``wait()`` poll blocks while futures are outstanding, in
-#: seconds; bounds how stale per-task deadline checks can get.
-POLL_INTERVAL_S = 0.05
+#: Backend spec accepted by the run functions: a name (``serial`` /
+#: ``process`` / ``shared-store``), a ready instance, or None (resolve
+#: from ``REPRO_SWEEP_BACKEND``, default ``process``).
+BackendSpec = Optional[Union[str, ExecutionBackend]]
 
-STATUS_OK = "ok"
-STATUS_ERROR = "error"
-STATUS_TIMEOUT = "timeout"
+# Backwards-compatible aliases: these moved into
+# ``repro.simulation.backends`` when the execution layer became
+# pluggable; existing imports (tests, embedders) keep working.
+_guarded_call = guarded_call
+_kill_pool = reap_executor
 
-
-@dataclass
-class TaskEnvelope:
-    """Outcome of one sweep task across all of its attempts.
-
-    Attributes:
-        index: position in the submitted task list.
-        status: ``ok`` / ``error`` / ``timeout``.
-        result: the worker's return value when ``ok``, else None.
-        error_type: exception class name when ``error``.
-        error_message: stringified exception when ``error``/``timeout``.
-        traceback_text: worker-side traceback when available (a worker
-            that dies abruptly leaves none).
-        attempts: how many times the task was attempted.
-        elapsed_s: wall-clock duration of the *successful* attempt (or
-            the last failed one).
-        cached: True when the result was served from the result store
-            rather than computed (``attempts`` is then 0).
-    """
-
-    index: int
-    status: str = STATUS_OK
-    result: Any = None
-    error_type: str = ""
-    error_message: str = ""
-    traceback_text: str = ""
-    attempts: int = 0
-    elapsed_s: float = 0.0
-    cached: bool = False
-
-    @property
-    def ok(self) -> bool:
-        return self.status == STATUS_OK
-
-    def as_dict(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {
-            "index": self.index,
-            "status": self.status,
-            "attempts": self.attempts,
-            "elapsed_s": self.elapsed_s,
-        }
-        if self.cached:
-            out["cached"] = True
-        if not self.ok:
-            out["error_type"] = self.error_type
-            out["error_message"] = self.error_message
-            out["traceback"] = self.traceback_text
-        return out
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "POLL_INTERVAL_S",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "BackendSpec",
+    "SweepRunReport",
+    "TaskEnvelope",
+    "run_sweep_cached",
+    "run_sweep_resilient",
+]
 
 
 @dataclass
@@ -116,7 +109,9 @@ class SweepRunReport:
 
     ``envelopes`` is in task order; ``results()`` keeps that order with
     ``None`` holes where tasks failed, so zips against the task list stay
-    aligned.
+    aligned.  ``backend`` names the execution backend that actually ran
+    (after worker resolution — a ``process`` request over one worker
+    executes, and is recorded as, ``serial``).
     """
 
     envelopes: List[TaskEnvelope]
@@ -129,6 +124,7 @@ class SweepRunReport:
     store_hits: int = 0
     store_misses: int = 0
     task_keys: Optional[List[str]] = None
+    backend: str = ""
 
     def results(self) -> List[Any]:
         """Per-task results in task order (None for failed tasks)."""
@@ -161,7 +157,7 @@ class SweepRunReport:
     def manifest(
         self, task_labels: Optional[Sequence[str]] = None
     ) -> Dict[str, Any]:
-        """The failure manifest document (``repro.sweep_manifest/1``).
+        """The failure manifest document (``repro.sweep_manifest/2``).
 
         Args:
             task_labels: optional human-readable label per task (e.g.
@@ -181,6 +177,7 @@ class SweepRunReport:
             failures.append(entry)
         document = {
             "schema": MANIFEST_SCHEMA,
+            "backend": self.backend,
             "tasks_total": len(self.envelopes),
             "tasks_ok": self.ok_count,
             "tasks_failed": len(self.failed),
@@ -202,58 +199,6 @@ class SweepRunReport:
         return document
 
 
-def _guarded_call(
-    worker: Callable[[TaskT], ResultT], task: TaskT, index: int, attempt: int
-) -> TaskEnvelope:
-    """Run one task inside the worker process, capturing any exception.
-
-    The traceback is rendered to text *here*, worker-side, so it crosses
-    the process boundary as a plain string instead of a pickled exception
-    (whose unpickling is itself a failure mode).  ``KeyboardInterrupt``
-    and other ``BaseException``s deliberately propagate.
-    """
-    started = time.perf_counter()
-    try:
-        result = worker(task)
-    except Exception as exc:
-        return TaskEnvelope(
-            index=index,
-            status=STATUS_ERROR,
-            error_type=type(exc).__name__,
-            error_message=str(exc),
-            traceback_text=traceback.format_exc(),
-            attempts=attempt,
-            elapsed_s=time.perf_counter() - started,
-        )
-    return TaskEnvelope(
-        index=index,
-        status=STATUS_OK,
-        result=result,
-        attempts=attempt,
-        elapsed_s=time.perf_counter() - started,
-    )
-
-
-def _kill_pool(executor: ProcessPoolExecutor) -> None:
-    """Shut an executor down *now*, reclaiming even hung workers.
-
-    ``shutdown(wait=False, cancel_futures=True)`` alone never reclaims a
-    worker stuck in user code, so any still-live worker processes are
-    terminated explicitly.  The process table must be captured *before*
-    ``shutdown`` — it clears ``_processes`` even with ``wait=False``, and
-    a hung worker would otherwise keep the executor's management thread
-    (and interpreter exit) blocked until the worker returned.
-    """
-    table = getattr(executor, "_processes", None)
-    processes = list(table.values()) if table else []
-    executor.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        if process.is_alive():
-            process.terminate()
-    for process in processes:
-        process.join(timeout=5.0)
-
-
 class _Counters:
     """Optional mirror of resilience counters into a telemetry registry."""
 
@@ -267,6 +212,19 @@ class _Counters:
             self._tel.count(name, amount)
 
 
+def _backoff_sleep(backoff_s: float, attempt: int) -> None:
+    """Sleep before retry ``attempt`` (first retry is attempt 2)."""
+    if backoff_s > 0 and attempt > 1:
+        time.sleep(backoff_s * (2.0 ** (attempt - 2)))
+
+
+def _backend_label(backend: BackendSpec) -> str:
+    """The name a backend spec would resolve to (no construction)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend.name
+    return resolve_backend_name(backend)
+
+
 def run_sweep_resilient(
     tasks: Sequence[TaskT],
     worker: Callable[[TaskT], ResultT],
@@ -276,24 +234,26 @@ def run_sweep_resilient(
     timeout_s: Optional[float] = None,
     telemetry: Optional[Any] = None,
     on_result: Optional[Callable[[TaskEnvelope], None]] = None,
+    backend: BackendSpec = None,
 ) -> SweepRunReport:
     """Run a sweep that survives worker faults and returns every outcome.
 
     Args:
-        tasks: the task list (each must be picklable for the parallel
-            path, as must the worker's results).
+        tasks: the task list (each must be picklable for the process
+            backend, as must the worker's results).
         worker: module-level pure task function.
         workers: process count (None = all cores; 0/1 = serial
             in-process, which produces identical results).
         retries: extra attempts granted to a failed task (0 = one
-            attempt only).  Tasks that were in flight when the pool broke
-            also consume an attempt — a task that repeatedly kills its
-            worker exhausts its budget instead of wedging the sweep.
+            attempt only).  Tasks that were in flight when the fabric
+            broke also consume an attempt — a task that repeatedly kills
+            its worker exhausts its budget instead of wedging the sweep.
         backoff_s: base of the exponential backoff slept before retry
             ``n`` (``backoff_s * 2**(n-1)``); 0 disables sleeping.
         timeout_s: per-task deadline measured from dispatch.  Expired
-            tasks are marked ``timeout`` and their (possibly hung) worker
-            pool is respawned.  Not enforced on the serial path.
+            tasks are marked ``timeout`` and their (possibly hung)
+            execution fabric is reclaimed.  Only enforced on backends
+            that report in-flight work — not on the serial path.
         telemetry: optional :class:`repro.telemetry.Telemetry`; mirrors
             ``sweep.*`` counters into its registry.
         on_result: parent-side hook invoked with each *successful*
@@ -302,18 +262,23 @@ def run_sweep_resilient(
             incrementally, so even an interrupted run leaves its finished
             tasks resumable.  Exceptions propagate; wrap the hook if a
             side effect must not abort the sweep.
+        backend: backend name, instance, or None (env /
+            ``process`` default); see
+            :func:`repro.simulation.backends.resolve_backend`.  The
+            ``shared-store`` name cannot be resolved here — it needs
+            content keys and a codec, which only
+            :func:`run_sweep_cached` can supply.
 
     Returns:
         A :class:`SweepRunReport` with one envelope per task, in task
-        order, regardless of how many attempts or pool respawns it took.
+        order, regardless of how many attempts or fabric respawns it
+        took.
 
     Raises:
         SimulationError: on invalid arguments.
         KeyboardInterrupt: re-raised after cancelling pending work and
-            shutting the pool down (no orphaned workers).
+            shutting the fabric down (no orphaned workers).
     """
-    from repro.simulation.sweep import resolve_workers
-
     if retries < 0:
         raise SimulationError(f"retries must be >= 0, got {retries}")
     if backoff_s < 0:
@@ -323,77 +288,52 @@ def run_sweep_resilient(
     counters = _Counters(telemetry)
     counters.count("sweep.tasks_total", float(len(tasks)))
     if not tasks:
-        return SweepRunReport(envelopes=[])
-    resolved = resolve_workers(workers, len(tasks))
-    if resolved <= 1:
-        report = _run_serial(
-            tasks, worker, retries, backoff_s, counters, on_result
-        )
-    else:
-        report = _run_parallel(
-            tasks, worker, resolved, retries, backoff_s, timeout_s, counters,
-            on_result,
-        )
+        return SweepRunReport(envelopes=[], backend=_backend_label(backend))
+    resolved = resolve_backend(
+        backend, tasks, worker, workers=workers, counters=counters.count
+    )
+    counters.count(
+        "sweep.backend.selected."
+        + resolved.name.replace("-", "_")
+    )
+    report = _run_with_backend(
+        tasks, resolved, retries, backoff_s, timeout_s, counters, on_result
+    )
     counters.count("sweep.tasks_ok", float(report.ok_count))
     counters.count("sweep.tasks_failed_total", float(len(report.failed)))
     return report
 
 
-def _backoff_sleep(backoff_s: float, attempt: int) -> None:
-    """Sleep before retry ``attempt`` (first retry is attempt 2)."""
-    if backoff_s > 0 and attempt > 1:
-        time.sleep(backoff_s * (2.0 ** (attempt - 2)))
-
-
-def _run_serial(
+def _run_with_backend(
     tasks: Sequence[TaskT],
-    worker: Callable[[TaskT], ResultT],
-    retries: int,
-    backoff_s: float,
-    counters: _Counters,
-    on_result: Optional[Callable[[TaskEnvelope], None]] = None,
-) -> SweepRunReport:
-    report = SweepRunReport(envelopes=[])
-    for index, task in enumerate(tasks):
-        envelope = TaskEnvelope(index=index)
-        for attempt in range(1, retries + 2):
-            _backoff_sleep(backoff_s, attempt)
-            if attempt > 1:
-                report.retries += 1
-                counters.count("sweep.retries_total")
-            envelope = _guarded_call(worker, task, index, attempt)
-            if envelope.ok:
-                if on_result is not None:
-                    on_result(envelope)
-                break
-            counters.count("sweep.task_errors_total")
-        report.envelopes.append(envelope)
-    return report
-
-
-def _run_parallel(
-    tasks: Sequence[TaskT],
-    worker: Callable[[TaskT], ResultT],
-    resolved: int,
+    backend: ExecutionBackend,
     retries: int,
     backoff_s: float,
     timeout_s: Optional[float],
     counters: _Counters,
     on_result: Optional[Callable[[TaskEnvelope], None]] = None,
 ) -> SweepRunReport:
+    """The one resilience loop every backend runs under.
+
+    Bookkeeping lives entirely on this side of the protocol: the backend
+    only knows about ``(index, attempt)`` tickets, while retries,
+    deadlines and blame stay identical across serial, process-pool and
+    shared-store execution.
+    """
     envelopes: List[Optional[TaskEnvelope]] = [None] * len(tasks)
-    report = SweepRunReport(envelopes=[])
-    # (index, attempt) pairs not yet finished.
-    pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(tasks))]
-    # Tasks that were in flight when the pool broke.  A dead worker breaks
-    # *every* in-flight future, so the crash cannot be attributed from the
-    # exceptions alone; suspects are re-run one at a time in a fresh pool —
-    # innocents complete, and a task that breaks the pool while isolated
-    # is definitively the culprit and is charged the attempt.
+    report = SweepRunReport(envelopes=[], backend=backend.name)
+    # Tickets not yet dispatched (or requeued for another attempt).
+    pending: Deque[Tuple[int, int]] = deque((i, 1) for i in range(len(tasks)))
+    # Tickets that were in flight when the fabric broke.  A dead worker
+    # breaks *every* in-flight attempt, so the crash cannot be attributed
+    # from the wreckage alone; suspects are re-run one at a time on a
+    # quiet fabric — innocents complete, and a ticket that breaks the
+    # fabric while isolated is definitively the culprit and is charged
+    # the attempt.
     suspects: List[Tuple[int, int]] = []
-    executor = ProcessPoolExecutor(max_workers=resolved)
-    # future -> (index, attempt, dispatched_monotonic, isolated)
-    running: Dict[Future, Tuple[int, int, float, bool]] = {}
+    # Tickets submitted to the backend and not yet folded into the report.
+    outstanding: Set[Tuple[int, int]] = set()
+    isolated: Optional[Tuple[int, int]] = None
 
     def record_failure(
         index: int, attempt: int, status: str, error_type: str, message: str,
@@ -420,126 +360,129 @@ def _run_parallel(
                 elapsed_s=elapsed_s,
             )
 
-    def respawn_pool() -> None:
-        nonlocal executor
-        _kill_pool(executor)
-        executor = ProcessPoolExecutor(max_workers=resolved)
-
-    def collect(future: Future, index: int, attempt: int, isolated: bool) -> bool:
-        """Fold one finished future into the report; True if the pool broke."""
-        try:
-            envelope = future.result()
-        except BrokenProcessPool:
-            if isolated:
-                # Alone in the pool: this task killed its own worker.
-                record_failure(
-                    index, attempt, STATUS_ERROR, "BrokenProcessPool",
-                    "worker process died mid-task",
-                )
-            else:
-                suspects.append((index, attempt))
-            return True
-        if envelope.ok:
-            envelopes[index] = envelope
-            if on_result is not None:
-                on_result(envelope)
-        else:
-            record_failure(
-                index, attempt, STATUS_ERROR, envelope.error_type,
-                envelope.error_message, envelope.traceback_text,
-                envelope.elapsed_s,
-            )
-        return False
-
-    def drain_running_and_respawn(to_suspects: bool) -> None:
-        """Fold finished futures, requeue the rest, start a fresh pool.
-
-        Unfinished tasks keep their current attempt number — they were
-        victims of a pool break or a neighbour's timeout, not (proven)
-        culprits.  After a pool break they go to ``suspects`` for
-        isolated re-execution; after a timeout respawn straight back to
-        ``pending``.
-        """
-        for future, (index, attempt, _started, isolated) in list(running.items()):
-            if future.done():
-                collect(future, index, attempt, isolated)
-            elif to_suspects:
-                suspects.append((index, attempt))
-            else:
-                pending.append((index, attempt))
-        running.clear()
-        respawn_pool()
-
-    def submit_one(index: int, attempt: int, isolated: bool) -> bool:
-        """Dispatch one task; False when the pool turned out to be broken."""
+    def submit_one(index: int, attempt: int) -> bool:
+        """Dispatch one ticket; False when the fabric turned out broken."""
         _backoff_sleep(backoff_s, attempt)
         try:
-            future = executor.submit(
-                _guarded_call, worker, tasks[index], index, attempt
-            )
-        except BrokenProcessPool:
+            backend.submit(index, attempt)
+        except BackendBroken:
             # Never dispatched: innocent by construction, back to pending.
             pending.append((index, attempt))
             return False
-        running[future] = (index, attempt, time.monotonic(), isolated)
+        outstanding.add((index, attempt))
         return True
 
+    def reclaim_fabric(to_suspects: bool) -> None:
+        """Cancel the backend and requeue whatever didn't finish.
+
+        Unfinished tickets keep their current attempt number — they were
+        victims of a fabric break or a neighbour's timeout, not (proven)
+        culprits.  After a break they go to ``suspects`` for isolated
+        re-execution; after a timeout straight back to ``pending``.
+        Attempts that completed before the cancel stay ``outstanding``;
+        the backend buffers them and the next ``progress`` delivers them
+        normally.
+        """
+        nonlocal isolated
+        for ticket in backend.cancel():
+            if ticket in outstanding:
+                outstanding.discard(ticket)
+                (suspects if to_suspects else pending).append(ticket)
+        isolated = None
+
     try:
-        while pending or suspects or running:
+        while pending or suspects or outstanding:
             broke = False
             if suspects:
-                # Isolation mode: exactly one suspect in a quiet pool.
-                if not running:
-                    index, attempt = suspects.pop(0)
-                    broke = not submit_one(index, attempt, isolated=True)
+                # Isolation mode: exactly one suspect on a quiet fabric.
+                if not outstanding:
+                    ticket = suspects.pop(0)
+                    if submit_one(*ticket):
+                        isolated = ticket
+                    else:
+                        broke = True
             else:
-                while pending and len(running) < 2 * resolved:
-                    index, attempt = pending.pop(0)
-                    if not submit_one(index, attempt, isolated=False):
+                while pending and len(outstanding) < backend.capacity:
+                    index, attempt = pending.popleft()
+                    if not submit_one(index, attempt):
                         broke = True
                         break
-            if not broke and running:
-                done, _ = wait(
-                    set(running), timeout=POLL_INTERVAL_S,
-                    return_when=FIRST_COMPLETED,
-                )
-                for future in done:
-                    index, attempt, _started, isolated = running.pop(future)
-                    broke = collect(future, index, attempt, isolated) or broke
+            in_flight: List[InFlight] = []
+            if not broke and outstanding:
+                progress = backend.progress(POLL_INTERVAL_S)
+                in_flight = progress.in_flight
+                for completion in progress.completions:
+                    ticket = (completion.index, completion.attempt)
+                    if ticket not in outstanding:
+                        # Superseded: this ticket was requeued by an
+                        # earlier cancel; the late result of a pure
+                        # worker is safe to drop.
+                        continue
+                    outstanding.discard(ticket)
+                    was_isolated = ticket == isolated
+                    if was_isolated:
+                        isolated = None
+                    if completion.broken:
+                        broke = True
+                        if was_isolated:
+                            # Alone on the fabric: this ticket killed
+                            # its own worker.
+                            record_failure(
+                                completion.index, completion.attempt,
+                                STATUS_ERROR, "BrokenProcessPool",
+                                "worker process died mid-task",
+                            )
+                        else:
+                            suspects.append(ticket)
+                        continue
+                    envelope = completion.envelope
+                    if envelope is None:  # pragma: no cover - defensive
+                        continue
+                    if envelope.ok:
+                        envelopes[completion.index] = envelope
+                        if on_result is not None:
+                            on_result(envelope)
+                    else:
+                        record_failure(
+                            completion.index, completion.attempt,
+                            STATUS_ERROR, envelope.error_type,
+                            envelope.error_message, envelope.traceback_text,
+                            envelope.elapsed_s,
+                        )
             if broke:
                 report.pool_breaks += 1
                 counters.count("sweep.pool_breaks_total")
-                drain_running_and_respawn(to_suspects=True)
+                reclaim_fabric(to_suspects=True)
                 continue
-            if timeout_s is not None:
+            if timeout_s is not None and in_flight:
                 now = time.monotonic()
-                expired = {
-                    future: meta
-                    for future, meta in running.items()
-                    if now - meta[2] > timeout_s and not future.done()
-                }
+                expired = [
+                    flight
+                    for flight in in_flight
+                    if now - flight.since_monotonic > timeout_s
+                    and (flight.index, flight.attempt) in outstanding
+                ]
                 if expired:
                     report.timeouts += len(expired)
-                    for future, (index, attempt, started, _iso) in expired.items():
-                        del running[future]
+                    for flight in expired:
+                        outstanding.discard((flight.index, flight.attempt))
                         record_failure(
-                            index, attempt, STATUS_TIMEOUT, "TimeoutError",
+                            flight.index, flight.attempt, STATUS_TIMEOUT,
+                            "TimeoutError",
                             f"task exceeded {timeout_s} s deadline",
-                            elapsed_s=now - started,
+                            elapsed_s=now - flight.since_monotonic,
                         )
-                    # A timed-out task may be hung inside a worker; the
-                    # only way to reclaim it is a pool respawn.  In-flight
-                    # survivors are folded in or requeued at their current
-                    # attempt.
-                    drain_running_and_respawn(to_suspects=False)
+                    # An expired attempt may be hung inside a worker; the
+                    # only way to reclaim it is cancelling the fabric.
+                    # In-flight survivors are requeued at their current
+                    # attempt (or delivered from the backend's buffer).
+                    reclaim_fabric(to_suspects=False)
     except KeyboardInterrupt:
         report.interrupted = True
-        for future in running:
-            future.cancel()
-        _kill_pool(executor)
+        backend.cancel()
         raise
     finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+        backend.shutdown()
     report.envelopes = [e for e in envelopes if e is not None]
     missing = len(tasks) - len(report.envelopes)
     if missing:  # pragma: no cover - defensive; every path fills its slot
@@ -565,6 +508,7 @@ def run_sweep_cached(
     backoff_s: float = 0.0,
     timeout_s: Optional[float] = None,
     telemetry: Optional[Any] = None,
+    backend: BackendSpec = None,
 ) -> SweepRunReport:
     """Run a sweep through a :class:`repro.store.ResultStore`.
 
@@ -584,16 +528,25 @@ def run_sweep_cached(
     carries on uncached.  Cache trouble can cost recomputation, never a
     sweep.
 
+    This is also the only entry point that can resolve the
+    ``shared-store`` backend: it owns the per-task content keys and the
+    codec that backend coordinates through.  A backend that persists
+    results itself (``persists_results``) runs without the local persist
+    hook — exactly one ``put`` per computed miss either way.
+
     Args:
         store: a :class:`repro.store.ResultStore`.
         key_fn: task -> canonical content key (see
-            :func:`repro.store.config_key`).
+            :func:`repro.store.config_key`).  Backend choice never
+            enters the key.
         encode / decode: result <-> JSON-safe payload codec; ``decode``
             must reconstruct a result indistinguishable from a computed
             one (the differential suite asserts byte-identity).
         kind: task-family tag stored in each envelope.
         workers / retries / backoff_s / timeout_s / telemetry: forwarded
             to :func:`run_sweep_resilient` for the misses.
+        backend: backend name, instance, or None (env / ``process``
+            default).
 
     Returns:
         A :class:`SweepRunReport` covering *all* tasks in task order,
@@ -629,15 +582,33 @@ def run_sweep_cached(
             # sweep.  The counter makes the silence observable.
             store.note_put_failed()
 
+    miss_tasks = [tasks[i] for i in miss_indices]
+    counters = _Counters(telemetry)
+    resolved: BackendSpec = backend
+    if miss_tasks and not isinstance(backend, ExecutionBackend):
+        resolved = resolve_backend(
+            backend,
+            miss_tasks,
+            worker,
+            workers=workers,
+            keys=[keys[i] for i in miss_indices],
+            store=store,
+            encode=encode,
+            decode=decode,
+            kind=kind,
+            counters=counters.count,
+        )
+    persists = isinstance(resolved, ExecutionBackend) and resolved.persists_results
     sub = run_sweep_resilient(
-        [tasks[i] for i in miss_indices],
+        miss_tasks,
         worker,
         workers=workers,
         retries=retries,
         backoff_s=backoff_s,
         timeout_s=timeout_s,
         telemetry=telemetry,
-        on_result=persist,
+        on_result=None if persists else persist,
+        backend=resolved,
     )
     for envelope, original in zip(sub.envelopes, miss_indices):
         envelope.index = original
@@ -652,4 +623,5 @@ def run_sweep_cached(
         store_hits=hit_count,
         store_misses=len(miss_indices),
         task_keys=keys,
+        backend=sub.backend,
     )

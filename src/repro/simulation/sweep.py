@@ -38,6 +38,7 @@ from typing import (
     Sequence,
     Tuple,
     TypeVar,
+    Union,
 )
 
 from repro.constants import (
@@ -51,12 +52,19 @@ from repro.faults import FaultConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.scaling.roadmap import RoadmapPoint
+    from repro.simulation.backends import ExecutionBackend
     from repro.simulation.resilience import SweepRunReport
     from repro.store import ResultStore
     from repro.telemetry import Telemetry
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
+
+#: Backend spec accepted by every sweep front-end: a backend name
+#: (``serial`` / ``process`` / ``shared-store``), a constructed
+#: :class:`repro.simulation.backends.ExecutionBackend`, or None (resolve
+#: from ``REPRO_SWEEP_BACKEND``, default ``process``).
+BackendSpec = Optional[Union[str, "ExecutionBackend"]]
 
 #: Default span of the Figure 2 roadmap sweep.
 ROADMAP_YEARS: Tuple[int, ...] = tuple(range(ROADMAP_FIRST_YEAR, ROADMAP_LAST_YEAR + 1))
@@ -81,11 +89,13 @@ def run_sweep(
     tasks: Sequence[TaskT],
     worker: Callable[[TaskT], ResultT],
     workers: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> List[ResultT]:
-    """Run ``worker`` over every task, serially or across processes.
+    """Run ``worker`` over every task, on whichever execution backend.
 
-    Results are returned in task order in both modes; with a pure worker
-    function the two modes are indistinguishable output-wise.
+    Results are returned in task order on every backend; with a pure
+    worker function the backends are indistinguishable output-wise (the
+    differential suite asserts byte-identity).
 
     This is the *strict* front-end: the first task failure raises a
     :class:`repro.errors.SweepExecutionError` carrying the worker-side
@@ -94,7 +104,9 @@ def run_sweep(
     """
     from repro.simulation.resilience import run_sweep_resilient
 
-    report = run_sweep_resilient(tasks, worker, workers=workers, retries=0)
+    report = run_sweep_resilient(
+        tasks, worker, workers=workers, retries=0, backend=backend
+    )
     report.raise_on_failure()
     return report.ok_results()
 
@@ -132,8 +144,12 @@ def sweep_roadmap(
     years: Sequence[int] = ROADMAP_YEARS,
     sizes: Sequence[float] = ROADMAP_PLATTER_SIZES_IN,
     workers: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> Dict[int, List["RoadmapPoint"]]:
     """Fan the Figure 2 roadmap out over platter counts.
+
+    Roadmap tasks have no content-key codec, so the ``shared-store``
+    backend cannot run them; ``serial`` and ``process`` both apply.
 
     Returns:
         {platter_count: [RoadmapPoint, ...]} with points ordered exactly as
@@ -143,7 +159,7 @@ def sweep_roadmap(
         RoadmapTask(platter_count=count, years=tuple(years), sizes=tuple(sizes))
         for count in platter_counts
     ]
-    results = run_sweep(tasks, _run_roadmap_task, workers=workers)
+    results = run_sweep(tasks, _run_roadmap_task, workers=workers, backend=backend)
     return {task.platter_count: points for task, points in zip(tasks, results)}
 
 
@@ -474,14 +490,39 @@ def plan_sweep_workers(
     untouched.  Engine refusals are not raised here; the per-task worker
     raises them so resilient sweeps get per-task outcomes.
     """
-    if not tasks or all(task.engine == "exact" for task in tasks):
-        return workers
-    from repro.simulation.fastpath import planned_engines
+    from repro.simulation.fastpath import all_analytic
 
-    planned = planned_engines(tasks)
-    if planned is not None and all(p == "analytic" for p in planned):
+    if all_analytic(tasks):
         return 0
     return workers
+
+
+def _effective_store(
+    store: Optional["ResultStore"], backend: BackendSpec
+) -> Optional["ResultStore"]:
+    """The store a workload sweep will actually use, given its backend.
+
+    The ``shared-store`` backend coordinates *through* a result store, so
+    selecting it without one (say, ``REPRO_SWEEP_BACKEND=shared-store``
+    flipping a whole test run) would be a contradiction; instead the
+    default store (``REPRO_STORE_DIR``, else ``~/.cache/repro``) is
+    materialized.  Every other backend passes the caller's choice
+    through untouched.
+    """
+    if store is not None:
+        return store
+    from repro.simulation.backends import ExecutionBackend, resolve_backend_name
+
+    name = (
+        backend.name
+        if isinstance(backend, ExecutionBackend)
+        else resolve_backend_name(backend)
+    )
+    if name != "shared-store":
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore()
 
 
 def sweep_workloads(
@@ -498,6 +539,7 @@ def sweep_workloads(
     fault_config: Optional[FaultConfig] = None,
     engine: str = "exact",
     store: Optional["ResultStore"] = None,
+    backend: BackendSpec = None,
 ) -> List[WorkloadSweepResult]:
     """Fan Figure 4 replays out over (workload, RPM) points.
 
@@ -519,6 +561,9 @@ def sweep_workloads(
             serially without spawning a process pool.
         store: optional :class:`repro.store.ResultStore`; completed points
             are served from / persisted to it (bit-identical either way).
+        backend: execution backend name/instance/None (see
+            :data:`BackendSpec`); ``shared-store`` without an explicit
+            store materializes the default one.
 
     Returns:
         One result per (workload, RPM) point, ordered workload-major in the
@@ -538,8 +583,9 @@ def sweep_workloads(
         engine=engine,
     )
     workers = plan_sweep_workers(tasks, workers)
+    store = _effective_store(store, backend)
     if store is None:
-        return run_sweep(tasks, _run_workload_task, workers=workers)
+        return run_sweep(tasks, _run_workload_task, workers=workers, backend=backend)
     from repro.simulation.resilience import run_sweep_cached
 
     report = run_sweep_cached(
@@ -552,6 +598,7 @@ def sweep_workloads(
         kind=WORKLOAD_TASK_KIND,
         workers=workers,
         retries=0,
+        backend=backend,
     )
     report.raise_on_failure()
     return report.ok_results()
@@ -575,6 +622,7 @@ def sweep_workloads_resilient(
     timeout_s: Optional[float] = None,
     run_telemetry: Optional["Telemetry"] = None,
     store: Optional["ResultStore"] = None,
+    backend: BackendSpec = None,
 ) -> Tuple[List[Optional[WorkloadSweepResult]], "SweepRunReport"]:
     """The Figure 4 sweep with partial-results semantics.
 
@@ -595,6 +643,9 @@ def sweep_workloads_resilient(
             the report (and its manifest) gains store accounting —
             re-running a partially failed sweep with the same store only
             recomputes the failed points.
+        backend: execution backend name/instance/None (see
+            :data:`BackendSpec`); the resolved name lands on
+            ``report.backend`` and in the manifest.
     """
     from repro.simulation.resilience import run_sweep_cached, run_sweep_resilient
 
@@ -612,6 +663,7 @@ def sweep_workloads_resilient(
         engine=engine,
     )
     workers = plan_sweep_workers(tasks, workers)
+    store = _effective_store(store, backend)
     if store is not None:
         report = run_sweep_cached(
             tasks,
@@ -626,6 +678,7 @@ def sweep_workloads_resilient(
             backoff_s=backoff_s,
             timeout_s=timeout_s,
             telemetry=run_telemetry,
+            backend=backend,
         )
     else:
         report = run_sweep_resilient(
@@ -636,5 +689,6 @@ def sweep_workloads_resilient(
             backoff_s=backoff_s,
             timeout_s=timeout_s,
             telemetry=run_telemetry,
+            backend=backend,
         )
     return report.results(), report

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -182,6 +183,58 @@ class ResultStore:
             or not all(c in "0123456789abcdef" for c in key)
         ):
             raise StoreError(f"malformed store key {key!r}")
+
+    # -- claims --------------------------------------------------------------
+    #
+    # Claim files are the coordination medium of the shared-store execution
+    # backend: a worker that wants to compute a task first creates
+    # ``claims/<key>.claim`` with O_EXCL — exactly one process can win.
+    # Losers wait for either the winner's result (a normal ``get`` hit once
+    # the winner has ``put`` and released) or a stale claim (winner died;
+    # age-based takeover).  Claims are advisory and crash-safe by *absence
+    # of meaning*: a leftover claim only ever delays recomputation, never
+    # changes a result, because results remain content-addressed.
+
+    @property
+    def claims_dir(self) -> Path:
+        return self.root / "claims"
+
+    def claim_path(self, key: str) -> Path:
+        self._check_key(key)
+        return self.claims_dir / f"{key}.claim"
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim a key for computation; True when won.
+
+        O_EXCL makes the race loser-visible: at most one process holds a
+        live claim on a key at any instant.
+        """
+        path = self.claim_path(key)
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, f'{{"pid": {os.getpid()}}}\n'.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def release_claim(self, key: str) -> None:
+        """Drop a claim (ours or a stale one); missing claims are fine."""
+        try:
+            self.claim_path(key).unlink()
+        except OSError:
+            pass
+
+    def claim_age_s(self, key: str) -> Optional[float]:
+        """Seconds since the claim on ``key`` was created; None if unclaimed."""
+        try:
+            mtime = self.claim_path(key).stat().st_mtime
+        except OSError:
+            return None
+        return max(0.0, time.time() - mtime)
 
     # -- counters ------------------------------------------------------------
 

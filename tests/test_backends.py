@@ -1,0 +1,447 @@
+"""Protocol conformance for the pluggable execution backends.
+
+Every backend (serial, process, shared-store) is driven two ways:
+
+* **through the resilience layer** (``run_sweep_resilient(backend=...)``),
+  proving retries, deadlines, blame attribution and manifests really are
+  backend-agnostic — the same knobs produce the same outcomes on every
+  fabric; and
+* **directly against the protocol** (manual ``submit`` / ``progress`` /
+  ``cancel`` calls), pinning the ordering and buffering contracts a new
+  backend must honor.
+
+The shared-store backend additionally gets claim-semantics coverage:
+peer-result adoption, stale-claim takeover, and no-leaked-claims after
+worker failures — all single-threaded and deterministic, because the
+"peer" is the test itself manipulating the claim files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.backends import (
+    BACKEND_NAMES,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedStoreBackend,
+    reap_executor,
+    resolve_backend,
+    resolve_backend_name,
+)
+from repro.simulation.resilience import (
+    MANIFEST_SCHEMA,
+    run_sweep_cached,
+    run_sweep_resilient,
+)
+from repro.store import ResultStore, config_key
+
+# ---------------------------------------------------------------------------
+# Module-level workers (must pickle under any start method)
+# ---------------------------------------------------------------------------
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raise_if_negative(x: int) -> int:
+    if x < 0:
+        raise ValueError(f"task rejects negative input {x}")
+    return x
+
+
+def _exit_if_negative(x: int) -> int:
+    if x < 0:
+        os._exit(23)  # simulates a worker crash (no exception, no cleanup)
+    return x
+
+
+def _hang_if_negative(x: int) -> int:
+    if x < 0:
+        time.sleep(300.0)
+    return x
+
+
+def _slow_square(x: int) -> int:
+    time.sleep(0.2)
+    return x * x
+
+
+def _identity(payload: object) -> object:
+    return payload
+
+
+def _task_key(index: int) -> str:
+    return config_key("backend_conformance", {"index": index})
+
+
+def _make_backend(name, tasks, worker, tmp_path, **shared_kwargs):
+    """One backend of each flavor over the same task list."""
+    if name == "serial":
+        return SerialBackend(tasks, worker)
+    if name == "process":
+        return ProcessPoolBackend(tasks, worker, workers=2)
+    store = ResultStore(root=tmp_path / "conformance-store")
+    return SharedStoreBackend(
+        tasks,
+        worker,
+        keys=[_task_key(i) for i in range(len(tasks))],
+        store=store,
+        encode=_identity,
+        decode=_identity,
+        kind="backend_conformance",
+        **shared_kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Conformance through the resilience layer
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_backend_runs_a_healthy_sweep(name, tmp_path):
+    tasks = [0, 1, 2, 3, 4, 5]
+    backend = _make_backend(name, tasks, _square, tmp_path)
+    report = run_sweep_resilient(tasks, _square, backend=backend)
+    assert report.backend == name
+    assert report.results() == [x * x for x in tasks]
+    assert [e.index for e in report.envelopes] == list(range(len(tasks)))
+    assert report.manifest()["schema"] == MANIFEST_SCHEMA
+    assert report.manifest()["backend"] == name
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_retry_budget_is_isolated_per_task(name, tmp_path):
+    """One task exhausting its budget must not steal attempts from others."""
+    tasks = [-1, 3, -2, 4]
+    backend = _make_backend(name, tasks, _raise_if_negative, tmp_path)
+    report = run_sweep_resilient(
+        tasks, _raise_if_negative, backend=backend, retries=2
+    )
+    failed = {e.index: e for e in report.failed}
+    assert set(failed) == {0, 2}
+    for envelope in failed.values():
+        assert envelope.attempts == 3  # 1 try + 2 retries, its own budget
+        assert envelope.error_type == "ValueError"
+        assert envelope.traceback_text  # worker-side traceback captured
+    ok = {e.index: e for e in report.envelopes if e.ok}
+    assert {i: e.result for i, e in ok.items()} == {1: 3, 3: 4}
+    assert all(e.attempts == 1 for e in ok.values())
+    assert report.retries == 4  # 2 retries for each of the 2 failing tasks
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_worker_failure_mid_sweep_per_backend(name, tmp_path):
+    """The unified reclaim path (satellite: one ``reap_executor`` helper)
+    survives a dying worker on every backend.
+
+    The process backend gets a real worker-process kill (``os._exit``);
+    the in-process backends get the strongest equivalent that doesn't
+    take the test runner down with it — a raising worker — plus, for
+    shared-store, the claim-hygiene assertion that a failed attempt
+    never leaks its claim file.
+    """
+    tasks = [1, -1, 2]
+    if name == "process":
+        backend = _make_backend(name, tasks, _exit_if_negative, tmp_path)
+        report = run_sweep_resilient(
+            tasks, _exit_if_negative, backend=backend, retries=0
+        )
+        assert report.pool_breaks >= 1
+        blamed = {e.index: e for e in report.failed}
+        assert set(blamed) == {1}
+        assert blamed[1].error_type == "BrokenProcessPool"
+    else:
+        backend = _make_backend(name, tasks, _raise_if_negative, tmp_path)
+        report = run_sweep_resilient(
+            tasks, _raise_if_negative, backend=backend, retries=0
+        )
+        assert {e.index for e in report.failed} == {1}
+    ok = {e.index: e.result for e in report.envelopes if e.ok}
+    assert ok == {0: 1, 2: 2}
+    if name == "shared-store":
+        claims = ResultStore(root=tmp_path / "conformance-store").claims_dir
+        leaked = list(claims.glob("*.claim")) if claims.is_dir() else []
+        assert leaked == [], "failed attempts must release their claims"
+
+
+def test_deadline_expires_hung_process_worker(tmp_path):
+    tasks = [-1, 5]
+    backend = _make_backend("process", tasks, _hang_if_negative, tmp_path)
+    report = run_sweep_resilient(
+        tasks, _hang_if_negative, backend=backend, retries=0, timeout_s=0.5
+    )
+    assert report.timeouts == 1
+    timed_out = {e.index: e for e in report.failed}
+    assert set(timed_out) == {0}
+    assert timed_out[0].status == "timeout"
+    assert report.results()[1] == 5
+
+
+def test_deadline_expires_silent_shared_store_peer(tmp_path):
+    """A ticket waiting on a peer that never delivers times out like any
+    other task — the deadline applies to peer-waits too."""
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    backend = SharedStoreBackend(
+        [9], _square, keys=[key], store=store,
+        encode=_identity, decode=_identity,
+        stale_claim_s=3600.0,  # the claim must stay "fresh" forever
+    )
+    assert store.try_claim(key)  # the silent peer
+    report = run_sweep_resilient(
+        [9], _square, backend=backend, retries=0, timeout_s=0.4
+    )
+    assert report.timeouts == 1
+    assert report.failed[0].status == "timeout"
+
+
+def test_serial_backend_does_not_enforce_deadlines(tmp_path):
+    """The serial path computes synchronously and reports nothing in
+    flight, preserving the long-standing no-deadline contract there."""
+    tasks = [3]
+    backend = _make_backend("serial", tasks, _slow_square, tmp_path)
+    report = run_sweep_resilient(
+        tasks, _slow_square, backend=backend, retries=0, timeout_s=0.05
+    )
+    assert report.timeouts == 0
+    assert report.results() == [9]
+
+
+def test_zero_worker_process_request_resolves_to_serial():
+    """``workers=0`` has always meant in-process execution; the resolved
+    backend (and the manifest) must record what actually ran."""
+    resolved = resolve_backend("process", [1, 2], _square, workers=0)
+    assert resolved.name == "serial"
+    report = run_sweep_resilient([1, 2], _square, workers=0, backend="process")
+    assert report.backend == "serial"
+    assert report.results() == [1, 4]
+
+
+# ---------------------------------------------------------------------------
+# Direct protocol drives: ordering, buffering, cancel semantics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_progress_only_reports_submitted_tickets(name, tmp_path):
+    tasks = [2, 3, 4]
+    backend = _make_backend(name, tasks, _square, tmp_path)
+    try:
+        backend.submit(0, 1)
+        backend.submit(2, 1)
+        seen = {}
+        deadline = time.monotonic() + 30.0
+        while len(seen) < 2 and time.monotonic() < deadline:
+            for completion in backend.progress(0.05).completions:
+                seen[(completion.index, completion.attempt)] = completion
+        assert set(seen) == {(0, 1), (2, 1)}
+        assert seen[(0, 1)].envelope.result == 4
+        assert seen[(2, 1)].envelope.result == 16
+        assert backend.cancel() == []  # nothing left in flight
+    finally:
+        backend.shutdown()
+
+
+@pytest.mark.parametrize("name", ["serial", "shared-store"])
+def test_cancel_returns_queued_tickets(name, tmp_path):
+    """Tickets accepted but not yet computed come back from cancel, and
+    the backend accepts fresh submits afterwards."""
+    tasks = [5, 6]
+    backend = _make_backend(name, tasks, _square, tmp_path)
+    backend.submit(0, 1)
+    backend.submit(1, 2)
+    assert sorted(backend.cancel()) == [(0, 1), (1, 2)]
+    backend.submit(1, 1)
+    completions = backend.progress(0.05).completions
+    assert [(c.index, c.envelope.result) for c in completions] == [(1, 36)]
+    backend.shutdown()
+
+
+def test_process_cancel_reaps_hung_workers_and_respawns(tmp_path):
+    tasks = [-1, -2, 7]
+    backend = _make_backend("process", tasks, _hang_if_negative, tmp_path)
+    backend.submit(0, 1)
+    backend.submit(1, 1)
+    time.sleep(0.3)  # let the workers actually start hanging
+    started = time.monotonic()
+    unfinished = backend.cancel()
+    assert time.monotonic() - started < 30.0, "cancel must reclaim hung workers"
+    assert sorted(unfinished) == [(0, 1), (1, 1)]
+    # The fabric respawns lazily: a fresh submit on the same backend works.
+    backend.submit(2, 1)
+    deadline = time.monotonic() + 30.0
+    result = None
+    while result is None and time.monotonic() < deadline:
+        for completion in backend.progress(0.05).completions:
+            result = completion.envelope.result
+    assert result == 7
+    backend.shutdown()
+
+
+def test_process_cancel_buffers_completed_work(tmp_path):
+    """Attempts that finished before a cancel are never discarded; the
+    next progress() delivers them."""
+    tasks = [4]
+    backend = _make_backend("process", tasks, _square, tmp_path)
+    backend.submit(0, 1)
+    # Wait for the future to finish without collecting it — progress()
+    # would deliver it, which is exactly what this test must not do.
+    (future,) = list(backend._running)
+    deadline = time.monotonic() + 30.0
+    while not future.done() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert future.done(), "trivial task never finished"
+    assert backend.cancel() == []  # finished attempt is not "unfinished"
+    buffered = backend.progress(0.0).completions
+    assert [(c.index, c.envelope.result) for c in buffered] == [(0, 16)]
+    backend.shutdown()
+
+
+def test_reap_executor_reclaims_hung_workers():
+    """The single kill helper shared by respawn, cancel and interrupt
+    teardown terminates workers stuck in user code (satellite fix)."""
+    executor = ProcessPoolExecutor(max_workers=2)
+    executor.submit(_hang_if_negative, -1)
+    executor.submit(_hang_if_negative, -2)
+    deadline = time.monotonic() + 30.0
+    while not executor._processes and time.monotonic() < deadline:
+        time.sleep(0.01)
+    processes = list(executor._processes.values())
+    assert processes, "workers never spawned"
+    started = time.monotonic()
+    reap_executor(executor)
+    assert time.monotonic() - started < 30.0
+    for process in processes:
+        assert not process.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# Shared-store claim semantics
+# ---------------------------------------------------------------------------
+
+
+def test_shared_store_adopts_peer_results(tmp_path):
+    """A ticket whose key a peer claims waits, then completes from the
+    peer's published result without computing anything locally."""
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    backend = SharedStoreBackend(
+        [7], _square, keys=[key], store=store,
+        encode=_identity, decode=_identity,
+    )
+    assert store.try_claim(key)  # the test plays the peer
+    backend.submit(0, 1)
+    first = backend.progress(0.01)
+    assert first.completions == []
+    assert [(f.index, f.attempt) for f in first.in_flight] == [(0, 1)]
+    # Peer publishes its result and releases the claim...
+    store.put(key, 49, kind="backend_conformance")
+    store.release_claim(key)
+    second = backend.progress(0.01)
+    assert len(second.completions) == 1
+    envelope = second.completions[0].envelope
+    assert envelope.ok and envelope.result == 49
+    assert envelope.cached and envelope.attempts == 0
+    assert backend.result_by_key(key) == 49
+    backend.shutdown()
+
+
+def test_shared_store_recovers_from_stale_claim(tmp_path):
+    """A claim left behind by a dead peer (old mtime, no result) is
+    broken after ``stale_claim_s`` and the task recomputed locally."""
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    assert store.try_claim(key)
+    ancient = time.time() - 3600.0
+    os.utime(store.claim_path(key), (ancient, ancient))
+    backend = SharedStoreBackend(
+        [6], _square, keys=[key], store=store,
+        encode=_identity, decode=_identity, stale_claim_s=1.0,
+    )
+    report = run_sweep_resilient([6], _square, backend=backend, timeout_s=30.0)
+    assert report.results() == [36]
+    assert not report.failed
+    assert report.envelopes[0].cached is False, "recomputed, not adopted"
+    assert store.claim_age_s(key) is None, "broken claim must be released"
+    assert store.get(key) == 36, "the recomputed result is published"
+
+
+def test_shared_store_claim_gone_without_result_recomputes(tmp_path):
+    """Claim released but no result behind it (peer crashed between
+    release and put): the waiting ticket recomputes instead of failing."""
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    backend = SharedStoreBackend(
+        [8], _square, keys=[key], store=store,
+        encode=_identity, decode=_identity,
+    )
+    assert store.try_claim(key)
+    backend.submit(0, 1)
+    assert backend.progress(0.01).completions == []  # parked behind peer
+    store.release_claim(key)  # ...but the peer never published
+    deadline = time.monotonic() + 10.0
+    completions = []
+    while not completions and time.monotonic() < deadline:
+        completions = backend.progress(0.01).completions
+    assert completions[0].envelope.result == 64
+    assert completions[0].envelope.cached is False
+    backend.shutdown()
+
+
+def test_run_sweep_cached_shared_store_persists_exactly_once(tmp_path):
+    """``persists_results`` backends publish inside the transport; the
+    caching layer must not put a second copy."""
+    store = ResultStore(root=tmp_path)
+    tasks = [2, 3]
+    keys = [_task_key(i) for i in range(len(tasks))]
+    backend = SharedStoreBackend(
+        tasks, _square, keys=keys, store=store,
+        encode=_identity, decode=_identity, kind="backend_conformance",
+    )
+    report = run_sweep_cached(
+        tasks, _square, store,
+        key_fn=lambda t: keys[tasks.index(t)],
+        encode=_identity, decode=_identity,
+        kind="backend_conformance", backend=backend,
+    )
+    assert report.results() == [4, 9]
+    assert report.backend == "shared-store"
+    assert store.puts == len(tasks), "exactly one put per computed miss"
+    assert store.misses == len(tasks) and store.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Resolution: names, env var, guard rails
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_backend_name_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_SWEEP_BACKEND", raising=False)
+    assert resolve_backend_name(None) == "process"
+    assert resolve_backend_name("serial") == "serial"
+    monkeypatch.setenv("REPRO_SWEEP_BACKEND", "shared-store")
+    assert resolve_backend_name(None) == "shared-store"
+    assert resolve_backend_name("serial") == "serial"  # explicit wins
+    monkeypatch.setenv("REPRO_SWEEP_BACKEND", "")
+    assert resolve_backend_name(None) == "process"
+
+
+def test_resolve_backend_name_rejects_unknown(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown execution backend"):
+        resolve_backend_name("quantum")
+    monkeypatch.setenv("REPRO_SWEEP_BACKEND", "quantum")
+    with pytest.raises(SimulationError, match="REPRO_SWEEP_BACKEND"):
+        resolve_backend_name(None)
+
+
+def test_shared_store_needs_store_and_codec():
+    with pytest.raises(SimulationError, match="shared-store"):
+        run_sweep_resilient([1, 2], _square, backend="shared-store")

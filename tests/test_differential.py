@@ -16,6 +16,13 @@ same sweep is executed six ways —
 (:func:`repro.simulation.sweep.results_json_bytes`).  Anything weaker
 than byte equality would let a lossy codec or an unstable serialization
 hide behind float tolerances.
+
+The pluggable-backend PR widens the matrix along a second axis: the same
+contract must hold under every execution backend (``serial``,
+``process``, ``shared-store``) × {cold, warm, resumed, fault-injected},
+and — because results are content-addressed by *configuration*, never by
+transport — entries written under one backend must be warm hits under
+every other.
 """
 
 from __future__ import annotations
@@ -154,3 +161,91 @@ def test_telemetry_snapshots_round_trip_byte_identically(tmp_path):
     assert store.hits == 1
     assert results_json_bytes(cached) == results_json_bytes(direct)
     assert cached[0].telemetry is not None
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend matrix: every backend, the same bytes (tentpole gate)
+# ---------------------------------------------------------------------------
+
+BACKENDS = ("serial", "process", "shared-store")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cross_backend_matrix(backend, tmp_path):
+    """{cold, warm, resumed, fault-injected} under each backend must all
+    reproduce the serial reference bytes."""
+    kwargs = _sweep_kwargs("tpcc")
+    reference = results_json_bytes(sweep_workloads(workers=0, **kwargs))
+
+    cold_store = ResultStore(root=tmp_path / "cold")
+    cold = sweep_workloads(
+        workers=2, store=cold_store, backend=backend, **kwargs
+    )
+    assert cold_store.hits == 0 and cold_store.puts == len(RPMS)
+    warm = sweep_workloads(
+        workers=2, store=cold_store, backend=backend, **kwargs
+    )
+    assert cold_store.hits == len(RPMS), "warm run must be all hits"
+    assert cold_store.puts == len(RPMS), "warm run must compute nothing"
+
+    crashed_store = ResultStore(root=tmp_path / "crashed")
+    sweep_workloads(
+        names=["tpcc"], rpms=RPMS[:1], requests=REQUESTS, seed=SEED,
+        workers=0, store=crashed_store,
+    )
+    resumed = sweep_workloads(
+        workers=2, store=crashed_store, backend=backend, **kwargs
+    )
+    assert crashed_store.hits == 1, "the surviving point must be a hit"
+
+    fault = FaultConfig(seed=3, media_rate=0.05, servo_rate=0.01)
+    fault_reference = results_json_bytes(
+        sweep_workloads(workers=0, fault_config=fault, **kwargs)
+    )
+    fault_store = ResultStore(root=tmp_path / "fault")
+    injected = sweep_workloads(
+        workers=2, store=fault_store, backend=backend,
+        fault_config=fault, **kwargs
+    )
+
+    for label, run, want in (
+        ("cold", cold, reference),
+        ("warm", warm, reference),
+        ("resumed", resumed, reference),
+        ("fault-injected", injected, fault_reference),
+    ):
+        assert results_json_bytes(run) == want, (
+            f"{label} run on the {backend} backend diverged"
+        )
+
+
+def test_backend_is_not_part_of_the_key(tmp_path):
+    """Entries written under one backend must be warm hits under every
+    other — transport choice never enters the content key."""
+    store = ResultStore(root=tmp_path)
+    kwargs = _sweep_kwargs("oltp")
+    cold = sweep_workloads(workers=0, store=store, backend="serial", **kwargs)
+    assert store.puts == len(cold) and store.hits == 0
+    reference = results_json_bytes(cold)
+    for other in ("process", "shared-store"):
+        warm = sweep_workloads(workers=2, store=store, backend=other, **kwargs)
+        assert results_json_bytes(warm) == reference, (
+            f"warm {other} run diverged from the serial-written entries"
+        )
+    assert store.hits == 2 * len(cold), "every backend must hit peer entries"
+    assert store.puts == len(cold), "cross-backend warm runs computed nothing"
+
+
+def test_resilient_report_records_backend(tmp_path):
+    """The manifest (schema /2) names the backend that actually ran; the
+    store section is unchanged by the backend choice."""
+    store = ResultStore(root=tmp_path)
+    kwargs = _sweep_kwargs("tpcc")
+    _, report = sweep_workloads_resilient(
+        workers=2, store=store, backend="shared-store", **kwargs
+    )
+    assert report.backend == "shared-store"
+    manifest = report.manifest()
+    assert manifest["schema"] == "repro.sweep_manifest/2"
+    assert manifest["backend"] == "shared-store"
+    assert manifest["store"]["misses"] == len(RPMS)

@@ -186,13 +186,13 @@ def test_run_fast_task_returns_none_for_exact_plans():
 
 def test_pure_analytic_sweep_spawns_no_pool(monkeypatch):
     """--engine analytic must never pay for a process pool (satellite 3)."""
-    import repro.simulation.resilience as resilience
+    import repro.simulation.backends.process as backend_process
 
     class _Forbidden:
         def __init__(self, *args, **kwargs):
             raise AssertionError("process pool spawned for analytic sweep")
 
-    monkeypatch.setattr(resilience, "ProcessPoolExecutor", _Forbidden)
+    monkeypatch.setattr(backend_process, "ProcessPoolExecutor", _Forbidden)
     results = sweep_workloads(
         names=["oltp"],
         rpms=RPMS,
