@@ -5,7 +5,7 @@ PYTHON ?= python
 # consistent path, with src first so the in-repo package always wins.
 export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke fastpath-smoke fault-smoke store-smoke regen-golden sweep reproduce lint lint-deep typecheck coverage check
+.PHONY: test bench bench-smoke fastpath-smoke fault-smoke store-smoke service-smoke regen-golden sweep reproduce lint lint-deep typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -67,6 +67,13 @@ fastpath-smoke:  ## fast-engine gate: differential suite + quick bench vs BENCH_
 store-smoke:     ## result-store gate: second run of a sweep must be ~all hits
 	$(PYTHON) -m pytest tests/test_store_smoke.py -q
 	$(PYTHON) -m repro store verify --store-dir "$${REPRO_STORE_DIR:-$$HOME/.cache/repro}"
+
+service-smoke:   ## job-service gate: serve boots, dedups, matches CLI bytes
+	$(PYTHON) -m pytest tests/test_service.py tests/test_service_smoke.py -q
+	$(PYTHON) tools/service_smoke.py \
+		--store-dir "$${REPRO_SERVICE_STORE_DIR:-/tmp/repro-service-smoke}" \
+		--out /tmp/repro_service_results.json \
+		--metrics-out /tmp/repro_service_metrics.prom
 
 fault-smoke:     ## crash-recovery gate: injected sweep survives a dead worker
 	$(PYTHON) -m pytest tests/test_fault_smoke.py -q

@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
         performance,
         reporting,
         scaling,
+        service,
         simulation,
         thermal,
         units,
@@ -69,6 +70,7 @@ _SUBMODULES = frozenset(
         "performance",
         "reporting",
         "scaling",
+        "service",
         "simulation",
         "thermal",
         "units",
@@ -100,6 +102,7 @@ __all__ = [
     "performance",
     "reporting",
     "scaling",
+    "service",
     "simulation",
     "thermal",
     "units",

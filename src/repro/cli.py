@@ -526,6 +526,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant sweep job service until SIGTERM/SIGINT.
+
+    The service always runs over a result store — cross-tenant dedup
+    and restart-free resume both live there — so ``--store-dir`` (or
+    ``$REPRO_STORE_DIR``) names the shared directory; see
+    docs/service.md for the API and deployment notes.
+    """
+    from repro.service import run_service
+    from repro.store import ResultStore
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    store = ResultStore(root=args.store_dir, telemetry=telemetry)
+    return run_service(
+        store,
+        telemetry=telemetry,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        backend=args.backend,
+        workers=args.workers,
+        retries=args.retries,
+        task_timeout_s=args.task_timeout,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
 def _cmd_slack(args: argparse.Namespace) -> int:
     from repro.dtm import slack_by_platter_size
 
@@ -945,6 +973,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve", help="multi-tenant sweep job service (HTTP/JSON over the store)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 = OS-assigned ephemeral port)",
+    )
+    p.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here after startup (for --port 0 scripts)",
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help="result-store directory shared by tenants/replicas "
+        "(default $REPRO_STORE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["serial", "process", "shared-store"],
+        default=None,
+        help="default execution backend for jobs that don't pick one",
+    )
+    p.add_argument(
+        "-w", "--workers", type=int, default=None,
+        help="default worker count per job",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="default extra attempts per failed sweep task",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max seconds to wait for running jobs on SIGTERM",
+    )
+
+    p = sub.add_parser(
         "store", help="content-addressed result-store maintenance"
     )
     store_sub = p.add_subparsers(dest="action", required=True)
@@ -1056,6 +1136,7 @@ _HANDLERS = {
     "throttle": _cmd_throttle,
     "slack": _cmd_slack,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "store": _cmd_store,
     "trace": _cmd_trace,
     "faults": _cmd_faults,

@@ -52,6 +52,19 @@ class StoreError(ReproError):
     """The result store was given an invalid key, config or directory."""
 
 
+class ServiceError(ReproError):
+    """The sweep job service rejected a request or configuration.
+
+    Carries an HTTP status so the wire layer can map validation problems
+    (400), unknown resources (404) and drain-time refusals (503) without
+    string-matching messages.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class SweepExecutionError(SimulationError):
     """A sweep task failed and the caller asked for strict (fail-fast)
     semantics; carries the worker-side traceback text."""

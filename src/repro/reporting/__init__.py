@@ -4,11 +4,16 @@ from repro.reporting.ascii_plot import ascii_plot
 from repro.reporting.sparkline import render_probe_sparklines, render_series, sparkline
 from repro.reporting.tables import format_cell, format_comparison, format_table
 from repro.reporting.telemetry_export import (
+    escape_label_value,
+    format_label_set,
+    format_sample,
+    parse_label_set,
     parse_probes_csv,
     parse_prometheus_text,
     probes_to_csv,
     registry_to_prometheus,
     to_json,
+    unescape_label_value,
 )
 
 __all__ = [
@@ -24,4 +29,9 @@ __all__ = [
     "parse_probes_csv",
     "registry_to_prometheus",
     "parse_prometheus_text",
+    "escape_label_value",
+    "unescape_label_value",
+    "format_label_set",
+    "format_sample",
+    "parse_label_set",
 ]

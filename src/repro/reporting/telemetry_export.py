@@ -117,15 +117,133 @@ def _prom_value(value: float) -> str:
     return repr(value)
 
 
-def registry_to_prometheus(registry: "MetricsRegistry") -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    The spec reserves exactly three characters inside quoted label
+    values: backslash, double quote and line feed.  Backslash must be
+    doubled first, or the other two replacements would corrupt it.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(text: str) -> str:
+    """Invert :func:`escape_label_value` (left-to-right scan, so the
+    escaped-backslash-then-n sequence ``\\\\n`` stays a backslash plus
+    ``n`` rather than collapsing to a newline)."""
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def format_label_set(labels: Optional[Dict[str, str]]) -> str:
+    """Render a label dict as ``{a="x",b="y"}`` (empty string when empty).
+
+    Keys are sorted so emitted text is deterministic; values are escaped
+    per :func:`escape_label_value`.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def format_sample(name: str, labels: Optional[Dict[str, str]], value: float) -> str:
+    """One exposition sample line: ``name{labels} value``."""
+    return f"{name}{format_label_set(labels)} {_prom_value(float(value))}"
+
+
+def parse_label_set(text: str) -> Dict[str, str]:
+    """Parse a ``{a="x",b="y"}`` label set back to a dict.
+
+    Accepts the bare brace form, the empty string (no labels) and the
+    suffix forms :func:`parse_prometheus_text` produces as sample keys
+    (``'bucket{le="5.0"}'`` — anything before the first ``{`` is
+    ignored).  Values are unescaped; escaped quotes inside values are
+    handled by an explicit scan rather than a split.
+    """
+    brace = text.find("{")
+    if brace < 0:
+        # '' (plain sample) or a brace-less child name like 'sum'.
+        if "=" not in text:
+            return {}
+        raise ExportError(f"malformed label set: {text!r}")
+    body = text[brace + 1 :]
+    if not body.endswith("}"):
+        raise ExportError(f"unterminated label set: {text!r}")
+    body = body[:-1]
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ExportError(f"malformed label set: {text!r}")
+        name = body[i:eq].strip()
+        if not name or eq + 1 >= n or body[eq + 1] != '"':
+            raise ExportError(f"malformed label set: {text!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while j < n:
+            ch = body[j]
+            if ch == "\\" and j + 1 < n:
+                raw.append(body[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ExportError(f"unterminated label value: {text!r}")
+        labels[name] = unescape_label_value("".join(raw))
+        i = j + 1
+        if i < n:
+            if body[i] != ",":
+                raise ExportError(f"malformed label set: {text!r}")
+            i += 1
+    return labels
+
+
+def registry_to_prometheus(
+    registry: "MetricsRegistry", labels: Optional[Dict[str, str]] = None
+) -> str:
     """The metric snapshot in the Prometheus text exposition format.
 
     Counters gain a ``_total`` suffix if they lack one; histograms expand
     to the ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le``
     labels; timers export as ``<name>_seconds`` counters.
+
+    ``labels`` (e.g. an instance identity for a scrape endpoint) is
+    attached to every sample; label values are escaped per the
+    exposition format, so quotes/backslashes/newlines survive the
+    round trip through :func:`parse_prometheus_text` +
+    :func:`parse_label_set`.
     """
     from repro.telemetry.registry import Counter, Gauge, Histogram, Timer
 
+    base = format_label_set(labels)
     lines: List[str] = []
     for metric in sorted(registry, key=lambda m: m.name):  # type: ignore[attr-defined]
         if isinstance(metric, Counter):
@@ -134,27 +252,29 @@ def registry_to_prometheus(registry: "MetricsRegistry") -> str:
                 name += "_total"
             lines.append(f"# HELP {name} {metric.help or metric.name}")
             lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_prom_value(metric.value)}")
+            lines.append(f"{name}{base} {_prom_value(metric.value)}")
         elif isinstance(metric, Gauge):
             name = _prom_name(metric.name)
             lines.append(f"# HELP {name} {metric.help or metric.name}")
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_prom_value(metric.value)}")
+            lines.append(f"{name}{base} {_prom_value(metric.value)}")
         elif isinstance(metric, Timer):
             name = _prom_name(metric.name) + "_seconds"
             lines.append(f"# HELP {name} {metric.help or metric.name}")
             lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_prom_value(metric.elapsed_s)}")
+            lines.append(f"{name}{base} {_prom_value(metric.elapsed_s)}")
         elif isinstance(metric, Histogram):
             name = _prom_name(metric.name)
             lines.append(f"# HELP {name} {metric.help or metric.name}")
             lines.append(f"# TYPE {name} histogram")
             for bound, cum in metric.cumulative():
+                bucket_labels = dict(labels or {})
+                bucket_labels["le"] = _prom_value(bound)
                 lines.append(
-                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {cum}'
+                    f"{name}_bucket{format_label_set(bucket_labels)} {cum}"
                 )
-            lines.append(f"{name}_sum {_prom_value(metric.sum)}")
-            lines.append(f"{name}_count {metric.count}")
+            lines.append(f"{name}_sum{base} {_prom_value(metric.sum)}")
+            lines.append(f"{name}_count{base} {metric.count}")
     return "\n".join(lines) + "\n"
 
 
@@ -163,8 +283,12 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
 
     Returns:
         {metric_name: {"type": ..., "samples": {label_suffix: value}}}
-        where ``label_suffix`` is ``""`` for plain samples and e.g.
-        ``'bucket{le="5.0"}'`` for labelled ones.
+        where ``label_suffix`` is ``""`` for plain unlabelled samples,
+        ``'{workload="tpcc"}'`` for labelled ones and e.g.
+        ``'bucket{le="5.0"}'`` for histogram children; feed a suffix to
+        :func:`parse_label_set` to recover the label dict.  Escaped
+        newlines in label values are literal ``\\n`` on the wire, so
+        samples stay one-per-line and the parse is still line-based.
     """
     out: Dict[str, Dict[str, object]] = {}
     for raw in text.splitlines():
@@ -191,6 +315,13 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
                 parent = base[: -len(suffix)]
                 break
         entry = out.setdefault(parent, {"type": "untyped", "samples": {}})
-        key = name_part[len(parent) + 1 :] if parent != name_part else ""
+        if parent == name_part:
+            key = ""
+        else:
+            key = name_part[len(parent) :]
+            # child series keep their relative name ('bucket{le=...}',
+            # 'sum'); a labelled parent sample keeps its brace suffix.
+            if key.startswith("_"):
+                key = key[1:]
         entry["samples"][key] = value  # type: ignore[index]
     return out

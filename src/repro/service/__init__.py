@@ -1,0 +1,41 @@
+"""The multi-tenant sweep job service (``repro serve``).
+
+A stdlib-only asyncio HTTP/JSON front over the machinery the rest of
+the library already provides: canonical config keys
+(:mod:`repro.store.canonical`) for cross-tenant dedup, the pluggable
+execution backends (:mod:`repro.simulation.backends`) for compute, the
+resilient cached sweep loop (:mod:`repro.simulation.resilience`) for
+retries + persistence, and the Prometheus exporter for ``/metrics``.
+
+Layers, bottom up:
+
+* :mod:`repro.service.schemas` — wire-protocol validation and the job
+  config key (the dedup identity).
+* :mod:`repro.service.jobs` — :class:`JobManager`: per-backend worker
+  threads, job state machine, progress events, graceful drain.
+* :mod:`repro.service.routes` — the HTTP route table and handlers.
+* :mod:`repro.service.app` — the asyncio server, signal handling, and
+  the blocking :func:`run_service` entry point the CLI calls.
+
+See ``docs/service.md`` for the API reference and deployment notes.
+"""
+
+from repro.service.app import ServiceApp, run_service
+from repro.service.jobs import Job, JobManager
+from repro.service.schemas import (
+    SERVICE_JOB_KIND,
+    SweepJobConfig,
+    job_config_key,
+    parse_job_request,
+)
+
+__all__ = [
+    "ServiceApp",
+    "run_service",
+    "Job",
+    "JobManager",
+    "SweepJobConfig",
+    "SERVICE_JOB_KIND",
+    "job_config_key",
+    "parse_job_request",
+]

@@ -1,0 +1,291 @@
+"""The asyncio HTTP server wrapping the job manager.
+
+Stdlib only: ``asyncio.start_server`` plus a minimal HTTP/1.1 layer
+(request line, headers, ``Content-Length`` bodies; one request per
+connection, ``Connection: close``).  The event loop never computes — it
+parses, routes and serializes; every sweep runs in the manager's worker
+threads, and the loop only ever blocks on sockets and short sleeps, so
+one service instance multiplexes many tenants over one shared store.
+
+Lifecycle: :meth:`ServiceApp.run` binds, installs SIGTERM/SIGINT
+handlers (where the platform supports them) and serves until a signal
+arrives; then it stops accepting, drains the manager (running jobs stop
+at their next completed task — everything completed is already
+persisted through ``on_result``) and returns.  A restarted replica
+resumes interrupted jobs from the store at zero recompute cost.
+
+Deployment note: point several replicas at one store directory
+(``--store-dir`` on a shared filesystem) and give jobs the
+``shared-store`` backend — the claim protocol partitions tasks across
+replicas dynamically, and every replica serves every result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Any, Dict, Optional
+
+from repro.service.jobs import JobManager
+from repro.service.routes import (
+    MAX_BODY_BYTES,
+    Request,
+    Response,
+    build_router,
+    dispatch,
+    error_response,
+)
+
+__all__ = ["ServiceApp", "run_service"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ServiceApp:
+    """One service instance: HTTP front, job manager, drain choreography.
+
+    Args:
+        store: shared :class:`repro.store.ResultStore`.
+        telemetry: optional :class:`repro.telemetry.Telemetry` backing
+            ``/metrics``.
+        host / port: bind address; port 0 asks the OS for an ephemeral
+            port (read the resolved one from :attr:`port` after
+            :meth:`start`).
+        backend / workers / retries / task_timeout_s: manager defaults.
+        drain_timeout_s: how long :meth:`shutdown` waits for running
+            jobs to stop at their next task boundary.
+        metric_labels: constant labels stamped on every ``/metrics``
+            sample (e.g. an instance id).
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        telemetry: Optional[Any] = None,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        retries: int = 1,
+        task_timeout_s: Optional[float] = None,
+        drain_timeout_s: float = 30.0,
+        metric_labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.drain_timeout_s = drain_timeout_s
+        self.metric_labels = metric_labels
+        self.manager = JobManager(
+            store,
+            telemetry=telemetry,
+            backend=backend,
+            workers=workers,
+            retries=retries,
+            task_timeout_s=task_timeout_s,
+        )
+        self.router = build_router()
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Created inside the running loop (start()): binding an
+        # asyncio.Event at construction time breaks on 3.9, where it
+        # captures whatever loop exists *then*.
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Request]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {request_line!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return Request(method=method, path=path, headers=headers, body=body)
+
+    @staticmethod
+    def _head(response: Response, chunked: bool) -> bytes:
+        reason = _STATUS_TEXT.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            "Connection: close",
+        ]
+        if chunked:
+            lines.append("Transfer-Encoding: chunked")
+        else:
+            lines.append(f"Content-Length: {len(response.body)}")
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await self._read_request(reader)
+            except ValueError as exc:
+                await self._write_response(
+                    writer, error_response(str(exc), status=400)
+                )
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            try:
+                response = await dispatch(self, request)
+            except Exception as exc:  # pragma: no cover - defensive
+                response = error_response(
+                    f"internal error: {type(exc).__name__}", status=500
+                )
+            await self._write_response(writer, response)
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        if response.stream is None:
+            writer.write(self._head(response, chunked=False) + response.body)
+            await writer.drain()
+            return
+        writer.write(self._head(response, chunked=True))
+        await writer.drain()
+        async for chunk in response.stream:
+            if not chunk:
+                continue
+            writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+            writer.write(chunk)
+            writer.write(b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when it was 0."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain (no-op off-POSIX)."""
+        loop = asyncio.get_running_loop()
+        stop = self._stop
+        assert stop is not None
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                return
+
+    def request_stop(self) -> None:
+        """Programmatic equivalent of SIGTERM; safe from any thread."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            raise RuntimeError("service not started")
+        loop.call_soon_threadsafe(stop.set)
+
+    async def shutdown(self) -> None:
+        """Stop accepting, then drain the manager in a worker thread."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, self.manager.drain, self.drain_timeout_s
+        )
+
+    async def run(self) -> None:
+        """Serve until a stop signal, then drain.  The whole lifecycle."""
+        await self.start()
+        self.install_signal_handlers()
+        assert self._stop is not None
+        await self._stop.wait()
+        await self.shutdown()
+
+
+def run_service(
+    store: Any,
+    telemetry: Optional[Any] = None,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    port_file: Optional[str] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    retries: int = 1,
+    task_timeout_s: Optional[float] = None,
+    drain_timeout_s: float = 30.0,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    ``port_file`` (written after bind) lets scripts using an ephemeral
+    port (``--port 0``) discover where the service actually listens.
+    """
+    app = ServiceApp(
+        store,
+        telemetry=telemetry,
+        host=host,
+        port=port,
+        backend=backend,
+        workers=workers,
+        retries=retries,
+        task_timeout_s=task_timeout_s,
+        drain_timeout_s=drain_timeout_s,
+    )
+
+    async def main() -> None:
+        await app.start()
+        print(f"repro service listening on http://{app.host}:{app.port}")
+        if port_file:
+            with open(port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{app.port}\n")
+        app.install_signal_handlers()
+        assert app._stop is not None
+        await app._stop.wait()
+        print("drain requested; stopping intake and finishing in-flight tasks")
+        await app.shutdown()
+        print("drained; completed tasks are persisted in the store")
+
+    asyncio.run(main())
+    return 0

@@ -1,0 +1,211 @@
+"""Wire-protocol schemas for the sweep job service.
+
+A job submission is a JSON object describing one workload sweep — the
+same knobs ``repro sweep workload`` takes.  Parsing is *strict*: unknown
+fields are rejected with a 400 instead of ignored, because every
+accepted field either enters the job's canonical config key or is an
+explicitly-listed execution knob.  Silently dropping a typo'd field
+("rqeuests") would hand the tenant a dedup hit for a sweep they did not
+ask for.
+
+Two layers of keys:
+
+* **Job config key** (:func:`job_config_key`) — BLAKE2b over the
+  *material* sweep fields only, kind :data:`SERVICE_JOB_KIND`.  This is
+  the dedup identity: two tenants posting the same sweep share one job.
+  Execution knobs (``backend``, ``retries``, ``workers``) never enter
+  it, the same contract the store layer keeps for task keys.
+* **Task keys** — the per-(workload, RPM) content keys from
+  :func:`repro.simulation.sweep.workload_task_key`, identical to what
+  the CLI computes; results land in the shared store under them, which
+  is what makes a service result byte-identical to a CLI run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "SERVICE_JOB_KIND",
+    "JOB_SCHEMA",
+    "EVENT_SCHEMA",
+    "SweepJobConfig",
+    "parse_job_request",
+    "job_config_key",
+]
+
+#: Kind tag salted into every job config key.  Bump the suffix when the
+#: material field set changes meaning.
+SERVICE_JOB_KIND = "service.sweep_job/1"
+
+#: Schema tag on every job document the service returns.
+JOB_SCHEMA = "repro.service.job/1"
+
+#: Schema tag on every progress event in the ``/events`` stream.
+EVENT_SCHEMA = "repro.service.event/1"
+
+
+@dataclass(frozen=True)
+class SweepJobConfig:
+    """One validated sweep submission.
+
+    Material fields (everything except ``backend``/``retries``/
+    ``workers``) define the job's dedup identity and must mirror
+    :func:`repro.simulation.sweep.build_workload_tasks` exactly — a
+    field accepted here but not forwarded there would produce
+    same-key-different-results, the one unforgivable store bug.
+    """
+
+    workloads: Tuple[str, ...]
+    rpms: Optional[Tuple[float, ...]] = None
+    rpm_steps: int = 4
+    requests: int = 6000
+    seed: int = 1
+    keep_samples: bool = False
+    engine: str = "exact"
+    inject_faults: bool = False
+    fault_seed: int = 0
+    media_rate: float = 0.01
+    servo_rate: float = 0.0
+    # Execution knobs — never part of the config key.
+    backend: Optional[str] = None
+    retries: int = 1
+    workers: Optional[int] = None
+
+    def material_config(self) -> Dict[str, Any]:
+        """The key-entering field subset, in canonical form."""
+        return {
+            "workloads": list(self.workloads),
+            "rpms": list(self.rpms) if self.rpms is not None else None,
+            "rpm_steps": self.rpm_steps,
+            "requests": self.requests,
+            "seed": self.seed,
+            "keep_samples": self.keep_samples,
+            "engine": self.engine,
+            "inject_faults": self.inject_faults,
+            "fault_seed": self.fault_seed if self.inject_faults else None,
+            "media_rate": self.media_rate if self.inject_faults else None,
+            "servo_rate": self.servo_rate if self.inject_faults else None,
+        }
+
+    def fault_config(self) -> Optional[Any]:
+        """The FaultConfig this job injects (None when injection is off)."""
+        if not self.inject_faults:
+            return None
+        from repro.faults import FaultConfig
+
+        return FaultConfig(
+            seed=self.fault_seed,
+            media_rate=self.media_rate,
+            servo_rate=self.servo_rate,
+        )
+
+    def build_tasks(self) -> List[Any]:
+        """The task grid, validated exactly like the CLI builds it."""
+        from repro.simulation.sweep import build_workload_tasks
+
+        return build_workload_tasks(
+            self.workloads,
+            rpms=self.rpms,
+            rpm_steps=self.rpm_steps,
+            requests=self.requests,
+            seed=self.seed,
+            keep_samples=self.keep_samples,
+            fault_config=self.fault_config(),
+            engine=self.engine,
+        )
+
+
+def job_config_key(config: SweepJobConfig) -> str:
+    """The job's canonical dedup key (material fields only)."""
+    from repro.store import config_key
+
+    return config_key(SERVICE_JOB_KIND, config.material_config())
+
+
+_FIELD_TYPES: Dict[str, Tuple[type, ...]] = {
+    "workloads": (list,),
+    "rpms": (list, type(None)),
+    "rpm_steps": (int,),
+    "requests": (int,),
+    "seed": (int,),
+    "keep_samples": (bool,),
+    "engine": (str,),
+    "inject_faults": (bool,),
+    "fault_seed": (int,),
+    "media_rate": (int, float),
+    "servo_rate": (int, float),
+    "backend": (str, type(None)),
+    "retries": (int,),
+    "workers": (int, type(None)),
+}
+
+
+def parse_job_request(payload: Any) -> SweepJobConfig:
+    """Validate one ``POST /v1/jobs`` body into a :class:`SweepJobConfig`.
+
+    Raises :class:`ServiceError` (status 400) on anything malformed:
+    wrong top-level type, unknown fields, wrong field types, empty or
+    non-string workload lists, non-positive counts.  Workload/engine
+    *names* are validated later by ``build_tasks`` (the catalog owns
+    them), still before the job is queued.
+    """
+    if not isinstance(payload, Mapping):
+        raise ServiceError("job request must be a JSON object")
+    unknown = sorted(set(payload) - set(_FIELD_TYPES))
+    if unknown:
+        raise ServiceError(
+            f"unknown job field(s): {', '.join(unknown)} "
+            f"(accepted: {', '.join(sorted(_FIELD_TYPES))})"
+        )
+    if "workloads" not in payload:
+        raise ServiceError("job request needs a 'workloads' list")
+    for name, types in _FIELD_TYPES.items():
+        if name not in payload:
+            continue
+        value = payload[name]
+        # bool is an int subclass; don't let true/false sneak into counts.
+        if isinstance(value, bool) and bool not in types:
+            raise ServiceError(f"field {name!r} has the wrong type")
+        if not isinstance(value, types):
+            raise ServiceError(f"field {name!r} has the wrong type")
+    workloads = payload["workloads"]
+    if not workloads or not all(
+        isinstance(w, str) and w for w in workloads
+    ):
+        raise ServiceError("'workloads' must be a non-empty list of names")
+    rpms = payload.get("rpms")
+    if rpms is not None:
+        if not rpms or not all(
+            isinstance(r, (int, float)) and not isinstance(r, bool) for r in rpms
+        ):
+            raise ServiceError("'rpms' must be a non-empty list of numbers")
+        rpms = tuple(float(r) for r in rpms)
+    config = SweepJobConfig(
+        workloads=tuple(workloads),
+        rpms=rpms,
+        rpm_steps=int(payload.get("rpm_steps", 4)),
+        requests=int(payload.get("requests", 6000)),
+        seed=int(payload.get("seed", 1)),
+        keep_samples=bool(payload.get("keep_samples", False)),
+        engine=str(payload.get("engine", "exact")),
+        inject_faults=bool(payload.get("inject_faults", False)),
+        fault_seed=int(payload.get("fault_seed", 0)),
+        media_rate=float(payload.get("media_rate", 0.01)),
+        servo_rate=float(payload.get("servo_rate", 0.0)),
+        backend=payload.get("backend"),
+        retries=int(payload.get("retries", 1)),
+        workers=payload.get("workers"),
+    )
+    if config.rpm_steps <= 0:
+        raise ServiceError("'rpm_steps' must be positive")
+    if config.requests <= 0:
+        raise ServiceError("'requests' must be positive")
+    if config.retries < 0:
+        raise ServiceError("'retries' must be >= 0")
+    if config.workers is not None and config.workers < 0:
+        raise ServiceError("'workers' must be >= 0")
+    return config

@@ -13,9 +13,16 @@ work dynamically through per-key *claim files* (see
    claim disappears and the result is readable, the ticket completes
    with a ``cached`` envelope (the decoded peer result, zero attempts
    of our own).
-3. A claim older than ``stale_claim_s`` whose result never appeared is
-   treated as a tombstone of a dead peer: the claim is broken and the
-   ticket goes back to the pending queue for a fresh claim attempt.
+3. A claim we have *locally observed unchanged* for ``stale_claim_s``
+   (monotonic clock, anchored at our own first observation of that
+   claim's mtime) with no result behind it is treated as a tombstone of
+   a dead peer: the claim is broken and the ticket goes back to the
+   pending queue for a fresh claim attempt.  Staleness is never derived
+   from ``time.time() - mtime`` — on a shared (e.g. NFS) store the
+   mtime comes from the peer's clock, and clock skew would make a live
+   claim look ancient and get broken mid-compute.  The break itself
+   goes through ``ResultStore.break_claim_if_stale``, which re-stats
+   and refuses when the mtime moved since our observation began.
 
 Correctness never depends on the claims: results stay content-addressed
 and digest-verified, so the worst a racing or crashed peer can cause is
@@ -31,6 +38,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -62,8 +70,27 @@ ResultT = TypeVar("ResultT")
 #: After this many seconds an unreleased claim with no result behind it is
 #: presumed orphaned by a dead peer and may be broken.  Long enough that a
 #: healthy peer mid-simulation keeps its claim; short enough that a crashed
-#: one delays the sweep by about a minute, not forever.
+#: one delays the sweep by about a minute, not forever.  The clock is our
+#: own monotonic one, started when *we* first observed the claim's current
+#: mtime — never the difference between our wall clock and the peer's.
 DEFAULT_STALE_CLAIM_S = 60.0
+
+
+@dataclass
+class _PeerWait:
+    """One ticket parked behind a peer's claim.
+
+    ``observed_mtime`` is the claim-generation token from
+    ``ResultStore.claim_mtime`` and ``observed_since`` the local
+    monotonic instant we first saw that token; staleness is the span the
+    token has stayed unchanged under our own observation, which is
+    immune to peer clock skew.
+    """
+
+    attempt: int
+    wait_started: float
+    observed_mtime: Optional[float]
+    observed_since: float
 
 
 class SharedStoreBackend(ExecutionBackend):
@@ -106,8 +133,8 @@ class SharedStoreBackend(ExecutionBackend):
         # one per progress() call, but peers drain the rest meanwhile.
         self.capacity = max(1, len(tasks))
         self._pending: Deque[Tuple[int, int]] = deque()
-        # index -> (attempt, wait_started_monotonic) for claim-lost tickets.
-        self._waiting: Dict[int, Tuple[int, float]] = {}
+        # index -> _PeerWait for claim-lost tickets.
+        self._waiting: Dict[int, _PeerWait] = {}
         # Claims this process currently holds (released on cancel).
         self._held_claims: Dict[int, str] = {}
 
@@ -124,18 +151,19 @@ class SharedStoreBackend(ExecutionBackend):
             # briefly so the poll loop doesn't spin on claim stat calls.
             time.sleep(min(timeout_s, POLL_INTERVAL_S))
         progress.in_flight = [
-            InFlight(index=index, attempt=attempt, since_monotonic=started)
-            for index, (attempt, started) in self._waiting.items()
+            InFlight(index=index, attempt=wait.attempt, since_monotonic=wait.wait_started)
+            for index, wait in self._waiting.items()
         ]
         return progress
 
     def _poll_waiting(self, progress: BackendProgress) -> None:
         """Re-check every peer-owned ticket for a result or a stale claim."""
         for index in list(self._waiting):
-            attempt, _started = self._waiting[index]
+            wait = self._waiting[index]
+            attempt = wait.attempt
             key = self._keys[index]
-            age = self._store.claim_age_s(key)
-            if age is None:
+            mtime = self._store.claim_mtime(key)
+            if mtime is None:
                 # Peer released its claim: the result should be readable.
                 payload = self._store.get(key)
                 result: Optional[Any] = None
@@ -163,12 +191,31 @@ class SharedStoreBackend(ExecutionBackend):
                     # between release and put, or the entry was corrupt.
                     # Recompute ourselves.
                     self._pending.appendleft((index, attempt))
-            elif age > self._stale_claim_s:
-                # Dead peer's tombstone: break the claim and recompute.
+                continue
+            # Claim-generation identity, not numeric closeness: any mtime
+            # change means a refreshed or re-won claim.
+            if (
+                wait.observed_mtime is None
+                or mtime != wait.observed_mtime  # thermolint: disable=TL002
+            ):
+                # New claim generation (or our first sighting of this
+                # one): restart the staleness clock from now, on *our*
+                # monotonic clock.
+                wait.observed_mtime = mtime
+                wait.observed_since = time.monotonic()
+            elif time.monotonic() - wait.observed_since > self._stale_claim_s:
+                # We watched this exact claim sit unchanged, resultless,
+                # for the whole stale window: presumed dead peer.  The
+                # store re-stats under us and refuses if the claim moved
+                # between our stat and the unlink.
                 self._count("sweep.backend.stale_claims_total")
-                self._store.release_claim(key)
-                del self._waiting[index]
-                self._pending.appendleft((index, attempt))
+                if self._store.break_claim_if_stale(key, wait.observed_mtime):
+                    del self._waiting[index]
+                    self._pending.appendleft((index, attempt))
+                else:
+                    # Lost the break race to a live peer; observe the new
+                    # claim generation on the next poll.
+                    wait.observed_mtime = None
 
     def _compute_one(self, progress: BackendProgress) -> bool:
         """Claim-and-compute at most one pending ticket; True if one ran."""
@@ -177,7 +224,13 @@ class SharedStoreBackend(ExecutionBackend):
             key = self._keys[index]
             if not self._store.try_claim(key):
                 # A peer owns it; park the ticket and try the next one.
-                self._waiting[index] = (attempt, time.monotonic())
+                now = time.monotonic()
+                self._waiting[index] = _PeerWait(
+                    attempt=attempt,
+                    wait_started=now,
+                    observed_mtime=self._store.claim_mtime(key),
+                    observed_since=now,
+                )
                 continue
             self._held_claims[index] = key
             try:
@@ -195,7 +248,14 @@ class SharedStoreBackend(ExecutionBackend):
                         self._store.note_put_failed()
             finally:
                 del self._held_claims[index]
-                self._store.release_claim(key)
+                try:
+                    self._store.release_claim(key)
+                except OSError:
+                    # Counted by the store.  The result is already
+                    # computed (and usually published); peers will break
+                    # the leaked claim after the stale window, so don't
+                    # let the release failure eat the envelope.
+                    pass
             self._count("sweep.backend.completions_total")
             progress.completions.append(
                 Completion(index=index, attempt=attempt, envelope=envelope)
@@ -205,11 +265,16 @@ class SharedStoreBackend(ExecutionBackend):
 
     def cancel(self) -> List[Tuple[int, int]]:
         for key in self._held_claims.values():
-            self._store.release_claim(key)
+            try:
+                self._store.release_claim(key)
+            except OSError:
+                # Already counted by the store; one stuck claim must not
+                # leak the remaining held claims or abort the cancel.
+                pass
         self._held_claims.clear()
         unfinished = list(self._pending)
         unfinished.extend(
-            (index, attempt) for index, (attempt, _started) in self._waiting.items()
+            (index, wait.attempt) for index, wait in self._waiting.items()
         )
         self._pending.clear()
         self._waiting.clear()

@@ -509,6 +509,7 @@ def run_sweep_cached(
     timeout_s: Optional[float] = None,
     telemetry: Optional[Any] = None,
     backend: BackendSpec = None,
+    on_result: Optional[Callable[[TaskEnvelope], None]] = None,
 ) -> SweepRunReport:
     """Run a sweep through a :class:`repro.store.ResultStore`.
 
@@ -547,6 +548,14 @@ def run_sweep_cached(
             to :func:`run_sweep_resilient` for the misses.
         backend: backend name, instance, or None (env / ``process``
             default).
+        on_result: optional per-task progress hook, called once per ok
+            envelope with ``envelope.index`` already remapped to the
+            *original* task position: first for every store hit (in task
+            order, before any worker spawns), then for each computed
+            miss in completion order, after it has been persisted.  An
+            exception raised by the hook aborts the sweep (the backend
+            is shut down on the way out) — the job service uses exactly
+            that for graceful drain.
 
     Returns:
         A :class:`SweepRunReport` covering *all* tasks in task order,
@@ -572,15 +581,28 @@ def run_sweep_cached(
             )
         else:
             miss_indices.append(index)
+    if on_result is not None:
+        # Hits are delivered to the hook up front, in task order, before
+        # the miss run starts — a fully-cached job streams all its
+        # progress without ever resolving a backend.
+        for slot in slots:
+            if slot is not None:
+                on_result(slot)
 
-    def persist(envelope: TaskEnvelope) -> None:
+    def landed(envelope: TaskEnvelope) -> None:
         original = miss_indices[envelope.index]
-        try:
-            store.put(keys[original], encode(envelope.result), kind=kind)
-        except Exception:
-            # Persisting is an optimization; losing it must not lose the
-            # sweep.  The counter makes the silence observable.
-            store.note_put_failed()
+        if not persists:
+            try:
+                store.put(keys[original], encode(envelope.result), kind=kind)
+            except Exception:
+                # Persisting is an optimization; losing it must not lose
+                # the sweep.  The counter makes the silence observable.
+                store.note_put_failed()
+        if on_result is not None:
+            # Remap to the caller's task numbering before surfacing; the
+            # positional remap after the sub-run assigns the same value.
+            envelope.index = original
+            on_result(envelope)
 
     miss_tasks = [tasks[i] for i in miss_indices]
     counters = _Counters(telemetry)
@@ -599,6 +621,7 @@ def run_sweep_cached(
             counters=counters.count,
         )
     persists = isinstance(resolved, ExecutionBackend) and resolved.persists_results
+    needs_hook = on_result is not None or not persists
     sub = run_sweep_resilient(
         miss_tasks,
         worker,
@@ -607,7 +630,7 @@ def run_sweep_cached(
         backoff_s=backoff_s,
         timeout_s=timeout_s,
         telemetry=telemetry,
-        on_result=None if persists else persist,
+        on_result=landed if needs_hook else None,
         backend=resolved,
     )
     for envelope, original in zip(sub.envelopes, miss_indices):

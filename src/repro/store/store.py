@@ -222,14 +222,66 @@ class ResultStore:
         return True
 
     def release_claim(self, key: str) -> None:
-        """Drop a claim (ours or a stale one); missing claims are fine."""
+        """Drop a claim (ours or a stale one); missing claims are fine.
+
+        Only *absence* is tolerated: a claim that exists but cannot be
+        unlinked (permissions, read-only mount, a directory squatting on
+        the path) would silently stall every peer for the full stale
+        window if swallowed, so it is counted as
+        ``store.claim_release_failed`` and re-raised for the caller to
+        surface.
+        """
         try:
             self.claim_path(key).unlink()
-        except OSError:
+        except FileNotFoundError:
             pass
+        except OSError:
+            self._count("store.claim_release_failed")
+            raise
+
+    def claim_mtime(self, key: str) -> Optional[float]:
+        """The claim file's current mtime; None if unclaimed.
+
+        This is an opaque observation token for
+        :meth:`break_claim_if_stale`, not a timestamp to compare against
+        the local clock: on a shared (e.g. NFS) store the mtime is
+        stamped by the *peer's* clock, so wall-clock arithmetic on it is
+        exactly the skew bug the token protocol exists to avoid.
+        """
+        try:
+            return self.claim_path(key).stat().st_mtime
+        except OSError:
+            return None
+
+    def break_claim_if_stale(self, key: str, observed_mtime: float) -> bool:
+        """Break a claim only if it is provably the one we watched go stale.
+
+        Re-stats immediately before unlinking and only proceeds when the
+        mtime still equals ``observed_mtime`` (the value the caller first
+        recorded via :meth:`claim_mtime`).  A claim whose mtime moved was
+        refreshed or re-won by a live peer in the meantime — breaking it
+        would kill a healthy computation — so the call returns False and
+        the caller should restart its staleness observation.
+        """
+        current = self.claim_mtime(key)
+        if current is None:
+            return False
+        # Identity check on the stat token, not numeric tolerance: any
+        # change at all means a different claim generation.
+        if current != observed_mtime:  # thermolint: disable=TL002
+            return False
+        self.release_claim(key)
+        return True
 
     def claim_age_s(self, key: str) -> Optional[float]:
-        """Seconds since the claim on ``key`` was created; None if unclaimed."""
+        """Seconds since the claim on ``key`` was created; None if unclaimed.
+
+        Wall-clock arithmetic against the claim's mtime is only
+        meaningful when claimer and observer share a clock (same host).
+        Cross-host staleness decisions must use the
+        :meth:`claim_mtime` / :meth:`break_claim_if_stale` observation
+        protocol instead.
+        """
         try:
             mtime = self.claim_path(key).stat().st_mtime
         except OSError:

@@ -396,6 +396,83 @@ def test_shared_store_claim_gone_without_result_recomputes(tmp_path):
     backend.shutdown()
 
 
+def test_shared_store_skewed_clock_does_not_break_live_claim(tmp_path):
+    """Peer clock skew must not kill a live claim (satellite fix).
+
+    The claim's mtime is hours in the past (as a skewed NFS peer's clock
+    would stamp it), but *we* have only just observed it — staleness is
+    measured on our own monotonic clock from first observation, so the
+    claim survives every poll inside the stale window.  The pre-fix
+    ``time.time() - st_mtime`` aging broke it on the first poll.
+    """
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    assert store.try_claim(key)
+    skewed = time.time() - 7200.0  # peer clock 2 h behind ours
+    os.utime(store.claim_path(key), (skewed, skewed))
+    backend = SharedStoreBackend(
+        [5], _square, keys=[key], store=store,
+        encode=_identity, decode=_identity, stale_claim_s=30.0,
+    )
+    backend.submit(0, 1)
+    for _ in range(5):
+        progress = backend.progress(0.01)
+        assert progress.completions == []
+        assert [(f.index, f.attempt) for f in progress.in_flight] == [(0, 1)]
+        assert store.claim_path(key).exists(), "live claim was broken"
+    # The live peer finishes normally and the waiting ticket adopts it.
+    store.put(key, 25, kind="backend_conformance")
+    store.release_claim(key)
+    adopted = backend.progress(0.01)
+    assert len(adopted.completions) == 1
+    assert adopted.completions[0].envelope.cached
+    backend.shutdown()
+
+
+def test_shared_store_refreshed_claim_restarts_staleness_clock(tmp_path):
+    """An mtime change marks a new claim generation: the local staleness
+    observation restarts instead of accumulating across generations."""
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    assert store.try_claim(key)
+    backend = SharedStoreBackend(
+        [5], _square, keys=[key], store=store,
+        encode=_identity, decode=_identity, stale_claim_s=0.15,
+    )
+    backend.submit(0, 1)
+    assert backend.progress(0.01).completions == []  # parked, observing
+    time.sleep(0.1)
+    os.utime(store.claim_path(key))  # peer heartbeats its claim
+    assert backend.progress(0.01).completions == []
+    time.sleep(0.1)
+    # 0.2 s total wall time > stale_claim_s, but only ~0.1 s since the
+    # refresh — the claim must survive this poll.
+    backend.progress(0.01)
+    assert store.claim_path(key).exists(), "refreshed claim was broken"
+    backend.shutdown()
+
+
+def test_break_claim_if_stale_requires_unchanged_mtime(tmp_path):
+    """The store re-stats immediately before unlinking: a claim whose
+    mtime moved since first observation is someone else's and survives."""
+    store = ResultStore(root=tmp_path)
+    key = _task_key(0)
+    assert store.try_claim(key)
+    observed = store.claim_mtime(key)
+    assert observed is not None
+    # A live peer re-wins or refreshes the claim between our observation
+    # and our break attempt...
+    later = observed + 5.0
+    os.utime(store.claim_path(key), (later, later))
+    assert store.break_claim_if_stale(key, observed) is False
+    assert store.claim_mtime(key) is not None, "fresh claim must survive"
+    # ...but an unchanged claim is provably the one we watched go stale.
+    assert store.break_claim_if_stale(key, later) is True
+    assert store.claim_mtime(key) is None
+    # And a vanished claim is a no-op, not an error.
+    assert store.break_claim_if_stale(key, later) is False
+
+
 def test_run_sweep_cached_shared_store_persists_exactly_once(tmp_path):
     """``persists_results`` backends publish inside the transport; the
     caching layer must not put a second copy."""

@@ -258,3 +258,36 @@ class TestTelemetryCounters:
         store.get(_key())
         assert tel_a.registry.counter("store.miss").value == 1.0
         assert tel_b.registry.counter("store.miss").value == 0.0
+
+
+class TestClaimRelease:
+    """Satellite fix: release failures must be loud, not swallowed."""
+
+    def test_release_claim_tolerates_only_absence(self, tmp_path):
+        tel = Telemetry()
+        store = ResultStore(root=tmp_path, telemetry=tel)
+        key = _key()
+        # Missing claim: fine, silent, uncounted.
+        store.release_claim(key)
+        assert tel.registry.counter("store.claim_release_failed").value == 0.0
+        # A claim that exists but cannot be unlinked (here: a directory
+        # squatting on the claim path, which fails even for root) must
+        # raise and count — the pre-fix blanket ``except OSError`` hid
+        # this and silently stalled peers for the whole stale window.
+        store.claims_dir.mkdir(parents=True, exist_ok=True)
+        store.claim_path(key).mkdir()
+        with pytest.raises(OSError):
+            store.release_claim(key)
+        assert tel.registry.counter("store.claim_release_failed").value == 1.0
+
+    def test_release_claim_drops_real_claims(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        key = _key()
+        assert store.try_claim(key)
+        assert store.claim_mtime(key) is not None
+        store.release_claim(key)
+        assert store.claim_mtime(key) is None
+
+    def test_claim_mtime_none_when_unclaimed(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        assert store.claim_mtime(_key()) is None

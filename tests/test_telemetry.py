@@ -328,6 +328,89 @@ class TestExporters:
     def test_prometheus_inf_parses(self):
         assert math.isinf(float("+Inf"))  # the exposition token round-trips
 
+    def test_label_value_escaping_round_trip(self):
+        """Satellite fix: `\\`, `"` and newline in label values must be
+        escaped per the exposition format and survive the round trip."""
+        from repro.reporting.telemetry_export import (
+            escape_label_value,
+            unescape_label_value,
+        )
+
+        nasty = [
+            'quote " inside',
+            "back\\slash",
+            "line\nfeed",
+            'all \\ three " at\nonce',
+            "\\n is not a newline",
+            "",
+            "plain",
+        ]
+        for value in nasty:
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped, "escaped values must stay one-line"
+            assert unescape_label_value(escaped) == value
+
+    def test_label_set_format_and_parse(self):
+        from repro.reporting.telemetry_export import (
+            format_label_set,
+            format_sample,
+            parse_label_set,
+        )
+
+        labels = {"workload": 'tp"cc', "note": "a\\b", "multi": "x\ny"}
+        rendered = format_label_set(labels)
+        assert rendered.startswith("{") and rendered.endswith("}")
+        assert parse_label_set(rendered) == labels
+        # Suffix forms as produced by parse_prometheus_text sample keys.
+        assert parse_label_set('bucket{le="5.0"}') == {"le": "5.0"}
+        assert parse_label_set("") == {}
+        assert parse_label_set("sum") == {}
+        line = format_sample("repro_jobs_total", labels, 3.0)
+        name, _, value = line.rpartition(" ")
+        assert value == "3.0"
+        assert parse_label_set(name) == labels
+        from repro.reporting.telemetry_export import ExportError
+
+        with pytest.raises(ExportError):
+            parse_label_set('{unterminated="')
+        with pytest.raises(ExportError):
+            parse_label_set('no_quotes=5}')
+
+    def test_prometheus_constant_labels_round_trip(self):
+        """registry_to_prometheus(labels=...) stamps every sample and the
+        values survive parse_prometheus_text + parse_label_set even with
+        exposition-reserved characters inside."""
+        from repro.reporting.telemetry_export import parse_label_set
+
+        tel = self._populated()
+        labels = {"instance": 'drive"farm\\1', "zone": "a\nb"}
+        text = registry_to_prometheus(tel.registry, labels=labels)
+        parsed = parse_prometheus_text(text)
+        counter = parsed["repro_disk0_requests_total"]
+        (suffix,) = counter["samples"]
+        assert parse_label_set(suffix) == labels
+        assert counter["samples"][suffix] == 7.0
+        hist = parsed["repro_disk0_seek_ms"]
+        bucket_suffixes = [s for s in hist["samples"] if s.startswith("bucket")]
+        assert bucket_suffixes, "histogram buckets must keep their samples"
+        for suffix in bucket_suffixes:
+            bucket_labels = parse_label_set(suffix)
+            le = bucket_labels.pop("le")
+            assert bucket_labels == labels
+            assert le  # the bound rides alongside the constant labels
+        sum_suffix = next(s for s in hist["samples"] if s.startswith("sum"))
+        assert parse_label_set(sum_suffix) == labels
+
+    def test_prometheus_unlabelled_output_unchanged(self):
+        """No labels → byte-identical output shape to the historical
+        exporter (plain sample keys, `bucket{le=...}` children)."""
+        tel = self._populated()
+        text = registry_to_prometheus(tel.registry)
+        assert registry_to_prometheus(tel.registry, labels=None) == text
+        assert registry_to_prometheus(tel.registry, labels={}) == text
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_disk0_requests_total"]["samples"][""] == 7.0
+
     def test_sparkline_shapes(self):
         line = sparkline([1, 2, 3, 4, 5], width=5)
         assert len(line) == 5
