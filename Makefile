@@ -5,7 +5,7 @@ PYTHON ?= python
 # consistent path, with src first so the in-repo package always wins.
 export PYTHONPATH := src:tools:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke fastpath-smoke fault-smoke store-smoke service-smoke regen-golden sweep reproduce lint lint-deep typecheck coverage check
+.PHONY: test bench bench-smoke fastpath-smoke fault-smoke fleet-smoke store-smoke service-smoke regen-golden sweep reproduce lint lint-deep typecheck coverage check
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -78,6 +78,20 @@ service-smoke:   ## job-service gate: serve boots, dedups, matches CLI bytes
 fault-smoke:     ## crash-recovery gate: injected sweep survives a dead worker
 	$(PYTHON) -m pytest tests/test_fault_smoke.py -q
 	$(PYTHON) -m repro lint src/repro/faults --statistics
+
+fleet-smoke:     ## fleet gate: property+golden suites, two-backend byte identity
+	$(PYTHON) -m pytest tests/test_fleet.py tests/test_fleet_properties.py \
+		tests/test_golden.py -q
+	$(PYTHON) -m repro fleet --racks 2 --enclosures 3 --drives 2 \
+		--recirculation 0.3 --tiering-extents 24 --inject-faults \
+		--accesses 64 --backend serial \
+		--results-out /tmp/repro_fleet_serial.json
+	$(PYTHON) -m repro fleet --racks 2 --enclosures 3 --drives 2 \
+		--recirculation 0.3 --tiering-extents 24 --inject-faults \
+		--accesses 64 --backend process -w 2 \
+		--results-out /tmp/repro_fleet_process.json
+	cmp /tmp/repro_fleet_serial.json /tmp/repro_fleet_process.json
+	$(PYTHON) -m repro lint src/repro/fleet --statistics
 
 sweep:           ## regenerate BENCH_PR1.json at full scale
 	PYTHONPATH=src:tools $(PYTHON) benchmarks/bench_sweep.py

@@ -1,0 +1,107 @@
+"""Fleet extension: rack-coupled environments, fleet DTM and the
+AFR/availability rollup over a 2-rack / 24-drive fleet.
+
+Not a figure from the paper — the paper simulates one drive at a time.
+This benchmark exercises the fleet composition layer the repo adds on
+top: exhaust recirculation pre-heats downstream enclosures, the fleet
+DTM coordinator walks breached drives down the multi-speed ladder until
+the rack meets the envelope, and the 2^(dT/15) failure law converts the
+resulting temperatures into AFR/availability.
+"""
+
+from conftest import run_once
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.fleet import (
+    FleetDTMPolicy,
+    ReliabilityParams,
+    TieringPolicy,
+    build_rack_tasks,
+    fleet_summary,
+    rack_profile,
+    uniform_fleet,
+)
+from repro.fleet.sweep import _run_rack_task
+from repro.reporting import format_table
+
+
+def _run_fleet():
+    fleet = uniform_fleet(
+        racks=2,
+        enclosures_per_rack=4,
+        drives_per_enclosure=3,
+        airflow_m3_per_s=0.018,
+        cooling_budget_w=200.0,
+        recirculation=0.25,
+    )
+    tasks = build_rack_tasks(
+        fleet,
+        policy=FleetDTMPolicy(),
+        reliability=ReliabilityParams(),
+        tiering=TieringPolicy(extents=48, seed=7),
+    )
+    return fleet, [_run_rack_task(task) for task in tasks]
+
+
+def test_fleet_rollup(benchmark, emit):
+    fleet, results = run_once(benchmark, _run_fleet)
+
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.rack,
+                result.drive_count,
+                "yes" if result.converged else "NO",
+                result.rounds,
+                len(result.throttle_events),
+                f"{result.capacity_fraction:.3f}",
+                f"{result.total_heat_w:.1f}",
+                f"{result.max_internal_c:.2f}",
+                f"{result.expected_annual_failures:.3f}",
+                f"{result.availability:.6f}",
+            ]
+        )
+    table = format_table(
+        [
+            "rack",
+            "drives",
+            "conv",
+            "rounds",
+            "steps",
+            "cap",
+            "heat W",
+            "max C",
+            "EAF",
+            "avail",
+        ],
+        rows,
+    )
+    summary = fleet_summary(results)
+    emit(
+        "fleet_2rack_rollup",
+        table
+        + (
+            f"\nfleet: capacity {summary['capacity_fraction']:.3f}, "
+            f"availability {summary['availability']:.6f}, "
+            f"EAF {summary['expected_annual_failures']:.3f}, "
+            f"tiering saved {summary['tiering_saved_power_w']:.2f} W"
+        ),
+    )
+
+    # Structural claims of the fleet model:
+    # DTM converges this topology under the envelope while an uncoordinated
+    # rack (everything at top rung) violates it.
+    for rack, result in zip(fleet.racks, results):
+        assert result.converged
+        assert result.max_internal_c <= THERMAL_ENVELOPE_C + 1e-9
+        assert rack_profile(rack).max_internal_c > THERMAL_ENVELOPE_C
+        # Throttling costs capacity but not all of it.
+        assert result.throttle_events
+        assert 0.5 < result.capacity_fraction < 1.0
+    # Both racks are identical, so the rollup is drive-weighted cleanly.
+    assert summary["racks"] == 2
+    assert summary["drives"] == 24
+    assert summary["converged"]
+    assert 0.0 < summary["availability"] < 1.0
+    assert summary["tiering_saved_power_w"] > 0.0

@@ -16,6 +16,7 @@ Exposes the library's main queries without writing Python::
     python -m repro sweep workload tpcc --store      # memoized sweep
     python -m repro sweep workload tpcc --store --resume sweep_manifest.json
     python -m repro sweep workload tpcc --backend shared-store  # peer-coordinated
+    python -m repro fleet --racks 4 --drives 12   # rack-coupled fleet + DTM + AFR
     python -m repro store stats              # result-store inventory
     python -m repro store verify             # integrity-check every entry
     python -m repro trace tpcc -n 2000       # instrumented replay + sparklines
@@ -526,6 +527,140 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet sweep: one content-keyed task per rack over the backends."""
+    from repro.fleet import (
+        FleetDTMPolicy,
+        ReliabilityParams,
+        TieringPolicy,
+        build_rack_tasks,
+        fleet_results_json_bytes,
+        fleet_summary,
+        fleet_task_key,
+        run_fleet_sweep,
+        uniform_fleet,
+    )
+
+    backend = _backend_from(args)
+    fault_config = _fault_config_from(args)
+    store = _store_from(args, backend)
+    partial = bool(args.partial_results or args.resume)
+    fleet = uniform_fleet(
+        racks=args.racks,
+        enclosures_per_rack=args.enclosures,
+        drives_per_enclosure=args.drives,
+        airflow_m3_per_s=args.airflow,
+        cooling_budget_w=args.cooling_budget,
+        diameter_in=args.diameter,
+        platter_count=args.platters,
+        vcm_duty=args.vcm_duty,
+        inlet_c=args.inlet,
+        recirculation=args.recirculation,
+        envelope_c=args.envelope,
+    )
+    tasks = build_rack_tasks(
+        fleet,
+        policy=FleetDTMPolicy(
+            rpm_levels=tuple(args.rpm_levels), envelope_c=args.envelope
+        ),
+        reliability=ReliabilityParams(
+            base_afr=args.base_afr,
+            reference_c=args.reference_c,
+            mttr_hours=args.mttr_hours,
+        ),
+        tiering=TieringPolicy(
+            extents=args.tiering_extents,
+            seed=args.tiering_seed,
+            target_utilization=args.tiering_utilization,
+        ),
+        fault_config=fault_config,
+        accesses_per_drive=args.accesses,
+    )
+    if args.resume:
+        _check_resume_manifest(args.resume, [fleet_task_key(t) for t in tasks])
+    results, report = run_fleet_sweep(
+        tasks,
+        workers=args.workers,
+        retries=args.retries,
+        timeout_s=args.task_timeout,
+        store=store,
+        backend=backend,
+    )
+    if not partial:
+        report.raise_on_failure()
+    write_manifest = partial and (
+        report.failed or args.manifest_out or store is not None
+    )
+    if write_manifest:
+        import json
+
+        manifest = report.manifest(task_labels=[t.label() for t in tasks])
+        out = args.manifest_out or "fleet_manifest.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True, allow_nan=False)
+            handle.write("\n")
+        print(
+            f"{report.ok_count}/{len(report.envelopes)} rack(s) completed; "
+            f"manifest written to {out}"
+        )
+    if report.backend:
+        print(f"backend: {report.backend}")
+    if store is not None:
+        print(
+            f"store: {report.store_hits} hit(s), "
+            f"{report.store_misses} miss(es), "
+            f"{store.corrupt} corrupt — {store.root}"
+        )
+    if args.results_out:
+        with open(args.results_out, "wb") as binary:
+            binary.write(fleet_results_json_bytes(results))
+        healthy_count = sum(1 for r in results if r is not None)
+        print(
+            f"wrote canonical fleet results for {healthy_count} rack(s) "
+            f"to {args.results_out}"
+        )
+    headers = [
+        "rack", "drives", "conv", "rounds", "steps", "cap",
+        "heat W", "max C", "EAF", "avail",
+    ]
+    rows = []
+    for task, result in zip(tasks, results):
+        if result is None:
+            rows.append([task.rack.name, f"{task.rack.drive_count}"]
+                        + ["-"] * (len(headers) - 2))
+            continue
+        rows.append(
+            [
+                result.rack,
+                f"{result.drive_count}",
+                "yes" if result.converged else "NO",
+                f"{result.rounds}",
+                f"{len(result.throttle_events)}",
+                f"{result.capacity_fraction:.3f}",
+                f"{result.total_heat_w:.1f}",
+                f"{result.max_internal_c:.2f}",
+                f"{result.expected_annual_failures:.3f}",
+                f"{result.availability:.6f}",
+            ]
+        )
+    print(format_table(headers, rows))
+    summary = fleet_summary(results)
+    if summary is not None:
+        print(
+            f"fleet: {summary['drives']} drive(s) in {summary['racks']} "
+            f"rack(s), capacity {summary['capacity_fraction']:.3f}, "
+            f"availability {summary['availability']:.6f}, "
+            f"expected annual failures "
+            f"{summary['expected_annual_failures']:.3f}"
+        )
+        if args.tiering_extents > 0:
+            print(
+                f"tiering: saved {summary['tiering_saved_power_w']:.2f} W "
+                f"across the fleet"
+            )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant sweep job service until SIGTERM/SIGINT.
 
@@ -973,6 +1108,179 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "fleet",
+        help="fleet-scale sweep: racks of thermally coupled enclosures with "
+        "fleet DTM, tiering and AFR/availability reporting",
+    )
+    p.add_argument("--racks", type=int, default=2, help="rack count")
+    p.add_argument(
+        "--enclosures", type=int, default=4, help="enclosures per rack"
+    )
+    p.add_argument("--drives", type=int, default=3, help="drives per enclosure")
+    p.add_argument(
+        "--airflow",
+        type=float,
+        default=0.018,
+        help="enclosure cooling airflow in m^3/s",
+    )
+    p.add_argument(
+        "--cooling-budget",
+        type=float,
+        default=300.0,
+        help="per-enclosure cooling budget in W",
+    )
+    p.add_argument(
+        "-d", "--diameter", type=float, default=2.6, help="platter diameter (in)"
+    )
+    p.add_argument(
+        "-p", "--platters", type=int, default=1, help="platters per drive"
+    )
+    p.add_argument(
+        "--vcm-duty", type=float, default=0.5, help="seek activity in [0, 1]"
+    )
+    p.add_argument(
+        "--inlet",
+        type=float,
+        default=AMBIENT_TEMPERATURE_C,
+        help="cold-aisle supply temperature (C)",
+    )
+    p.add_argument(
+        "--recirculation",
+        type=float,
+        default=0.2,
+        help="fraction of upstream exhaust rise reaching downstream inlets",
+    )
+    p.add_argument(
+        "--envelope",
+        type=float,
+        default=THERMAL_ENVELOPE_C,
+        help="thermal envelope the fleet DTM enforces (C)",
+    )
+    p.add_argument(
+        "--rpm-levels",
+        type=_float_list,
+        default=[9600.0, 12000.0, 15000.0],
+        help="comma-separated multi-speed ladder, ascending",
+    )
+    p.add_argument(
+        "--base-afr",
+        type=float,
+        default=0.02,
+        help="annualized failure rate at the reference temperature",
+    )
+    p.add_argument(
+        "--reference-c",
+        type=float,
+        default=40.0,
+        help="reference temperature of --base-afr (C)",
+    )
+    p.add_argument(
+        "--mttr-hours", type=float, default=12.0, help="mean time to repair"
+    )
+    p.add_argument(
+        "--tiering-extents",
+        type=int,
+        default=0,
+        help="extents to tier per rack (0 = tiering off)",
+    )
+    p.add_argument(
+        "--tiering-seed", type=int, default=0, help="extent-heat seed"
+    )
+    p.add_argument(
+        "--tiering-utilization",
+        type=float,
+        default=0.7,
+        help="balanced-layout utilization target in (0, 1]",
+    )
+    p.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="replay deterministic per-drive media/servo faults",
+    )
+    p.add_argument(
+        "--media-rate",
+        type=float,
+        default=0.01,
+        help="per-media-access media-error probability (with --inject-faults)",
+    )
+    p.add_argument(
+        "--servo-rate",
+        type=float,
+        default=0.0,
+        help="per-media-access servo-fault probability (with --inject-faults)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-injection seed"
+    )
+    p.add_argument(
+        "--accesses",
+        type=int,
+        default=256,
+        help="fault-replayed media accesses per drive (with --inject-faults)",
+    )
+    p.add_argument("-w", "--workers", type=int, default=None, help="process count")
+    p.add_argument(
+        "--backend",
+        choices=("serial", "process", "shared-store"),
+        default=None,
+        help="execution backend (default $REPRO_SWEEP_BACKEND or process); "
+        "shared-store coordinates with peer processes through the result "
+        "store and implies --store",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per failed rack task",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-rack wall-clock deadline",
+    )
+    p.add_argument(
+        "--partial-results",
+        action="store_true",
+        help="survive failing racks: keep healthy results and write a "
+        "failure manifest instead of aborting",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="failure-manifest JSON path (with --partial-results; "
+        "default fleet_manifest.json, written only on failures unless set)",
+    )
+    p.add_argument(
+        "--store",
+        action="store_true",
+        help="serve completed racks from the content-addressed result "
+        "store and persist new ones (see `repro store`)",
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help="result-store directory (implies --store; default "
+        "$REPRO_STORE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="resume a previous --store run from its manifest (implies "
+        "--store and --partial-results; completed racks become hits)",
+    )
+    p.add_argument(
+        "--results-out",
+        default=None,
+        metavar="PATH",
+        help="write canonical fleet results JSON (repro.fleet_results/1) here",
+    )
+
+    p = sub.add_parser(
         "serve", help="multi-tenant sweep job service (HTTP/JSON over the store)"
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -1136,6 +1444,7 @@ _HANDLERS = {
     "throttle": _cmd_throttle,
     "slack": _cmd_slack,
     "sweep": _cmd_sweep,
+    "fleet": _cmd_fleet,
     "serve": _cmd_serve,
     "store": _cmd_store,
     "trace": _cmd_trace,

@@ -52,6 +52,10 @@ class StoreError(ReproError):
     """The result store was given an invalid key, config or directory."""
 
 
+class FleetError(ReproError):
+    """A fleet topology or fleet-simulation parameter is invalid."""
+
+
 class ServiceError(ReproError):
     """The sweep job service rejected a request or configuration.
 

@@ -110,9 +110,25 @@ class FaultConfig:
     def injects_any(self) -> bool:
         return self.injects_disk_faults or self.thermal_emergency_rate > 0.0
 
-    def injector_for(self, disk_name: str) -> "DiskFaultInjector":
-        """A per-disk injector keyed by the disk's name."""
-        return DiskFaultInjector(config=self, subject=disk_name)
+    def injector_for(
+        self, disk_name: str, scope: Optional[str] = None
+    ) -> "DiskFaultInjector":
+        """A per-disk injector keyed by the disk's name.
+
+        Args:
+            disk_name: the disk's name within its system.
+            scope: optional fleet-level identity prefix (e.g.
+                ``rack00/e1/s3``).  Disk names are only unique within
+                one simulated system; at fleet scale two drives with
+                identical configs in different slots would otherwise
+                share a draw subject — and therefore an identical fault
+                stream.  The scope folds the rack/enclosure/slot
+                coordinates into the subject so every physical drive
+                draws independently.  ``None`` keeps the bare name
+                (single-system behaviour, and its keys, unchanged).
+        """
+        subject = disk_name if scope is None else f"{scope}/{disk_name}"
+        return DiskFaultInjector(config=self, subject=subject)
 
     def emergency_model(self, subject: str = "dtm") -> "ThermalEmergencyModel":
         """A thermal-emergency injector for a DTM controller."""

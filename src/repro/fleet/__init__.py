@@ -1,0 +1,80 @@
+"""Fleet-scale thermal simulation: racks, enclosures, coordinated DTM.
+
+The paper stops at single drives and small RAID arrays; this package
+scales the same physics to a datacenter fleet:
+
+* :mod:`repro.fleet.topology` — frozen rack/enclosure/fleet specs with a
+  canonical JSON config form (the fleet analogue of a sweep task).
+* :mod:`repro.fleet.coupling` — shared thermal environments: serial
+  airflow inside an enclosure, exhaust recirculation between enclosures
+  in a rack, per-enclosure cooling budgets.
+* :mod:`repro.fleet.dtm` — the fleet-level DTM coordinator: synchronous
+  throttle rounds down a multi-speed ladder until every drive is inside
+  the envelope and every enclosure inside its cooling budget, so
+  aggregate service capacity degrades gracefully instead of
+  cliff-dropping.
+* :mod:`repro.fleet.tiering` — energy-aware extent tiering across the
+  multi-speed drives of a rack (hot extents on fast spindles, cold
+  extents on slow ones).
+* :mod:`repro.fleet.reliability` — expected AFR and availability from
+  the ``2^(dT/15)`` failure-acceleration law.
+* :mod:`repro.fleet.sweep` — content-keyed rack tasks fanned out over
+  the execution-backend seam with the same byte-identity contract as
+  the workload sweeps.
+"""
+
+from repro.fleet.coupling import RackProfile, rack_profile
+from repro.fleet.dtm import FleetDTMPolicy, coordinate_rack
+from repro.fleet.reliability import ReliabilityParams, fleet_reliability
+from repro.fleet.sweep import (
+    FLEET_RESULTS_SCHEMA,
+    FLEET_TASK_KIND,
+    RackResult,
+    RackTask,
+    build_rack_tasks,
+    fleet_results_document,
+    fleet_results_json_bytes,
+    fleet_summary,
+    fleet_task_key,
+    rack_result_from_payload,
+    rack_result_to_payload,
+    run_fleet_sweep,
+)
+from repro.fleet.tiering import TieringPolicy, plan_rack_tiering
+from repro.fleet.topology import (
+    EnclosureSpec,
+    FleetSpec,
+    RackSpec,
+    fleet_config,
+    fleet_from_config,
+    uniform_fleet,
+)
+
+__all__ = [
+    "EnclosureSpec",
+    "RackSpec",
+    "FleetSpec",
+    "fleet_config",
+    "fleet_from_config",
+    "uniform_fleet",
+    "RackProfile",
+    "rack_profile",
+    "FleetDTMPolicy",
+    "coordinate_rack",
+    "TieringPolicy",
+    "plan_rack_tiering",
+    "ReliabilityParams",
+    "fleet_reliability",
+    "FLEET_TASK_KIND",
+    "FLEET_RESULTS_SCHEMA",
+    "RackTask",
+    "RackResult",
+    "build_rack_tasks",
+    "fleet_task_key",
+    "rack_result_to_payload",
+    "rack_result_from_payload",
+    "fleet_results_document",
+    "fleet_results_json_bytes",
+    "fleet_summary",
+    "run_fleet_sweep",
+]

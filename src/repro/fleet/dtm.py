@@ -1,0 +1,223 @@
+"""Fleet-level DTM: coordinated throttling over a multi-speed ladder.
+
+The single-drive DTM of :mod:`repro.dtm` reacts to one drive's
+temperature; at fleet scale the drives are thermally *coupled* — one
+drive's exhaust is another's inlet — so throttling must be coordinated.
+The coordinator runs synchronous rounds:
+
+1. Solve the rack's coupled profile at the current speed assignment.
+2. Collect the breach set: every drive above the envelope, plus every
+   drive of an enclosure over its cooling budget.
+3. Step each breached drive down one rung of its multi-speed ladder.
+4. Repeat until the breach set is empty or nothing can step further.
+
+Because the breach set is a pure function of the assignment and *every*
+member steps each round, the outcome is independent of the order drives
+are enumerated in — the throttle-order invariance the property suite
+asserts (``order`` exists only to demonstrate it).  Stepping down one
+rung at a time is what makes aggregate capacity degrade gracefully:
+capacity is lost in ladder-sized increments, never by cliff-dropping a
+whole enclosure to the floor.
+
+Service capacity is modeled as proportional to spindle speed (the
+paper's IDR-linear scaling): a rack's capacity fraction is the sum of
+assigned speeds over the sum of top speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.constants import THERMAL_ENVELOPE_C
+from repro.dtm.multispeed import MultiSpeedProfile
+from repro.errors import FleetError
+from repro.fleet.coupling import RackProfile, rack_profile
+from repro.fleet.topology import RackSpec
+
+__all__ = [
+    "FleetDTMPolicy",
+    "ThrottleEvent",
+    "RackCoordination",
+    "coordinate_rack",
+]
+
+#: Tolerance on envelope comparisons, matching
+#: :meth:`repro.thermal.array.ArrayPosition.within_envelope`.
+_ENVELOPE_TOL_C = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetDTMPolicy:
+    """Fleet throttling policy: the ladder and the constraint set.
+
+    Attributes:
+        rpm_levels: the multi-speed ladder every drive can sit on,
+            strictly increasing (a DRPM-style profile; drives serve at
+            every level).  Drives start at the top rung.
+        envelope_c: maximum allowed internal air temperature.
+        max_rounds: hard cap on throttle rounds (each round steps every
+            breached drive once, so ``len(rpm_levels) - 1`` rounds
+            always suffice; the cap guards against modeling mistakes).
+    """
+
+    rpm_levels: Tuple[float, ...] = (9600.0, 12000.0, 15000.0)
+    envelope_c: float = THERMAL_ENVELOPE_C
+    max_rounds: int = 64
+
+    def __post_init__(self) -> None:
+        # MultiSpeedProfile owns ladder validation (>= 2 levels,
+        # positive, strictly increasing).
+        self.profile()
+        if self.max_rounds < 1:
+            raise FleetError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    def profile(self) -> MultiSpeedProfile:
+        """The ladder as the DTM layer's multi-speed profile."""
+        return MultiSpeedProfile(
+            rpm_levels=self.rpm_levels, serves_at_lower_levels=True
+        )
+
+
+@dataclass(frozen=True)
+class ThrottleEvent:
+    """One drive stepping down one rung in one round."""
+
+    round: int
+    enclosure: int
+    slot: int
+    from_rpm: float
+    to_rpm: float
+
+
+@dataclass(frozen=True)
+class RackCoordination:
+    """Outcome of coordinating one rack.
+
+    Attributes:
+        profile: the coupled thermal profile at the final assignment.
+        rpms: the final per-enclosure, per-slot speed assignment.
+        events: every throttle step, in (round, enclosure, slot) order.
+        rounds: throttle rounds executed.
+        converged: True when every drive ended inside the envelope and
+            every enclosure inside its cooling budget.
+        residual_breaches: drives still breaching after the ladder was
+            exhausted (0 when converged).
+        ladder_top: the policy's top rung, the capacity baseline.
+    """
+
+    profile: RackProfile
+    rpms: Tuple[Tuple[float, ...], ...]
+    events: Tuple[ThrottleEvent, ...]
+    rounds: int
+    converged: bool
+    residual_breaches: int
+    ladder_top: float
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Aggregate service capacity relative to every drive at the top
+        rung (IDR scales linearly with spindle speed)."""
+        assigned = sum(d.rpm for d in self.profile.iter_drives())
+        count = sum(1 for _ in self.profile.iter_drives())
+        return assigned / (self.ladder_top * count)
+
+    @property
+    def throttle_steps(self) -> int:
+        return len(self.events)
+
+
+def _breach_set(
+    profile: RackProfile, envelope_c: float
+) -> Set[Tuple[int, int]]:
+    """Drives over the envelope, plus all drives of over-budget
+    enclosures — a pure function of the coupled profile."""
+    breached: Set[Tuple[int, int]] = set()
+    for enclosure in profile.enclosures:
+        if enclosure.over_budget:
+            for drive in enclosure.drives:
+                breached.add((drive.enclosure, drive.slot))
+        for drive in enclosure.drives:
+            if drive.internal_air_c > envelope_c + _ENVELOPE_TOL_C:
+                breached.add((drive.enclosure, drive.slot))
+    return breached
+
+
+def coordinate_rack(
+    rack: RackSpec,
+    policy: FleetDTMPolicy,
+    initial_rpms: Optional[Sequence[Sequence[float]]] = None,
+    order: str = "sorted",
+) -> RackCoordination:
+    """Throttle a rack's drives until its thermal constraints hold.
+
+    Args:
+        rack: the rack topology.
+        policy: ladder and constraints.
+        initial_rpms: optional starting assignment (e.g. a tiering
+            plan's levels); every value must be a ladder level.  None
+            starts every drive at the top rung.
+        order: enumeration order of the breach set when stepping —
+            ``sorted`` or ``reversed``.  The outcome is identical either
+            way (every breached drive steps every round); the knob
+            exists so the property suite can prove it.
+    """
+    if order not in ("sorted", "reversed"):
+        raise FleetError(f"order must be 'sorted' or 'reversed', got {order!r}")
+    profile = policy.profile()
+    levels = profile.rpm_levels
+    if initial_rpms is None:
+        rpms: List[List[float]] = [
+            [profile.top_rpm] * enclosure.drives
+            for enclosure in rack.enclosures
+        ]
+    else:
+        rpms = [list(row) for row in initial_rpms]
+        for row in rpms:
+            for rpm in row:
+                if rpm not in levels:
+                    raise FleetError(
+                        f"initial rpm {rpm} is not a ladder level {levels}"
+                    )
+    events: List[ThrottleEvent] = []
+    rounds = 0
+    state = rack_profile(rack, rpms)
+    for round_index in range(policy.max_rounds):
+        breached = _breach_set(state, policy.envelope_c)
+        if not breached:
+            break
+        droppable = [
+            key for key in breached if rpms[key[0]][key[1]] > profile.bottom_rpm
+        ]
+        if not droppable:
+            break  # ladder exhausted; residual breaches reported below
+        rounds = round_index + 1
+        ordered = sorted(droppable, reverse=(order == "reversed"))
+        for enclosure_index, slot in ordered:
+            current = rpms[enclosure_index][slot]
+            below = [level for level in levels if level < current]
+            next_rpm = below[-1]
+            rpms[enclosure_index][slot] = next_rpm
+            events.append(
+                ThrottleEvent(
+                    round=round_index,
+                    enclosure=enclosure_index,
+                    slot=slot,
+                    from_rpm=current,
+                    to_rpm=next_rpm,
+                )
+            )
+        state = rack_profile(rack, rpms)
+    residual = len(_breach_set(state, policy.envelope_c))
+    # Events are appended in enumeration order; canonicalize to
+    # (round, enclosure, slot) so `order` cannot leak into the output.
+    events.sort(key=lambda e: (e.round, e.enclosure, e.slot))
+    return RackCoordination(
+        profile=state,
+        rpms=tuple(tuple(row) for row in rpms),
+        events=tuple(events),
+        rounds=rounds,
+        converged=residual == 0,
+        residual_breaches=residual,
+        ladder_top=profile.top_rpm,
+    )

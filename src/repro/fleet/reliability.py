@@ -1,0 +1,113 @@
+"""Expected AFR and availability of a fleet via the 2^(dT/15) law.
+
+The paper's closing argument — every 15 C doubles the failure rate —
+becomes actionable at fleet scale: given each drive's steady internal
+temperature, a rated AFR at a reference temperature extrapolates to a
+per-drive expected annualized failure rate
+
+    ``AFR(T) = base_afr * 2^((T - reference) / 15)``
+
+(:func:`repro.thermal.reliability.failure_acceleration`).  Treating
+failures as a repairable Poisson process with mean time to repair
+``MTTR``, a drive's steady-state availability is
+
+    ``A = 1 / (1 + AFR * MTTR_h / 8760)``
+
+and the fleet reports the sum of rates (expected annual failures — the
+first-failure rate RAID arrays care about), the mean availability, and
+the hottest drive's AFR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import FleetError
+from repro.thermal.reliability import failure_acceleration
+
+__all__ = [
+    "HOURS_PER_YEAR",
+    "ReliabilityParams",
+    "FleetReliability",
+    "drive_afr",
+    "drive_availability",
+    "fleet_reliability",
+]
+
+HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Rated reliability of the fleet's drives.
+
+    Attributes:
+        base_afr: annualized failure rate at the reference temperature
+            (0.02 = 2 % of drives per year, a typical datasheet figure).
+        reference_c: internal air temperature the rating assumes.
+        mttr_hours: mean time to repair/replace one failed drive.
+    """
+
+    base_afr: float = 0.02
+    reference_c: float = 40.0
+    mttr_hours: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.base_afr <= 0.0:
+            raise FleetError(f"base_afr must be positive, got {self.base_afr}")
+        if self.mttr_hours < 0.0:
+            raise FleetError(
+                f"mttr_hours cannot be negative, got {self.mttr_hours}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetReliability:
+    """Aggregate reliability of one fleet (or one rack).
+
+    Attributes:
+        drive_count: drives aggregated.
+        expected_annual_failures: sum of per-drive AFRs — the expected
+            number of failures per year across the group.
+        mean_afr / worst_afr: average and hottest-drive rates.
+        availability: mean per-drive steady-state availability (the
+            expected fraction of the group online at any instant).
+    """
+
+    drive_count: int
+    expected_annual_failures: float
+    mean_afr: float
+    worst_afr: float
+    availability: float
+
+
+def drive_afr(internal_air_c: float, params: ReliabilityParams) -> float:
+    """Expected annualized failure rate of one drive at a temperature."""
+    return params.base_afr * failure_acceleration(
+        internal_air_c, reference_c=params.reference_c
+    )
+
+
+def drive_availability(afr: float, mttr_hours: float) -> float:
+    """Steady-state availability of a repairable drive."""
+    if afr < 0.0:
+        raise FleetError(f"afr cannot be negative, got {afr}")
+    return 1.0 / (1.0 + afr * mttr_hours / HOURS_PER_YEAR)
+
+
+def fleet_reliability(
+    internal_air_c: Sequence[float], params: ReliabilityParams
+) -> FleetReliability:
+    """Aggregate AFR/availability over a group of drive temperatures."""
+    if not internal_air_c:
+        raise FleetError("need at least one drive temperature")
+    rates = [drive_afr(t, params) for t in internal_air_c]
+    availabilities = [drive_availability(r, params.mttr_hours) for r in rates]
+    return FleetReliability(
+        drive_count=len(rates),
+        expected_annual_failures=sum(rates),
+        mean_afr=sum(rates) / len(rates),
+        worst_afr=max(rates),
+        availability=sum(availabilities) / len(availabilities),
+    )

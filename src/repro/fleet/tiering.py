@@ -1,0 +1,199 @@
+"""Energy-aware extent tiering across multi-speed drives.
+
+Per PAPERS.md "Energy-Aware Disk Storage Management": data extents have
+wildly skewed access heat, so a rack of multi-speed drives can
+concentrate the hot extents on a few full-speed spindles and let the
+rest idle down the ladder — spending thermal slack where the accesses
+are instead of spinning every platter at maximum.
+
+The planner is deterministic end to end:
+
+* extent heats are drawn from the fault layer's seeded hash
+  (:func:`repro.faults.models.unit_draw`, subject ``extent``) through an
+  exponential transform — heavy-tailed, reproducible, backend-blind;
+* extents are packed hottest-first (ties by index) onto drives sized so
+  a balanced all-top-speed layout would run at ``target_utilization``;
+* each drive then drops to the lowest ladder level whose capacity
+  (IDR-linear in RPM) still covers its assigned demand.
+
+``migrated_extents`` counts extents whose drive differs from the
+balanced baseline (extent ``i`` on drive ``i mod N``) — the data motion
+the plan would cost.  Saved power is the windage + spindle + VCM heat
+difference (:func:`repro.thermal.array.drive_heat_w`) between the
+all-top baseline and the planned levels; it also directly reduces the
+heat the coupled rack model must exhaust.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dtm.multispeed import MultiSpeedProfile
+from repro.errors import FleetError
+from repro.faults.models import unit_draw
+
+__all__ = [
+    "TieringPolicy",
+    "TieringPlan",
+    "extent_heats",
+    "plan_rack_tiering",
+]
+
+
+@dataclass(frozen=True)
+class TieringPolicy:
+    """Extent-tiering knobs for one fleet run.
+
+    Attributes:
+        extents: extents to place per rack (0 disables tiering).
+        seed: root of the deterministic heat draws.
+        target_utilization: fraction of a top-speed drive's capacity the
+            balanced baseline layout would use; sizes per-drive
+            capacity, so lower targets leave more headroom and demote
+            fewer drives.
+    """
+
+    extents: int = 0
+    seed: int = 0
+    target_utilization: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.extents < 0:
+            raise FleetError(f"extents cannot be negative, got {self.extents}")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise FleetError(
+                f"target_utilization must be in (0, 1], "
+                f"got {self.target_utilization}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.extents > 0
+
+
+@dataclass(frozen=True)
+class TieringPlan:
+    """One rack's extent placement and speed-level assignment.
+
+    Attributes:
+        extents: extents placed.
+        drive_levels: assigned ladder level per drive, in (enclosure,
+            slot) order.
+        drive_demand: summed extent heat per drive, same order.
+        migrated_extents: extents moved relative to the balanced
+            baseline layout.
+        baseline_power_w: total drive heat with every drive at the top
+            rung (the un-tiered fleet).
+        planned_power_w: total drive heat at the assigned levels.
+    """
+
+    extents: int
+    drive_levels: Tuple[float, ...]
+    drive_demand: Tuple[float, ...]
+    migrated_extents: int
+    baseline_power_w: float
+    planned_power_w: float
+
+    @property
+    def saved_power_w(self) -> float:
+        return self.baseline_power_w - self.planned_power_w
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self.drive_demand)
+
+
+def extent_heats(count: int, seed: int) -> List[float]:
+    """Deterministic heavy-tailed access heat per extent.
+
+    An inverse-CDF exponential over the seeded unit hash: reproducible
+    across processes and hosts (no global RNG), skewed enough that a
+    minority of extents carries most of the demand.
+    """
+    if count < 0:
+        raise FleetError(f"extent count cannot be negative, got {count}")
+    heats = []
+    for index in range(count):
+        u = unit_draw(seed, "extent", index, "heat")
+        heats.append(-math.log(1.0 - u))
+    return heats
+
+
+def plan_rack_tiering(
+    drive_count: int,
+    profile: MultiSpeedProfile,
+    policy: TieringPolicy,
+    diameter_in: float = 2.6,
+    platter_count: int = 1,
+    vcm_duty: float = 0.5,
+) -> TieringPlan:
+    """Pack one rack's extents hottest-first and demote cold drives.
+
+    Args:
+        drive_count: drives available in the rack.
+        profile: the multi-speed ladder (must serve at lower levels).
+        policy: extent count, seed, utilization target.
+        diameter_in / platter_count / vcm_duty: drive geometry and
+            activity, for the power accounting.
+    """
+    if drive_count < 1:
+        raise FleetError(f"need at least one drive, got {drive_count}")
+    if not profile.serves_at_lower_levels:
+        raise FleetError(
+            "tiering needs a ladder that serves at lower levels (DRPM)"
+        )
+    from repro.thermal.array import drive_heat_w
+
+    heats = extent_heats(policy.extents, policy.seed)
+    total = sum(heats)
+    top = profile.top_rpm
+    # Capacity of a top-speed drive: the demand a balanced layout would
+    # put on it, divided by the utilization target.  Capacity at lower
+    # levels scales IDR-linearly with RPM.
+    capacity_top = (
+        (total / drive_count) / policy.target_utilization
+        if total > 0.0
+        else 0.0
+    )
+    order = sorted(range(len(heats)), key=lambda i: (-heats[i], i))
+    demand = [0.0] * drive_count
+    assignment = [0] * len(heats)
+    drive = 0
+    for index in order:
+        # First-fit in drive order: fill a drive to capacity, move on.
+        # The last drive takes any overflow (every extent must land).
+        while (
+            drive < drive_count - 1
+            and demand[drive] + heats[index] > capacity_top
+        ):
+            drive += 1
+        demand[drive] += heats[index]
+        assignment[index] = drive
+    levels = []
+    for d in range(drive_count):
+        fitting = [
+            level
+            for level in profile.rpm_levels
+            if capacity_top * (level / top) + 1e-12 >= demand[d]
+        ]
+        levels.append(fitting[0] if fitting else top)
+    baseline = drive_heat_w(top, diameter_in, platter_count, vcm_duty=vcm_duty)
+    planned = [
+        drive_heat_w(level, diameter_in, platter_count, vcm_duty=vcm_duty)
+        for level in levels
+    ]
+    migrated = sum(
+        1
+        for index, where in enumerate(assignment)
+        if where != index % drive_count
+    )
+    return TieringPlan(
+        extents=len(heats),
+        drive_levels=tuple(levels),
+        drive_demand=tuple(demand),
+        migrated_extents=migrated,
+        baseline_power_w=baseline * drive_count,
+        planned_power_w=sum(planned),
+    )

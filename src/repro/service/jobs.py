@@ -125,6 +125,7 @@ class Job:
     def document(self) -> Dict[str, Any]:
         """The wire form ``GET /v1/jobs/<id>`` returns."""
         config = self.config.material_config()
+        config["kind"] = self.config.request_kind
         config["backend"] = self.backend
         config["retries"] = self.config.retries
         return {
@@ -223,7 +224,6 @@ class JobManager:
         config = parse_job_request(payload)
         from repro.errors import ReproError
         from repro.simulation.backends import resolve_backend_name
-        from repro.simulation.sweep import workload_task_key
 
         try:
             backend = resolve_backend_name(
@@ -235,10 +235,12 @@ class JobManager:
         except ServiceError:
             raise
         except ReproError as exc:
-            # Unknown workload/engine/backend names, invalid fault plans.
+            # Unknown workload/engine/backend names, invalid fault or
+            # fleet-topology plans.
             raise ServiceError(str(exc)) from exc
         key = job_config_key(config)
-        task_keys = [workload_task_key(task) for task in tasks]
+        task_key = config.sweep_plumbing()["task_key"]
+        task_keys = [task_key(task) for task in tasks]
         task_labels = [task.label() for task in tasks]
         with self._cond:
             existing_id = self._by_key.get(key)
@@ -300,16 +302,8 @@ class JobManager:
 
     def _run_job(self, job: Job) -> None:
         from repro.simulation.resilience import run_sweep_cached
-        from repro.simulation.sweep import (
-            WORKLOAD_TASK_KIND,
-            _run_workload_task,
-            plan_sweep_workers,
-            results_document,
-            workload_result_from_payload,
-            workload_result_to_payload,
-            workload_task_key,
-        )
 
+        plumbing = job.config.sweep_plumbing()
         with self._cond:
             job.state = JOB_RUNNING
             job.started_s = time.time()
@@ -335,7 +329,7 @@ class JobManager:
                 raise JobDrained(job.id)
 
         tasks = job.config.build_tasks()
-        workers = plan_sweep_workers(
+        workers = plumbing["plan_workers"](
             tasks,
             job.config.workers
             if job.config.workers is not None
@@ -344,12 +338,12 @@ class JobManager:
         try:
             report = run_sweep_cached(
                 tasks,
-                _run_workload_task,
+                plumbing["worker"],
                 self.store,
-                workload_task_key,
-                workload_result_to_payload,
-                workload_result_from_payload,
-                kind=WORKLOAD_TASK_KIND,
+                plumbing["task_key"],
+                plumbing["encode"],
+                plumbing["decode"],
+                kind=plumbing["task_kind"],
                 workers=workers,
                 retries=job.config.retries,
                 timeout_s=self._task_timeout_s,
@@ -383,7 +377,9 @@ class JobManager:
         results = report.results()
         try:
             self.store.put(
-                job.key, results_document(results), kind=SERVICE_RESULTS_KIND
+                job.key,
+                plumbing["document"](results),
+                kind=SERVICE_RESULTS_KIND,
             )
         except Exception:
             # Same contract as task persists: the assembled document is
@@ -478,8 +474,6 @@ class JobManager:
 
     def _rebuild_results(self, key: str) -> Optional[Any]:
         """Reassemble a job's results document from its per-task entries."""
-        from repro.simulation.sweep import RESULTS_SCHEMA
-
         with self._lock:
             job_id = self._by_key.get(key)
             job = self._jobs.get(job_id) if job_id is not None else None
@@ -489,7 +483,7 @@ class JobManager:
         parts = [self.store.get(task_key) for task_key in task_keys]
         if any(part is None for part in parts):
             return None
-        document = {"schema": RESULTS_SCHEMA, "results": parts}
+        document = job.config.sweep_plumbing()["document_from_payloads"](parts)
         try:
             self.store.put(key, document, kind=SERVICE_RESULTS_KIND)
         except Exception:

@@ -1,12 +1,13 @@
 """Wire-protocol schemas for the sweep job service.
 
-A job submission is a JSON object describing one workload sweep — the
-same knobs ``repro sweep workload`` takes.  Parsing is *strict*: unknown
-fields are rejected with a 400 instead of ignored, because every
-accepted field either enters the job's canonical config key or is an
-explicitly-listed execution knob.  Silently dropping a typo'd field
-("rqeuests") would hand the tenant a dedup hit for a sweep they did not
-ask for.
+A job submission is a JSON object describing one sweep.  The optional
+``kind`` field selects the job family: ``workload_sweep`` (the default —
+the same knobs ``repro sweep workload`` takes) or ``fleet_sweep`` (the
+knobs ``repro fleet`` takes).  Parsing is *strict*: unknown fields are
+rejected with a 400 instead of ignored, because every accepted field
+either enters the job's canonical config key or is an explicitly-listed
+execution knob.  Silently dropping a typo'd field ("rqeuests") would
+hand the tenant a dedup hit for a sweep they did not ask for.
 
 Two layers of keys:
 
@@ -26,13 +27,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
 from repro.errors import ServiceError
 
 __all__ = [
     "SERVICE_JOB_KIND",
+    "SERVICE_FLEET_JOB_KIND",
     "JOB_SCHEMA",
     "EVENT_SCHEMA",
     "SweepJobConfig",
+    "FleetJobConfig",
     "parse_job_request",
     "job_config_key",
 ]
@@ -40,6 +44,10 @@ __all__ = [
 #: Kind tag salted into every job config key.  Bump the suffix when the
 #: material field set changes meaning.
 SERVICE_JOB_KIND = "service.sweep_job/1"
+
+#: Kind tag salted into fleet job config keys — a separate namespace, so
+#: a fleet job can never collide with a workload job.
+SERVICE_FLEET_JOB_KIND = "service.fleet_job/1"
 
 #: Schema tag on every job document the service returns.
 JOB_SCHEMA = "repro.service.job/1"
@@ -58,6 +66,11 @@ class SweepJobConfig:
     field accepted here but not forwarded there would produce
     same-key-different-results, the one unforgivable store bug.
     """
+
+    #: Wire-protocol job family this config parses from.
+    request_kind = "workload_sweep"
+    #: Config-key kind tag (the dedup namespace).
+    job_kind = SERVICE_JOB_KIND
 
     workloads: Tuple[str, ...]
     rpms: Optional[Tuple[float, ...]] = None
@@ -118,15 +131,224 @@ class SweepJobConfig:
             engine=self.engine,
         )
 
+    def sweep_plumbing(self) -> Dict[str, Any]:
+        """The task-level machinery the job manager fans this job out with.
 
-def job_config_key(config: SweepJobConfig) -> str:
-    """The job's canonical dedup key (material fields only)."""
+        Same worker/key/codec the CLI uses — which is the whole
+        byte-identity story: a service result under a task key is
+        indistinguishable from a CLI-computed one.
+        ``document_from_payloads`` rebuilds the full results document
+        from the raw per-task store entries (the eviction-recovery
+        path).
+        """
+        from repro.simulation.sweep import (
+            RESULTS_SCHEMA,
+            WORKLOAD_TASK_KIND,
+            _run_workload_task,
+            plan_sweep_workers,
+            results_document,
+            workload_result_from_payload,
+            workload_result_to_payload,
+            workload_task_key,
+        )
+
+        return {
+            "task_kind": WORKLOAD_TASK_KIND,
+            "worker": _run_workload_task,
+            "task_key": workload_task_key,
+            "encode": workload_result_to_payload,
+            "decode": workload_result_from_payload,
+            "document": results_document,
+            "document_from_payloads": lambda parts: {
+                "schema": RESULTS_SCHEMA,
+                "results": list(parts),
+            },
+            # All-analytic sweeps are forced serial (cheaper than a pool).
+            "plan_workers": plan_sweep_workers,
+        }
+
+
+@dataclass(frozen=True)
+class FleetJobConfig:
+    """One validated fleet-sweep submission (``kind: fleet_sweep``).
+
+    The material fields mirror ``repro fleet``'s topology/policy flags
+    and :func:`repro.fleet.uniform_fleet` exactly; fault and tiering
+    knobs fold to None in :meth:`material_config` when their feature is
+    off, matching :func:`repro.fleet.fleet_task_key`'s normalization so
+    the job-level and task-level dedup agree about what is material.
+    """
+
+    request_kind = "fleet_sweep"
+    job_kind = SERVICE_FLEET_JOB_KIND
+
+    racks: int = 2
+    enclosures_per_rack: int = 4
+    drives_per_enclosure: int = 3
+    airflow_m3_per_s: float = 0.018
+    cooling_budget_w: float = 300.0
+    diameter_in: float = 2.6
+    platter_count: int = 1
+    vcm_duty: float = 0.5
+    inlet_c: float = AMBIENT_TEMPERATURE_C
+    recirculation: float = 0.2
+    envelope_c: float = THERMAL_ENVELOPE_C
+    rpm_levels: Tuple[float, ...] = (9600.0, 12000.0, 15000.0)
+    max_rounds: int = 64
+    base_afr: float = 0.02
+    reference_c: float = 40.0
+    mttr_hours: float = 12.0
+    tiering_extents: int = 0
+    tiering_seed: int = 0
+    tiering_target_utilization: float = 0.7
+    inject_faults: bool = False
+    fault_seed: int = 0
+    media_rate: float = 0.01
+    servo_rate: float = 0.0
+    accesses_per_drive: int = 256
+    # Execution knobs — never part of the config key.
+    backend: Optional[str] = None
+    retries: int = 1
+    workers: Optional[int] = None
+
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        """Fleet jobs replay no named workloads (metrics plumbing)."""
+        return ()
+
+    def material_config(self) -> Dict[str, Any]:
+        """The key-entering field subset, in canonical form."""
+        tiered = self.tiering_extents > 0
+        return {
+            "racks": self.racks,
+            "enclosures_per_rack": self.enclosures_per_rack,
+            "drives_per_enclosure": self.drives_per_enclosure,
+            "airflow_m3_per_s": self.airflow_m3_per_s,
+            "cooling_budget_w": self.cooling_budget_w,
+            "diameter_in": self.diameter_in,
+            "platter_count": self.platter_count,
+            "vcm_duty": self.vcm_duty,
+            "inlet_c": self.inlet_c,
+            "recirculation": self.recirculation,
+            "envelope_c": self.envelope_c,
+            "rpm_levels": list(self.rpm_levels),
+            "max_rounds": self.max_rounds,
+            "base_afr": self.base_afr,
+            "reference_c": self.reference_c,
+            "mttr_hours": self.mttr_hours,
+            "tiering_extents": self.tiering_extents,
+            "tiering_seed": self.tiering_seed if tiered else None,
+            "tiering_target_utilization": (
+                self.tiering_target_utilization if tiered else None
+            ),
+            "inject_faults": self.inject_faults,
+            "fault_seed": self.fault_seed if self.inject_faults else None,
+            "media_rate": self.media_rate if self.inject_faults else None,
+            "servo_rate": self.servo_rate if self.inject_faults else None,
+            "accesses_per_drive": (
+                self.accesses_per_drive if self.inject_faults else None
+            ),
+        }
+
+    def fault_config(self) -> Optional[Any]:
+        """The FaultConfig this job injects (None when injection is off)."""
+        if not self.inject_faults:
+            return None
+        from repro.faults import FaultConfig
+
+        return FaultConfig(
+            seed=self.fault_seed,
+            media_rate=self.media_rate,
+            servo_rate=self.servo_rate,
+        )
+
+    def build_tasks(self) -> List[Any]:
+        """One rack task per rack, validated exactly like the CLI."""
+        from repro.fleet import (
+            FleetDTMPolicy,
+            ReliabilityParams,
+            TieringPolicy,
+            build_rack_tasks,
+            uniform_fleet,
+        )
+
+        fleet = uniform_fleet(
+            racks=self.racks,
+            enclosures_per_rack=self.enclosures_per_rack,
+            drives_per_enclosure=self.drives_per_enclosure,
+            airflow_m3_per_s=self.airflow_m3_per_s,
+            cooling_budget_w=self.cooling_budget_w,
+            diameter_in=self.diameter_in,
+            platter_count=self.platter_count,
+            vcm_duty=self.vcm_duty,
+            inlet_c=self.inlet_c,
+            recirculation=self.recirculation,
+            envelope_c=self.envelope_c,
+        )
+        return build_rack_tasks(
+            fleet,
+            policy=FleetDTMPolicy(
+                rpm_levels=self.rpm_levels,
+                envelope_c=self.envelope_c,
+                max_rounds=self.max_rounds,
+            ),
+            reliability=ReliabilityParams(
+                base_afr=self.base_afr,
+                reference_c=self.reference_c,
+                mttr_hours=self.mttr_hours,
+            ),
+            tiering=TieringPolicy(
+                extents=self.tiering_extents,
+                seed=self.tiering_seed,
+                target_utilization=self.tiering_target_utilization,
+            ),
+            fault_config=self.fault_config(),
+            accesses_per_drive=self.accesses_per_drive,
+        )
+
+    def sweep_plumbing(self) -> Dict[str, Any]:
+        """Fleet task machinery — same shape as the workload plumbing."""
+        from repro.fleet.sweep import (
+            FLEET_TASK_KIND,
+            _run_rack_task,
+            fleet_results_document,
+            fleet_task_key,
+            rack_result_from_payload,
+            rack_result_to_payload,
+        )
+
+        return {
+            "task_kind": FLEET_TASK_KIND,
+            "worker": _run_rack_task,
+            "task_key": fleet_task_key,
+            "encode": rack_result_to_payload,
+            "decode": rack_result_from_payload,
+            "document": fleet_results_document,
+            # The fleet document carries a computed summary, so the
+            # rebuild decodes payloads back to results and re-derives it
+            # (pure arithmetic — byte-identical to the original).
+            "document_from_payloads": lambda parts: fleet_results_document(
+                [rack_result_from_payload(p) for p in parts]
+            ),
+            # Rack tasks always simulate; no engine-based worker plan.
+            "plan_workers": lambda tasks, workers: workers,
+        }
+
+
+def job_config_key(config: Any) -> str:
+    """The job's canonical dedup key (material fields only).
+
+    The config class's ``job_kind`` tag namespaces the key, so the two
+    job families can never collide even on coincidentally-equal
+    material dictionaries.
+    """
     from repro.store import config_key
 
-    return config_key(SERVICE_JOB_KIND, config.material_config())
+    return config_key(config.job_kind, config.material_config())
 
 
 _FIELD_TYPES: Dict[str, Tuple[type, ...]] = {
+    "kind": (str,),
     "workloads": (list,),
     "rpms": (list, type(None)),
     "rpm_steps": (int,),
@@ -144,17 +366,83 @@ _FIELD_TYPES: Dict[str, Tuple[type, ...]] = {
 }
 
 
-def parse_job_request(payload: Any) -> SweepJobConfig:
-    """Validate one ``POST /v1/jobs`` body into a :class:`SweepJobConfig`.
+_FLEET_FIELD_TYPES: Dict[str, Tuple[type, ...]] = {
+    "kind": (str,),
+    "racks": (int,),
+    "enclosures_per_rack": (int,),
+    "drives_per_enclosure": (int,),
+    "airflow_m3_per_s": (int, float),
+    "cooling_budget_w": (int, float),
+    "diameter_in": (int, float),
+    "platter_count": (int,),
+    "vcm_duty": (int, float),
+    "inlet_c": (int, float),
+    "recirculation": (int, float),
+    "envelope_c": (int, float),
+    "rpm_levels": (list, type(None)),
+    "max_rounds": (int,),
+    "base_afr": (int, float),
+    "reference_c": (int, float),
+    "mttr_hours": (int, float),
+    "tiering_extents": (int,),
+    "tiering_seed": (int,),
+    "tiering_target_utilization": (int, float),
+    "inject_faults": (bool,),
+    "fault_seed": (int,),
+    "media_rate": (int, float),
+    "servo_rate": (int, float),
+    "accesses_per_drive": (int,),
+    "backend": (str, type(None)),
+    "retries": (int,),
+    "workers": (int, type(None)),
+}
 
-    Raises :class:`ServiceError` (status 400) on anything malformed:
-    wrong top-level type, unknown fields, wrong field types, empty or
-    non-string workload lists, non-positive counts.  Workload/engine
-    *names* are validated later by ``build_tasks`` (the catalog owns
-    them), still before the job is queued.
+
+def _check_fields(
+    payload: Mapping[str, Any], types: Dict[str, Tuple[type, ...]]
+) -> None:
+    """Strict field validation shared by both job families."""
+    unknown = sorted(set(payload) - set(types))
+    if unknown:
+        raise ServiceError(
+            f"unknown job field(s): {', '.join(unknown)} "
+            f"(accepted: {', '.join(sorted(types))})"
+        )
+    for name, accepted in types.items():
+        if name not in payload:
+            continue
+        value = payload[name]
+        # bool is an int subclass; don't let true/false sneak into counts.
+        if isinstance(value, bool) and bool not in accepted:
+            raise ServiceError(f"field {name!r} has the wrong type")
+        if not isinstance(value, accepted):
+            raise ServiceError(f"field {name!r} has the wrong type")
+
+
+def parse_job_request(payload: Any) -> Any:
+    """Validate one ``POST /v1/jobs`` body into a job config.
+
+    The ``kind`` field selects the family: ``workload_sweep`` (default,
+    → :class:`SweepJobConfig`) or ``fleet_sweep`` (→
+    :class:`FleetJobConfig`).  Raises :class:`ServiceError` (status 400)
+    on anything malformed: wrong top-level type, unknown kinds or
+    fields, wrong field types, empty or non-string workload lists,
+    non-positive counts.  Workload/engine/topology *semantics* are
+    validated later by ``build_tasks`` (the owning layer), still before
+    the job is queued.
     """
     if not isinstance(payload, Mapping):
         raise ServiceError("job request must be a JSON object")
+    kind = payload.get("kind", "workload_sweep")
+    if not isinstance(kind, str):
+        raise ServiceError("field 'kind' has the wrong type")
+    if kind == "fleet_sweep":
+        return _parse_fleet_request(payload)
+    if kind != "workload_sweep":
+        raise ServiceError(
+            f"unknown job kind {kind!r} "
+            "(accepted: workload_sweep, fleet_sweep)"
+        )
     unknown = sorted(set(payload) - set(_FIELD_TYPES))
     if unknown:
         raise ServiceError(
@@ -204,6 +492,65 @@ def parse_job_request(payload: Any) -> SweepJobConfig:
         raise ServiceError("'rpm_steps' must be positive")
     if config.requests <= 0:
         raise ServiceError("'requests' must be positive")
+    if config.retries < 0:
+        raise ServiceError("'retries' must be >= 0")
+    if config.workers is not None and config.workers < 0:
+        raise ServiceError("'workers' must be >= 0")
+    return config
+
+
+def _parse_fleet_request(payload: Mapping[str, Any]) -> FleetJobConfig:
+    """Validate a ``kind: fleet_sweep`` body into a :class:`FleetJobConfig`.
+
+    Only wire-level shape is checked here; topology/policy semantics
+    (positive airflow, ascending ladder, ...) are enforced by the frozen
+    fleet dataclasses when ``build_tasks`` runs — still at submission
+    time, surfaced as a 400.
+    """
+    _check_fields(payload, _FLEET_FIELD_TYPES)
+    rpm_levels = payload.get("rpm_levels")
+    if rpm_levels is not None:
+        if not rpm_levels or not all(
+            isinstance(r, (int, float)) and not isinstance(r, bool)
+            for r in rpm_levels
+        ):
+            raise ServiceError("'rpm_levels' must be a non-empty list of numbers")
+        rpm_levels = tuple(float(r) for r in rpm_levels)
+    else:
+        rpm_levels = (9600.0, 12000.0, 15000.0)
+    config = FleetJobConfig(
+        racks=int(payload.get("racks", 2)),
+        enclosures_per_rack=int(payload.get("enclosures_per_rack", 4)),
+        drives_per_enclosure=int(payload.get("drives_per_enclosure", 3)),
+        airflow_m3_per_s=float(payload.get("airflow_m3_per_s", 0.018)),
+        cooling_budget_w=float(payload.get("cooling_budget_w", 300.0)),
+        diameter_in=float(payload.get("diameter_in", 2.6)),
+        platter_count=int(payload.get("platter_count", 1)),
+        vcm_duty=float(payload.get("vcm_duty", 0.5)),
+        inlet_c=float(payload.get("inlet_c", AMBIENT_TEMPERATURE_C)),
+        recirculation=float(payload.get("recirculation", 0.2)),
+        envelope_c=float(payload.get("envelope_c", THERMAL_ENVELOPE_C)),
+        rpm_levels=rpm_levels,
+        max_rounds=int(payload.get("max_rounds", 64)),
+        base_afr=float(payload.get("base_afr", 0.02)),
+        reference_c=float(payload.get("reference_c", 40.0)),
+        mttr_hours=float(payload.get("mttr_hours", 12.0)),
+        tiering_extents=int(payload.get("tiering_extents", 0)),
+        tiering_seed=int(payload.get("tiering_seed", 0)),
+        tiering_target_utilization=float(
+            payload.get("tiering_target_utilization", 0.7)
+        ),
+        inject_faults=bool(payload.get("inject_faults", False)),
+        fault_seed=int(payload.get("fault_seed", 0)),
+        media_rate=float(payload.get("media_rate", 0.01)),
+        servo_rate=float(payload.get("servo_rate", 0.0)),
+        accesses_per_drive=int(payload.get("accesses_per_drive", 256)),
+        backend=payload.get("backend"),
+        retries=int(payload.get("retries", 1)),
+        workers=payload.get("workers"),
+    )
+    if config.racks <= 0:
+        raise ServiceError("'racks' must be positive")
     if config.retries < 0:
         raise ServiceError("'retries' must be >= 0")
     if config.workers is not None and config.workers < 0:

@@ -497,10 +497,10 @@ def plan_sweep_workers(
     return workers
 
 
-def _effective_store(
+def effective_store(
     store: Optional["ResultStore"], backend: BackendSpec
 ) -> Optional["ResultStore"]:
-    """The store a workload sweep will actually use, given its backend.
+    """The store a sweep will actually use, given its backend.
 
     The ``shared-store`` backend coordinates *through* a result store, so
     selecting it without one (say, ``REPRO_SWEEP_BACKEND=shared-store``
@@ -523,6 +523,11 @@ def _effective_store(
     from repro.store import ResultStore
 
     return ResultStore()
+
+
+#: Backward-compatible alias (the helper went public for the fleet
+#: sweep front-ends; the behaviour is unchanged).
+_effective_store = effective_store
 
 
 def sweep_workloads(
@@ -583,7 +588,7 @@ def sweep_workloads(
         engine=engine,
     )
     workers = plan_sweep_workers(tasks, workers)
-    store = _effective_store(store, backend)
+    store = effective_store(store, backend)
     if store is None:
         return run_sweep(tasks, _run_workload_task, workers=workers, backend=backend)
     from repro.simulation.resilience import run_sweep_cached
@@ -663,7 +668,7 @@ def sweep_workloads_resilient(
         engine=engine,
     )
     workers = plan_sweep_workers(tasks, workers)
-    store = _effective_store(store, backend)
+    store = effective_store(store, backend)
     if store is not None:
         report = run_sweep_cached(
             tasks,

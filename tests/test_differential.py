@@ -249,3 +249,86 @@ def test_resilient_report_records_backend(tmp_path):
     assert manifest["schema"] == "repro.sweep_manifest/2"
     assert manifest["backend"] == "shared-store"
     assert manifest["store"]["misses"] == len(RPMS)
+
+
+# ---------------------------------------------------------------------------
+# Fleet matrix: rack tasks under every backend, one set of bytes
+# ---------------------------------------------------------------------------
+
+
+def _fleet_tasks():
+    """A 3-enclosure fleet with every feature lit: recirculation,
+    tiering, deterministic faults."""
+    from repro.fleet import TieringPolicy, build_rack_tasks, uniform_fleet
+
+    fleet = uniform_fleet(
+        racks=2, enclosures_per_rack=3, drives_per_enclosure=2,
+        recirculation=0.3,
+    )
+    return build_rack_tasks(
+        fleet,
+        tiering=TieringPolicy(extents=24, seed=5),
+        fault_config=FaultConfig(seed=3, media_rate=0.05, servo_rate=0.01),
+        accesses_per_drive=64,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fleet_cross_backend_matrix(backend, tmp_path):
+    """A fleet sweep's canonical results JSON must be byte-identical
+    across {cold, warm, resumed} on every execution backend."""
+    from repro.fleet import fleet_results_json_bytes, run_fleet_sweep
+
+    tasks = _fleet_tasks()
+    serial_results, _ = run_fleet_sweep(tasks, backend="serial")
+    reference = fleet_results_json_bytes(serial_results)
+
+    cold_store = ResultStore(root=tmp_path / "cold")
+    cold, cold_report = run_fleet_sweep(
+        tasks, workers=2, store=cold_store, backend=backend
+    )
+    assert cold_report.store_misses == len(tasks)
+    warm, warm_report = run_fleet_sweep(
+        tasks, workers=2, store=cold_store, backend=backend
+    )
+    assert warm_report.store_hits == len(tasks), "warm run must be all hits"
+
+    # Resume-after-crash: only the first rack survived the original run.
+    crashed_store = ResultStore(root=tmp_path / "crashed")
+    run_fleet_sweep(tasks[:1], store=crashed_store, backend="serial")
+    assert crashed_store.puts == 1
+    resumed, resumed_report = run_fleet_sweep(
+        tasks, workers=2, store=crashed_store, backend=backend
+    )
+    assert resumed_report.store_hits == 1, "the surviving rack must be a hit"
+
+    for label, run in (
+        ("cold", cold), ("warm", warm), ("resumed", resumed),
+    ):
+        assert fleet_results_json_bytes(run) == reference, (
+            f"fleet {label} run on the {backend} backend diverged"
+        )
+
+
+def test_fleet_task_keys_are_backend_independent(tmp_path):
+    """Fleet entries written under one backend must be warm hits under
+    every other — and the key never mentions the backend at all."""
+    from repro.fleet import fleet_results_json_bytes, fleet_task_key, run_fleet_sweep
+
+    tasks = _fleet_tasks()
+    keys = [fleet_task_key(t) for t in tasks]
+    assert len(set(keys)) == len(keys), "rack keys must be distinct"
+
+    store = ResultStore(root=tmp_path)
+    cold, _ = run_fleet_sweep(tasks, store=store, backend="serial")
+    reference = fleet_results_json_bytes(cold)
+    for other in ("process", "shared-store"):
+        warm, report = run_fleet_sweep(
+            tasks, workers=2, store=store, backend=other
+        )
+        assert [fleet_task_key(t) for t in tasks] == keys
+        assert report.store_hits == len(tasks), (
+            f"{other} run must hit the serial-written entries"
+        )
+        assert fleet_results_json_bytes(warm) == reference
+    assert store.puts == len(tasks), "cross-backend warm runs computed nothing"

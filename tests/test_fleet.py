@@ -1,0 +1,424 @@
+"""Unit tests for the fleet layer: topology, coupling, DTM, tiering,
+reliability, sweep keys/codec — plus the fleet fault-identity regression.
+
+The property-based topology sweeps live in test_fleet_properties.py; the
+cross-backend byte-identity matrix lives in test_differential.py.  This
+file pins the building blocks one at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.constants import AMBIENT_TEMPERATURE_C, THERMAL_ENVELOPE_C
+from repro.errors import FleetError
+from repro.faults import FaultConfig
+from repro.fleet import (
+    EnclosureSpec,
+    FleetDTMPolicy,
+    FleetSpec,
+    RackSpec,
+    ReliabilityParams,
+    TieringPolicy,
+    build_rack_tasks,
+    coordinate_rack,
+    fleet_config,
+    fleet_from_config,
+    fleet_reliability,
+    fleet_summary,
+    fleet_task_key,
+    rack_profile,
+    rack_result_from_payload,
+    rack_result_to_payload,
+    run_fleet_sweep,
+    uniform_fleet,
+)
+from repro.fleet.coupling import drive_air_rise_c, enclosure_inlets_c
+from repro.fleet.reliability import drive_afr, drive_availability
+from repro.fleet.sweep import RackTask, _run_rack_task
+from repro.fleet.tiering import extent_heats, plan_rack_tiering
+
+
+def small_rack(drives=2, enclosures=2, **kwargs) -> RackSpec:
+    enclosure = EnclosureSpec(drives=drives)
+    return RackSpec(
+        name=kwargs.pop("name", "r0"),
+        enclosures=(enclosure,) * enclosures,
+        **kwargs,
+    )
+
+
+class TestTopology:
+    def test_validation_errors(self):
+        with pytest.raises(FleetError):
+            EnclosureSpec(drives=0)
+        with pytest.raises(FleetError):
+            EnclosureSpec(drives=1, airflow_m3_per_s=0.0)
+        with pytest.raises(FleetError):
+            EnclosureSpec(drives=1, cooling_budget_w=-1.0)
+        with pytest.raises(FleetError):
+            EnclosureSpec(drives=1, vcm_duty=1.5)
+        with pytest.raises(FleetError):
+            RackSpec(name="", enclosures=(EnclosureSpec(drives=1),))
+        with pytest.raises(FleetError):
+            RackSpec(name="a/b", enclosures=(EnclosureSpec(drives=1),))
+        with pytest.raises(FleetError):
+            RackSpec(name="r", enclosures=())
+        with pytest.raises(FleetError):
+            small_rack(recirculation=1.5)
+        with pytest.raises(FleetError):
+            FleetSpec(racks=())
+        with pytest.raises(FleetError):
+            FleetSpec(racks=(small_rack(), small_rack()))  # duplicate names
+
+    def test_config_round_trip_is_exact(self):
+        fleet = uniform_fleet(racks=3, enclosures_per_rack=2,
+                              drives_per_enclosure=4, recirculation=0.35)
+        assert fleet_from_config(fleet_config(fleet)) == fleet
+
+    def test_unknown_config_fields_rejected(self):
+        config = fleet_config(uniform_fleet(racks=1))
+        config["racks"][0]["enclosures"][0]["typo"] = 1
+        with pytest.raises(FleetError, match="typo"):
+            fleet_from_config(config)
+        with pytest.raises(FleetError, match="unknown fleet field"):
+            fleet_from_config({"racks": [], "extra": 1})
+
+    def test_drive_count_and_slots(self):
+        fleet = uniform_fleet(racks=2, enclosures_per_rack=3,
+                              drives_per_enclosure=4)
+        assert fleet.drive_count == 24
+        slots = list(fleet.racks[0].slots())
+        assert len(slots) == 12
+        assert slots[0] == (0, 0) and slots[-1] == (2, 3)
+
+
+class TestCoupling:
+    def test_serial_chain_is_monotonic_within_an_enclosure(self):
+        profile = rack_profile(small_rack(drives=4, enclosures=1))
+        inlets = [d.local_inlet_c for d in profile.enclosures[0].drives]
+        assert inlets == sorted(inlets)
+        assert inlets[-1] > inlets[0], "downstream drives must run hotter"
+
+    def test_recirculation_preheats_downstream_enclosures(self):
+        coupled = rack_profile(small_rack(enclosures=3, recirculation=0.4))
+        contained = rack_profile(small_rack(enclosures=3, recirculation=0.0))
+        coupled_inlets = [e.inlet_c for e in coupled.enclosures]
+        contained_inlets = [e.inlet_c for e in contained.enclosures]
+        assert coupled_inlets == sorted(coupled_inlets)
+        assert contained_inlets == [AMBIENT_TEMPERATURE_C] * 3
+        assert coupled_inlets[1] > contained_inlets[1]
+
+    def test_inlets_formula(self):
+        rack = small_rack(enclosures=3, recirculation=0.5)
+        inlets = enclosure_inlets_c(rack, [2.0, 4.0, 8.0])
+        assert inlets == (
+            AMBIENT_TEMPERATURE_C,
+            AMBIENT_TEMPERATURE_C + 0.5 * 2.0,
+            AMBIENT_TEMPERATURE_C + 0.5 * 6.0,
+        )
+
+    def test_slower_spindles_run_cooler(self):
+        fast = rack_profile(small_rack(), default_rpm=15000.0)
+        slow = rack_profile(small_rack(), default_rpm=9600.0)
+        assert slow.max_internal_c < fast.max_internal_c
+        assert slow.total_heat_w < fast.total_heat_w
+
+    def test_rise_is_duty_interpolated(self):
+        off = drive_air_rise_c(2.6, 1, 15000.0, 0.0)
+        on = drive_air_rise_c(2.6, 1, 15000.0, 1.0)
+        half = drive_air_rise_c(2.6, 1, 15000.0, 0.5)
+        assert off < half < on
+        assert half == pytest.approx((off + on) / 2.0, rel=1e-12)
+
+    def test_rpm_rows_must_match_topology(self):
+        with pytest.raises(FleetError):
+            rack_profile(small_rack(drives=2, enclosures=2), rpms=[[15000.0]])
+
+
+class TestFleetDTM:
+    def test_hot_rack_converges_gracefully(self):
+        rack = small_rack(drives=4, enclosures=2, recirculation=0.3)
+        coord = coordinate_rack(rack, FleetDTMPolicy())
+        assert coord.converged and coord.residual_breaches == 0
+        assert coord.profile.max_internal_c <= THERMAL_ENVELOPE_C + 1e-9
+        assert coord.events, "this topology must need throttling"
+        # Graceful degradation: some capacity lost, most retained.
+        assert 0.5 < coord.capacity_fraction < 1.0
+
+    def test_events_are_canonically_ordered(self):
+        rack = small_rack(drives=4, enclosures=2, recirculation=0.3)
+        coord = coordinate_rack(rack, FleetDTMPolicy())
+        keys = [(e.round, e.enclosure, e.slot) for e in coord.events]
+        assert keys == sorted(keys)
+
+    def test_throttle_order_invariance(self):
+        rack = small_rack(drives=4, enclosures=3, recirculation=0.3)
+        policy = FleetDTMPolicy()
+        fwd = coordinate_rack(rack, policy, order="sorted")
+        rev = coordinate_rack(rack, policy, order="reversed")
+        assert fwd == rev
+
+    def test_ladder_exhaustion_reports_residual_breaches(self):
+        # An impossible box: lots of drives, almost no airflow.
+        rack = RackSpec(
+            name="hot",
+            enclosures=(EnclosureSpec(drives=8, airflow_m3_per_s=0.002),),
+        )
+        coord = coordinate_rack(rack, FleetDTMPolicy())
+        assert not coord.converged
+        assert coord.residual_breaches > 0
+        # Every still-breaching drive was driven to the bottom rung
+        # before the coordinator gave up (nothing droppable remained).
+        from repro.fleet.dtm import _breach_set
+
+        for enclosure, slot in _breach_set(coord.profile, THERMAL_ENVELOPE_C):
+            assert coord.rpms[enclosure][slot] == 9600.0
+
+    def test_cooling_budget_throttles_whole_enclosure(self):
+        # Thermally fine per-drive, but over the enclosure heat budget.
+        rack = RackSpec(
+            name="budget",
+            enclosures=(
+                EnclosureSpec(drives=2, airflow_m3_per_s=0.05,
+                              cooling_budget_w=20.0),
+            ),
+        )
+        coord = coordinate_rack(rack, FleetDTMPolicy())
+        assert coord.events, "budget pressure must throttle"
+        touched = {(e.enclosure, e.slot) for e in coord.events}
+        assert touched == {(0, 0), (0, 1)}, "budget breaches hit every slot"
+
+    def test_initial_rpms_must_be_ladder_levels(self):
+        with pytest.raises(FleetError, match="ladder level"):
+            coordinate_rack(
+                small_rack(drives=1, enclosures=1),
+                FleetDTMPolicy(),
+                initial_rpms=[[10000.0]],
+            )
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(FleetError, match="order"):
+            coordinate_rack(small_rack(), FleetDTMPolicy(), order="random")
+
+
+class TestTiering:
+    POLICY = TieringPolicy(extents=96, seed=5, target_utilization=0.6)
+
+    def test_demand_is_conserved(self):
+        heats = extent_heats(self.POLICY.extents, self.POLICY.seed)
+        plan = plan_rack_tiering(8, FleetDTMPolicy().profile(), self.POLICY)
+        assert plan.total_demand == pytest.approx(sum(heats), rel=1e-12)
+        assert plan.extents == self.POLICY.extents
+
+    def test_levels_are_ladder_levels_and_save_power(self):
+        profile = FleetDTMPolicy().profile()
+        plan = plan_rack_tiering(8, profile, self.POLICY)
+        assert all(level in profile.rpm_levels for level in plan.drive_levels)
+        assert plan.saved_power_w >= 0.0
+        assert plan.planned_power_w <= plan.baseline_power_w
+        # The skewed heats must actually demote some drive.
+        assert min(plan.drive_levels) < profile.top_rpm
+
+    def test_first_fit_respects_capacity(self):
+        profile = FleetDTMPolicy().profile()
+        plan = plan_rack_tiering(6, profile, self.POLICY)
+        heats = extent_heats(self.POLICY.extents, self.POLICY.seed)
+        capacity_top = (
+            sum(heats) / 6
+        ) / self.POLICY.target_utilization
+        # Every drive but the overflow-absorbing last one stays within a
+        # top-rung drive's capacity, and drive 0 carries the peak demand.
+        for demand in plan.drive_demand[:-1]:
+            assert demand <= capacity_top + 1e-9
+        assert plan.drive_demand[0] == max(plan.drive_demand)
+        # Each assigned level is the lowest rung that covers the demand.
+        for demand, level in zip(plan.drive_demand, plan.drive_levels):
+            fitting = [
+                rung for rung in profile.rpm_levels
+                if capacity_top * (rung / profile.top_rpm) + 1e-12 >= demand
+            ]
+            assert level == (fitting[0] if fitting else profile.top_rpm)
+
+    def test_deterministic_across_calls(self):
+        a = plan_rack_tiering(8, FleetDTMPolicy().profile(), self.POLICY)
+        b = plan_rack_tiering(8, FleetDTMPolicy().profile(), self.POLICY)
+        assert a == b
+
+    def test_requires_drpm_ladder(self):
+        from repro.dtm.multispeed import MultiSpeedProfile
+
+        ladder = MultiSpeedProfile(
+            rpm_levels=(9600.0, 15000.0), serves_at_lower_levels=False
+        )
+        with pytest.raises(FleetError, match="serves at lower levels"):
+            plan_rack_tiering(4, ladder, self.POLICY)
+
+
+class TestReliability:
+    PARAMS = ReliabilityParams(base_afr=0.02, reference_c=40.0)
+
+    def test_doubles_every_15c(self):
+        assert drive_afr(55.0, self.PARAMS) == pytest.approx(
+            2.0 * drive_afr(40.0, self.PARAMS), rel=1e-12
+        )
+        assert drive_afr(40.0, self.PARAMS) == self.PARAMS.base_afr
+
+    def test_availability_decreases_with_temperature(self):
+        cool = drive_availability(drive_afr(35.0, self.PARAMS), 12.0)
+        hot = drive_availability(drive_afr(55.0, self.PARAMS), 12.0)
+        assert 0.0 < hot < cool <= 1.0
+
+    def test_fleet_aggregation(self):
+        temps = [40.0, 55.0]
+        agg = fleet_reliability(temps, self.PARAMS)
+        afrs = [drive_afr(t, self.PARAMS) for t in temps]
+        assert agg.drive_count == 2
+        assert agg.expected_annual_failures == pytest.approx(sum(afrs))
+        assert agg.mean_afr == pytest.approx(sum(afrs) / 2)
+        assert agg.worst_afr == pytest.approx(max(afrs))
+
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            ReliabilityParams(base_afr=-0.1)
+        with pytest.raises(FleetError):
+            fleet_reliability([], self.PARAMS)
+
+
+class TestSweepKeysAndCodec:
+    def task(self, **overrides) -> RackTask:
+        base = dict(
+            rack=small_rack(),
+            envelope_c=THERMAL_ENVELOPE_C,
+            rpm_levels=(9600.0, 12000.0, 15000.0),
+        )
+        base.update(overrides)
+        return RackTask(**base)
+
+    def test_immaterial_knobs_fold_out_of_the_key(self):
+        base = self.task()
+        # Tiering off: seed/utilization are immaterial.
+        assert fleet_task_key(base) == fleet_task_key(
+            self.task(tiering_seed=99, tiering_target_utilization=0.5)
+        )
+        # No fault plan: replay knobs are immaterial.
+        assert fleet_task_key(base) == fleet_task_key(
+            self.task(accesses_per_drive=9, average_seek_ms=1.0)
+        )
+
+    def test_material_knobs_change_the_key(self):
+        base = self.task()
+        assert fleet_task_key(base) != fleet_task_key(
+            self.task(tiering_extents=8)
+        )
+        assert fleet_task_key(base) != fleet_task_key(
+            self.task(fault_config=FaultConfig(seed=0, media_rate=0.01))
+        )
+        assert fleet_task_key(base) != fleet_task_key(
+            self.task(envelope_c=50.0)
+        )
+        assert fleet_task_key(base) != fleet_task_key(
+            self.task(rack=small_rack(name="r1"))
+        )
+        # With faults on, the replay knobs become material.
+        faulty = self.task(fault_config=FaultConfig(seed=0, media_rate=0.01))
+        assert fleet_task_key(faulty) != fleet_task_key(
+            dataclasses.replace(faulty, accesses_per_drive=9)
+        )
+
+    def test_payload_round_trip_is_exact(self):
+        task = self.task(
+            tiering_extents=32,
+            fault_config=FaultConfig(seed=2, media_rate=0.05),
+        )
+        result = _run_rack_task(task)
+        restored = rack_result_from_payload(rack_result_to_payload(result))
+        assert restored == result
+        assert rack_result_to_payload(restored) == rack_result_to_payload(result)
+
+    def test_summary_is_none_without_healthy_results(self):
+        assert fleet_summary([None, None]) is None
+
+    def test_build_rack_tasks_defaults_to_fleet_envelope(self):
+        fleet = uniform_fleet(racks=2, envelope_c=50.0)
+        tasks = build_rack_tasks(fleet)
+        assert [t.envelope_c for t in tasks] == [50.0, 50.0]
+        assert [t.rack.name for t in tasks] == ["rack00", "rack01"]
+        with pytest.raises(FleetError):
+            build_rack_tasks(fleet, accesses_per_drive=-1)
+
+
+class TestFleetFaultIdentity:
+    """Regression: drives with identical configs in different fleet slots
+    must draw distinct deterministic fault streams.
+
+    Before the fix, DiskFaultInjector subjects came from the disk *name*
+    alone; every same-named drive in a fleet shared one draw stream, so
+    a 1000-drive fleet faulted in lock-step.  The scope parameter folds
+    rack/enclosure/slot identity into the subject.
+    """
+
+    CONFIG = FaultConfig(seed=11, media_rate=0.3, servo_rate=0.1)
+
+    def test_scoped_injectors_draw_independent_streams(self):
+        from repro.fleet.sweep import _FaultTimebase
+
+        a = self.CONFIG.injector_for("disk", scope="rack00/e0/s0")
+        b = self.CONFIG.injector_for("disk", scope="rack00/e0/s1")
+        timebase = _FaultTimebase(15000.0, 3.6)
+        for _ in range(200):
+            a.media_access_fault(timebase)
+            b.media_access_fault(timebase)
+        assert a.subject != b.subject
+        assert a.stats.as_dict() != b.stats.as_dict(), (
+            "identical-config drives in different slots must not share "
+            "a fault stream"
+        )
+
+    def test_unscoped_injector_keeps_single_system_subject(self):
+        injector = self.CONFIG.injector_for("disk")
+        assert injector.subject == "disk"
+
+    def test_fleet_run_has_slot_distinct_fault_stats(self):
+        task = RackTask(
+            rack=small_rack(drives=2, enclosures=1),
+            envelope_c=THERMAL_ENVELOPE_C,
+            rpm_levels=(9600.0, 12000.0, 15000.0),
+            accesses_per_drive=200,
+            fault_config=self.CONFIG,
+        )
+        result = _run_rack_task(task)
+        stats = [d.faults for d in result.drives]
+        assert all(s is not None and s["total_injected"] > 0 for s in stats)
+        assert stats[0] != stats[1], (
+            "per-drive fault counters must differ across slots"
+        )
+
+
+class TestRunFleetSweep:
+    def test_acceptance_shape(self, tmp_path):
+        """A small fleet end to end: converged racks, AFR from the
+        2^(dT/15) law, store round trip."""
+        from repro.store import ResultStore
+
+        fleet = uniform_fleet(racks=2)
+        tasks = build_rack_tasks(fleet)
+        store = ResultStore(root=tmp_path)
+        results, report = run_fleet_sweep(tasks, store=store, backend="serial")
+        assert report.ok_count == 2 and report.store_misses == 2
+        again, report2 = run_fleet_sweep(tasks, store=store, backend="serial")
+        assert report2.store_hits == 2
+        assert again == results
+        result = results[0]
+        expected = sum(
+            self_afr(d.internal_air_c) for d in result.drives
+        )
+        assert result.expected_annual_failures == pytest.approx(expected)
+
+
+def self_afr(temp_c: float) -> float:
+    """The documented AFR law, written out independently of the module."""
+    return 0.02 * 2.0 ** ((temp_c - 40.0) / 15.0)

@@ -1,8 +1,10 @@
 """Golden regression fixtures: current model outputs vs checked-in JSON.
 
 ``tests/golden/*.json`` pin the model outputs for the paper's two central
-artifacts — the Table 1 validation set and the Figure 2 thermal roadmap.
-These tests recompute both and compare against the fixtures with *tight*
+artifacts — the Table 1 validation set and the Figure 2 thermal roadmap —
+plus a 2-rack/24-drive fleet run through the rack-coupled environment,
+fleet DTM, tiering, fault injection and the AFR/availability model.
+These tests recompute each and compare against the fixtures with *tight*
 tolerances (1e-9 relative): loose enough to survive a change of libm,
 far too tight for any genuine model change to slip through.
 
@@ -99,6 +101,12 @@ def test_roadmap_matches_golden():
     _assert_matches_golden(
         "roadmap_2002_2012.json", regen_golden.roadmap_document()
     )
+
+
+def test_fleet_matches_golden():
+    """The 2-rack/24-drive fleet run: coupling, DTM, tiering, faults,
+    AFR/availability *and* the content-addressed task keys, all pinned."""
+    _assert_matches_golden("fleet_2rack.json", regen_golden.fleet_document())
 
 
 def test_fixtures_are_strict_json():

@@ -11,6 +11,9 @@ reviewable diff instead of a silent drift:
 * ``tests/golden/roadmap_2002_2012.json`` — the Figure 2 thermal roadmap
   (every year x platter size x platter count point, with the cooling
   budgets that anchor each platter count to the envelope).
+* ``tests/golden/fleet_2rack.json`` — a 2-rack / 24-drive fleet run
+  through the rack-coupled environment, fleet DTM coordination, tiering
+  and the AFR/availability model (the full canonical results document).
 
 Run via ``make regen-golden`` (which refuses on a dirty working tree, so
 a regeneration is always its own reviewable commit), or directly::
@@ -33,12 +36,24 @@ from repro.constants import (
     ROADMAP_PLATTER_SIZES_IN,
 )
 from repro.drives import PAPER_MODEL_PREDICTIONS, TABLE1_DRIVES
+from repro.faults import FaultConfig
+from repro.fleet import (
+    FleetDTMPolicy,
+    ReliabilityParams,
+    TieringPolicy,
+    build_rack_tasks,
+    fleet_results_document,
+    fleet_task_key,
+    uniform_fleet,
+)
+from repro.fleet.sweep import _run_rack_task
 from repro.scaling.roadmap import cooling_budget_ambient_c, thermal_roadmap
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 TABLE1_SCHEMA = "repro.golden.table1/1"
 ROADMAP_SCHEMA = "repro.golden.roadmap/1"
+FLEET_SCHEMA = "repro.golden.fleet/1"
 
 
 def table1_document() -> dict:
@@ -95,6 +110,42 @@ def roadmap_document() -> dict:
     }
 
 
+def fleet_document() -> dict:
+    """A fixed 2-rack / 24-drive fleet run, pinned end to end.
+
+    Exercises every fleet subsystem at once — rack-coupled inlets with
+    recirculation, per-enclosure cooling budgets, the DTM throttle
+    ladder, seeded extent tiering, fault injection and the
+    AFR/availability rollup — so any drift in any of them moves a field
+    here.  The content-addressed task keys are pinned too: a key change
+    without a deliberate schema bump is exactly the silent cache
+    poisoning the store exists to prevent.
+    """
+    fleet = uniform_fleet(
+        racks=2,
+        enclosures_per_rack=4,
+        drives_per_enclosure=3,
+        airflow_m3_per_s=0.018,
+        cooling_budget_w=200.0,
+        recirculation=0.25,
+    )
+    tasks = build_rack_tasks(
+        fleet,
+        policy=FleetDTMPolicy(),
+        reliability=ReliabilityParams(),
+        tiering=TieringPolicy(extents=48, seed=7, target_utilization=0.7),
+        fault_config=FaultConfig(seed=13, media_rate=0.05, servo_rate=0.01),
+        accesses_per_drive=64,
+    )
+    results = [_run_rack_task(task) for task in tasks]
+    document = fleet_results_document(results)
+    return {
+        "schema": FLEET_SCHEMA,
+        "task_keys": [fleet_task_key(task) for task in tasks],
+        "results": document,
+    }
+
+
 def write_fixture(path: Path, document: dict) -> None:
     # Human-reviewable formatting; the comparator parses, so whitespace
     # carries no meaning — but a stable layout keeps diffs minimal.
@@ -136,6 +187,7 @@ def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     write_fixture(GOLDEN_DIR / "table1.json", table1_document())
     write_fixture(GOLDEN_DIR / "roadmap_2002_2012.json", roadmap_document())
+    write_fixture(GOLDEN_DIR / "fleet_2rack.json", fleet_document())
     _warn_if_keyed_manifest_stale()
     return 0
 

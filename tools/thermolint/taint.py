@@ -67,6 +67,7 @@ DEFAULT_KEY_AFFECTING_FILES: Tuple[str, ...] = (
     "src/repro/store/store.py",
     "src/repro/simulation/sweep.py",
     "src/repro/faults/models.py",
+    "src/repro/fleet/sweep.py",
 )
 
 #: Where the current CODE_SCHEMA_VERSION lives (parsed statically).
